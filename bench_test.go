@@ -1,0 +1,117 @@
+package parallax
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/exp"
+	"github.com/parallax-arch/parallax/internal/phys/workload"
+)
+
+// benchScale sets the workload scale for the testing.B harness. The
+// paper-scale suite (1.0) is used so the printed series correspond to
+// EXPERIMENTS.md; each bench iteration re-runs one experiment's models
+// over the shared captured workloads.
+const benchScale = 1.0
+
+var (
+	suiteOnce sync.Once
+	suite     *exp.Suite
+)
+
+func sharedSuite(b *testing.B) *exp.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = exp.NewSuite(benchScale)
+	})
+	return suite
+}
+
+// benchExperiment runs one table/figure reproduction per iteration.
+func benchExperiment(b *testing.B, id string) {
+	s := sharedSuite(b)
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(s, io.Discard)
+	}
+}
+
+// One bench per table and figure of the paper's evaluation.
+
+func BenchmarkTable3(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkFig2a(b *testing.B)       { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)       { benchExperiment(b, "fig2b") }
+func BenchmarkFig3a(b *testing.B)       { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)       { benchExperiment(b, "fig3b") }
+func BenchmarkFig4a(b *testing.B)       { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)       { benchExperiment(b, "fig4b") }
+func BenchmarkFig5a(b *testing.B)       { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)       { benchExperiment(b, "fig5b") }
+func BenchmarkFig6a(b *testing.B)       { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)       { benchExperiment(b, "fig6b") }
+func BenchmarkFig7a(b *testing.B)       { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)       { benchExperiment(b, "fig7b") }
+func BenchmarkFig9a(b *testing.B)       { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)       { benchExperiment(b, "fig9b") }
+func BenchmarkFig10a(b *testing.B)      { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B)      { benchExperiment(b, "fig10b") }
+func BenchmarkTable7(b *testing.B)      { benchExperiment(b, "table7") }
+func BenchmarkFig11(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkArbitration(b *testing.B) { benchExperiment(b, "sec721") }
+func BenchmarkFilter(b *testing.B)      { benchExperiment(b, "sec822") }
+func BenchmarkModel2(b *testing.B)      { benchExperiment(b, "sec83") }
+
+// Extensions and ablations.
+
+func BenchmarkExtPrefetch(b *testing.B)   { benchExperiment(b, "ext-prefetch") }
+func BenchmarkExtSharedMem(b *testing.B)  { benchExperiment(b, "ext-sharedmem") }
+func BenchmarkAblPartition(b *testing.B)  { benchExperiment(b, "abl-partition") }
+func BenchmarkAblBroadphase(b *testing.B) { benchExperiment(b, "abl-broadphase") }
+func BenchmarkAblIterations(b *testing.B) { benchExperiment(b, "abl-iterations") }
+func BenchmarkAblWarmstart(b *testing.B)  { benchExperiment(b, "abl-warmstart") }
+func BenchmarkRefSystem(b *testing.B)     { benchExperiment(b, "ref-system") }
+
+// BenchmarkEngine measures the raw physics engine: one full frame
+// (3 steps) of each benchmark at paper scale, single-threaded and with
+// 4 worker threads.
+func BenchmarkEngine(b *testing.B) {
+	for _, bench := range workload.All {
+		for _, threads := range []int{1, 4} {
+			bench, threads := bench, threads
+			b.Run(fmt.Sprintf("%s/threads=%d", bench.Name, threads), func(b *testing.B) {
+				w := bench.Build(benchScale)
+				w.Threads = threads
+				w.StepFrame() // warm
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.StepFrame()
+				}
+			})
+		}
+	}
+}
+
+// TestPrintExperiments regenerates every table and figure at paper
+// scale when run with -run TestPrintExperiments -v; its output is the
+// source of EXPERIMENTS.md's "measured" columns.
+func TestPrintExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: full-suite reproduction skipped")
+	}
+	s := exp.NewSuite(benchScale)
+	s.RunAll(testWriter{t})
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}

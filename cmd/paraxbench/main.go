@@ -1,0 +1,59 @@
+// Command paraxbench reproduces the paper's tables and figures. It
+// captures the benchmark suite by running the real physics engine, then
+// drives the architecture models and prints the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	paraxbench -list
+//	paraxbench -exp fig10b
+//	paraxbench -exp all -scale 1.0
+//	paraxbench -exp fig2a,fig2b -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/parallax-arch/parallax/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "all", "experiment id, comma list, or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload scale (1.0 = paper)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	t0 := time.Now()
+	fmt.Printf("capturing the 8-benchmark suite at scale %.2f...\n", *scale)
+	s := exp.NewSuite(*scale)
+	fmt.Printf("capture complete in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	if *id == "all" {
+		s.RunAll(os.Stdout)
+		return
+	}
+	for _, one := range strings.Split(*id, ",") {
+		one = strings.TrimSpace(one)
+		e, ok := exp.ByID(one)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", one)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		e.Run(s, os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,103 @@
+// Command paraxsim runs one benchmark of the physics suite and reports
+// per-phase workload statistics: pairs, contacts, islands, fine-grain
+// task counts, and the modeled per-frame instruction totals.
+//
+// Usage:
+//
+//	paraxsim -bench Mix -frames 5 -scale 1.0 -threads 4
+//	paraxsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/parallax-arch/parallax/internal/arch/kernels"
+	archpx "github.com/parallax-arch/parallax/internal/arch/parallax"
+	"github.com/parallax-arch/parallax/internal/phys/workload"
+	"github.com/parallax-arch/parallax/internal/phys/world"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "Mix", "benchmark name")
+		frames  = flag.Int("frames", 5, "frames to simulate (3 steps each)")
+		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = paper)")
+		threads = flag.Int("threads", 1, "worker threads for parallel phases")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		eval    = flag.Bool("eval", false, "also evaluate the ParallAX reference system on this benchmark")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All {
+			fmt.Printf("%-12s %-22s %s\n", b.Name, "("+b.Genre+")", b.Desc)
+		}
+		return
+	}
+
+	b, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; use -list\n", *bench)
+		os.Exit(1)
+	}
+
+	fmt.Printf("building %s at scale %.2f...\n", b.Name, *scale)
+	w := b.Build(*scale)
+	w.Threads = *threads
+	fmt.Printf("bodies=%d geoms=%d joints=%d cloths=%d\n",
+		len(w.Bodies), len(w.Geoms), len(w.Joints), len(w.Cloths))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "frame\tpairs\tcontacts\tislands\tmaxDOF\texplosions\tfractures\tbreaks\tinstr(M)\twall")
+	for f := 0; f < *frames; f++ {
+		t0 := time.Now()
+		fp := w.StepFrame()
+		wall := time.Since(t0)
+		var pairs, contacts, expl, frac, brk int
+		islands, maxDOF := 0, 0
+		var instr float64
+		for i := range fp.Steps {
+			s := &fp.Steps[i]
+			pairs += s.Pairs
+			contacts += s.Contacts
+			expl += s.Explosions
+			frac += s.FractureHit
+			brk += s.JointBreaks
+			if len(s.Islands) > islands {
+				islands = len(s.Islands)
+			}
+			for _, is := range s.Islands {
+				if is.DOF > maxDOF {
+					maxDOF = is.DOF
+				}
+			}
+			instr += kernels.DefaultCost.InstrCounts(s).Total()
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%v\n",
+			f+1, pairs, contacts, islands, maxDOF, expl, frac, brk, instr/1e6,
+			wall.Round(time.Millisecond))
+	}
+	tw.Flush()
+
+	// Final phase summary of the last step.
+	p := w.Profile
+	fmt.Printf("\nlast step: broad[geoms=%d sorts=%d] narrow[prim=%d tri=%d] "+
+		"islandgen[finds=%d] solver[rows=%d updates=%d] cloth[verts=%d]\n",
+		p.Broad.Geoms, p.Broad.SortOps, p.Narrow.PrimTests, p.Narrow.TriTests,
+		p.FindSteps, p.Solver.Rows, p.Solver.RowUpdates, p.Cloth.VertexUpdates)
+	_ = world.StepsPerFrame
+
+	if *eval {
+		fmt.Println("\nevaluating the ParallAX reference system (4 CG + 12MB partitioned L2 + 150 shaders on-chip)...")
+		wl := archpx.Capture(b.Name, b.Build(*scale), 1, 3)
+		bd := wl.Evaluate(archpx.Reference())
+		fmt.Printf("  serial %.2f ms + CG %.2f ms + FG %.2f ms = %.2f ms (%.1f FPS, %t for 30 FPS)\n",
+			bd.SerialTime*1e3, bd.CGParallelTime*1e3, bd.FGTime*1e3,
+			bd.Total()*1e3, bd.FPS(), bd.MeetsRealTime())
+		fmt.Printf("  estimated area: %.0f mm2 at 90nm\n", bd.AreaMM2)
+	}
+}

@@ -1,0 +1,73 @@
+// Ragdoll: build an articulated figure out of capsules, boxes and
+// sphere joints, knock it over with a projectile, and report how the
+// joints load up — the first-person-shooter scenario of the paper's
+// Ragdoll benchmark.
+package main
+
+import (
+	"fmt"
+
+	"github.com/parallax-arch/parallax"
+)
+
+// buildFigure assembles a simple five-segment ragdoll standing at base:
+// two legs, a torso, an arm and a head, linked with ball and hinge
+// joints that never self-collide (shared collision group).
+func buildFigure(w *parallax.World, base parallax.Vec, group int32) []int32 {
+	up := func(y float64) parallax.Vec { return base.Add(parallax.V(0, y, 0)) }
+	legRot := parallax.QFromAxisAngle(parallax.V(1, 0, 0), 1.5707963)
+
+	var ids []int32
+	lleg, _ := w.AddBody(parallax.Capsule{R: 0.07, HalfLen: 0.35},
+		5, base.Add(parallax.V(-0.12, 0.45, 0)), legRot, 0, group)
+	rleg, _ := w.AddBody(parallax.Capsule{R: 0.07, HalfLen: 0.35},
+		5, base.Add(parallax.V(0.12, 0.45, 0)), legRot, 0, group)
+	torso, _ := w.AddBody(parallax.Box{Half: parallax.V(0.18, 0.3, 0.12)},
+		16, up(1.2), parallax.QIdent, 0, group)
+	arm, _ := w.AddBody(parallax.Capsule{R: 0.05, HalfLen: 0.3},
+		3, base.Add(parallax.V(0.3, 1.35, 0)), legRot, 0, group)
+	head, _ := w.AddBody(parallax.Sphere{R: 0.12},
+		4, up(1.65), parallax.QIdent, 0, group)
+	ids = append(ids, lleg, rleg, torso, arm, head)
+
+	w.AddJoint(parallax.NewBall(w.Bodies, lleg, torso, base.Add(parallax.V(-0.12, 0.9, 0))))
+	w.AddJoint(parallax.NewBall(w.Bodies, rleg, torso, base.Add(parallax.V(0.12, 0.9, 0))))
+	w.AddJoint(parallax.NewBall(w.Bodies, torso, arm, base.Add(parallax.V(0.25, 1.45, 0))))
+	// The neck is breakable: a hard enough hit decapitates the ragdoll.
+	neck := parallax.NewBall(w.Bodies, torso, head, up(1.52))
+	w.AddJoint(parallax.NewBreakable(neck, 2500, 0))
+	return ids
+}
+
+func main() {
+	w := parallax.NewWorld()
+	w.AddStatic(parallax.Plane{Normal: parallax.V(0, 1, 0)}, parallax.V(0, 0, 0), parallax.QIdent)
+
+	var figures [][]int32
+	for i := 0; i < 5; i++ {
+		figures = append(figures, buildFigure(w, parallax.V(float64(i)*1.5, 0, 0), int32(i+1)))
+	}
+
+	// A cannonball aimed at the middle figure's torso.
+	shot, _ := w.AddBody(parallax.Sphere{R: 0.15}, 10,
+		parallax.V(3, 1.3, -8), parallax.QIdent, 0, 0)
+	w.Bodies[shot].LinVel = parallax.V(0, 0.5, 24)
+
+	broken := 0
+	for frame := 0; frame < 120; frame++ {
+		fp := w.StepFrame()
+		for i := range fp.Steps {
+			broken += fp.Steps[i].JointBreaks
+		}
+	}
+
+	fmt.Printf("after %.1fs: %d joint(s) broke\n", w.Time, broken)
+	for fi, ids := range figures {
+		torso := w.Bodies[ids[2]]
+		state := "standing"
+		if torso.Pos.Y < 0.8 {
+			state = "down"
+		}
+		fmt.Printf("  figure %d: torso at y=%.2f (%s)\n", fi, torso.Pos.Y, state)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/parallax-arch/parallax
+
+go 1.22

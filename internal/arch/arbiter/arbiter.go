@@ -1,0 +1,183 @@
+// Package arbiter implements the ParallAX fine-grain core scheduling
+// policies (paper section 7.1): the proposed hierarchical arbitration —
+// FG cores are logically divided evenly among the CG cores, each set
+// controlled by an arbiter with a unique CG priority rotation, so that
+// balanced load keeps locality and one overloaded CG core can steal the
+// whole pool — and the static CG-to-FG mapping baseline it is compared
+// against.
+package arbiter
+
+import "container/heap"
+
+// Task is one fine-grain work unit submitted by a CG core.
+type Task struct {
+	// CG is the submitting coarse-grain core.
+	CG int
+	// Compute is the task's FG execution time in seconds.
+	Compute float64
+}
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+// The two policies compared in section 8.2.1.
+const (
+	// Dynamic is the hierarchical arbitration: any CG core can use any
+	// FG core, with per-arbiter priority rotations preserving locality
+	// under balanced load.
+	Dynamic Policy = iota
+	// Static binds each FG group to one CG core.
+	Static
+)
+
+// Result reports one scheduling simulation.
+type Result struct {
+	// Makespan is the time until the last task completes.
+	Makespan float64
+	// Utilization is total task time / (cores x makespan).
+	Utilization float64
+	// LocalityFraction is the fraction of tasks that ran on an FG core
+	// in their submitter's home group.
+	LocalityFraction float64
+	TasksRun         int
+}
+
+// coreHeap orders FG cores by availability time.
+type coreItem struct {
+	id   int
+	free float64
+}
+type coreHeap []coreItem
+
+func (h coreHeap) Len() int            { return len(h) }
+func (h coreHeap) Less(i, j int) bool  { return h[i].free < h[j].free }
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(coreItem)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Simulate schedules the per-CG task queues onto nFG cores grouped
+// evenly among nCG arbiters under the given policy. Queues are consumed
+// in order (tasks of one CG core arrive in submission order).
+func Simulate(policy Policy, nCG, nFG int, queues [][]Task) Result {
+	if nCG < 1 || nFG < 1 {
+		return Result{}
+	}
+	if policy == Static {
+		return simulateStatic(nCG, nFG, queues)
+	}
+	return simulateDynamic(nCG, nFG, queues)
+}
+
+// simulateStatic runs each group's queue on its own cores; groups do
+// not interact, so each is a simple FCFS pool.
+func simulateStatic(nCG, nFG int, queues [][]Task) Result {
+	groupSize := func(g int) int {
+		// Cores are split as evenly as possible.
+		base := nFG / nCG
+		if g < nFG%nCG {
+			return base + 1
+		}
+		return base
+	}
+	var res Result
+	var totalWork float64
+	for g := 0; g < nCG; g++ {
+		cores := groupSize(g)
+		if cores == 0 || g >= len(queues) {
+			continue
+		}
+		h := make(coreHeap, cores)
+		heap.Init(&h)
+		for _, t := range queues[g] {
+			it := heap.Pop(&h).(coreItem)
+			it.free += t.Compute
+			totalWork += t.Compute
+			if it.free > res.Makespan {
+				res.Makespan = it.free
+			}
+			heap.Push(&h, it)
+			res.TasksRun++
+		}
+	}
+	if res.Makespan > 0 {
+		res.Utilization = totalWork / (float64(nFG) * res.Makespan)
+	}
+	res.LocalityFraction = 1 // static tasks always run in their home group
+	return res
+}
+
+// simulateDynamic implements the hierarchical arbitration: the earliest
+// free core's arbiter scans CG queues in its priority rotation.
+func simulateDynamic(nCG, nFG int, queues [][]Task) Result {
+	heads := make([]int, nCG)
+	groupOf := func(core int) int { return core * nCG / nFG }
+
+	h := make(coreHeap, nFG)
+	for i := range h {
+		h[i] = coreItem{id: i}
+	}
+	heap.Init(&h)
+
+	var totalWork, makespan float64
+	local, run := 0, 0
+	for {
+		pickable := false
+		for cg := 0; cg < nCG && !pickable; cg++ {
+			if cg < len(queues) && heads[cg] < len(queues[cg]) {
+				pickable = true
+			}
+		}
+		if !pickable {
+			break
+		}
+		it := heap.Pop(&h).(coreItem)
+		grp := groupOf(it.id)
+		pick := -1
+		for k := 0; k < nCG; k++ {
+			cg := (grp + k) % nCG
+			if cg < len(queues) && heads[cg] < len(queues[cg]) {
+				pick = cg
+				break
+			}
+		}
+		t := queues[pick][heads[pick]]
+		heads[pick]++
+		if pick == grp {
+			local++
+		}
+		run++
+		totalWork += t.Compute
+		it.free += t.Compute
+		if it.free > makespan {
+			makespan = it.free
+		}
+		heap.Push(&h, it)
+	}
+
+	res := Result{Makespan: makespan, TasksRun: run}
+	if makespan > 0 {
+		res.Utilization = totalWork / (float64(nFG) * makespan)
+	}
+	if run > 0 {
+		res.LocalityFraction = float64(local) / float64(run)
+	}
+	return res
+}
+
+// CoresForDeadline returns the minimum FG pool size (a multiple of nCG)
+// that completes the workload within the deadline under the policy,
+// searching up to maxCores.
+func CoresForDeadline(policy Policy, nCG int, queues [][]Task, deadline float64, maxCores int) int {
+	for n := nCG; n <= maxCores; n += nCG {
+		if Simulate(policy, nCG, n, queues).Makespan <= deadline {
+			return n
+		}
+	}
+	return maxCores
+}

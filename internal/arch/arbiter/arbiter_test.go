@@ -1,0 +1,132 @@
+package arbiter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// balancedLoad gives each CG core the same tasks.
+func balancedLoad(nCG, tasksPer int, dur float64) [][]Task {
+	qs := make([][]Task, nCG)
+	for cg := range qs {
+		for i := 0; i < tasksPer; i++ {
+			qs[cg] = append(qs[cg], Task{CG: cg, Compute: dur})
+		}
+	}
+	return qs
+}
+
+// skewedLoad puts nearly all work on CG core 0 (the one-big-island
+// scenario that motivates dynamic arbitration).
+func skewedLoad(nCG, big, small int, dur float64) [][]Task {
+	qs := make([][]Task, nCG)
+	for i := 0; i < big; i++ {
+		qs[0] = append(qs[0], Task{CG: 0, Compute: dur})
+	}
+	for cg := 1; cg < nCG; cg++ {
+		for i := 0; i < small; i++ {
+			qs[cg] = append(qs[cg], Task{CG: cg, Compute: dur})
+		}
+	}
+	return qs
+}
+
+func TestBalancedLoadEquivalent(t *testing.T) {
+	qs := balancedLoad(4, 100, 1e-6)
+	d := Simulate(Dynamic, 4, 16, qs)
+	s := Simulate(Static, 4, 16, qs)
+	if d.Makespan > s.Makespan*1.01 {
+		t.Errorf("dynamic (%v) should not lose to static (%v) on balanced load",
+			d.Makespan, s.Makespan)
+	}
+	// Balanced load: hierarchical priorities keep locality high.
+	if d.LocalityFraction < 0.9 {
+		t.Errorf("dynamic locality on balanced load = %v, want >= 0.9", d.LocalityFraction)
+	}
+	if d.TasksRun != 400 || s.TasksRun != 400 {
+		t.Errorf("tasks run %d/%d, want 400", d.TasksRun, s.TasksRun)
+	}
+}
+
+func TestSkewedLoadDynamicWins(t *testing.T) {
+	qs := skewedLoad(4, 400, 10, 1e-6)
+	d := Simulate(Dynamic, 4, 16, qs)
+	s := Simulate(Static, 4, 16, qs)
+	// Static: 400 tasks on 4 cores = 100e-6. Dynamic: 430 tasks on 16
+	// cores ~ 27e-6.
+	if d.Makespan >= s.Makespan*0.5 {
+		t.Errorf("dynamic makespan %v should be far below static %v", d.Makespan, s.Makespan)
+	}
+	if d.Utilization < 0.8 {
+		t.Errorf("dynamic utilization on skewed load = %v", d.Utilization)
+	}
+	if s.Utilization > 0.5 {
+		t.Errorf("static utilization on skewed load = %v, expected poor", s.Utilization)
+	}
+}
+
+func TestStaticNeedsMoreCoresForDeadline(t *testing.T) {
+	// Paper section 8.2.1: statically mapping shaders to particular CG
+	// cores requires ~34% more area (more cores) to meet the deadline.
+	qs := skewedLoad(4, 300, 100, 1e-6)
+	total := 0.0
+	for _, q := range qs {
+		for _, task := range q {
+			total += task.Compute
+		}
+	}
+	deadline := total / 16 * 1.15 // slightly above the 16-core ideal
+	nd := CoresForDeadline(Dynamic, 4, qs, deadline, 256)
+	ns := CoresForDeadline(Static, 4, qs, deadline, 256)
+	if ns <= nd {
+		t.Fatalf("static cores (%d) should exceed dynamic cores (%d)", ns, nd)
+	}
+	ratio := float64(ns) / float64(nd)
+	if ratio < 1.15 || ratio > 3.0 {
+		t.Errorf("static/dynamic core ratio = %v, want in [1.15, 3]", ratio)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Property: makespan >= total work / cores, and >= the largest
+	// single queue's work / its group size (for static).
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		nCG := 1 + r.Intn(4)
+		nFG := nCG * (1 + r.Intn(8))
+		qs := make([][]Task, nCG)
+		total := 0.0
+		for cg := range qs {
+			n := r.Intn(50)
+			for i := 0; i < n; i++ {
+				d := r.Float64() * 1e-5
+				qs[cg] = append(qs[cg], Task{CG: cg, Compute: d})
+				total += d
+			}
+		}
+		for _, pol := range []Policy{Dynamic, Static} {
+			res := Simulate(pol, nCG, nFG, qs)
+			lower := total / float64(nFG)
+			if res.Makespan < lower-1e-12 {
+				t.Fatalf("policy %v: makespan %v below work bound %v", pol, res.Makespan, lower)
+			}
+			if res.Utilization < 0 || res.Utilization > 1+1e-9 {
+				t.Fatalf("utilization out of range: %v", res.Utilization)
+			}
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if res := Simulate(Dynamic, 0, 4, nil); res.TasksRun != 0 {
+		t.Error("degenerate nCG should run nothing")
+	}
+	if res := Simulate(Dynamic, 4, 16, nil); res.TasksRun != 0 || res.Makespan != 0 {
+		t.Error("empty queues should be a no-op")
+	}
+	// One CG core with one FG core still works.
+	res := Simulate(Static, 1, 1, [][]Task{{{CG: 0, Compute: 1}}})
+	if res.Makespan != 1 || res.TasksRun != 1 {
+		t.Errorf("single task result = %+v", res)
+	}
+}

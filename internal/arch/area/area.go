@@ -1,0 +1,53 @@
+// Package area estimates die area at 90nm for the fine-grain core
+// design points, derived as in the paper (section 8.2.1) from published
+// die areas and photos: Intel Core Duo 2 for the desktop-class core,
+// IBM Cell SPE-class for the console core, and NVIDIA G80 for the
+// shader core, plus per-node mesh interconnect area from Polaris.
+package area
+
+import "github.com/parallax-arch/parallax/internal/arch/cpu"
+
+// Core areas in mm^2 at 90nm.
+const (
+	DesktopCoreMM2 = 45.2
+	ConsoleCoreMM2 = 20.4
+	ShaderCoreMM2  = 2.84
+	// MeshNodeMM2 is the per-node router + link area.
+	MeshNodeMM2 = 1.1
+	// L2MM2PerMB is the 90nm area of one 1MB 4-way bank.
+	L2MM2PerMB = 10.5
+	// CGCoreMM2 is the coarse-grain core (desktop-class plus L1s).
+	CGCoreMM2 = 46.5
+)
+
+// CoreMM2 returns the per-core area for a FG core config.
+func CoreMM2(cfg cpu.Config) float64 {
+	switch cfg.Name {
+	case "Desktop":
+		return DesktopCoreMM2
+	case "Console":
+		return ConsoleCoreMM2
+	case "Shader":
+		return ShaderCoreMM2
+	case "Limit":
+		// The limit-study core is unrealistic; scale quadratically with
+		// width from the desktop core for reporting purposes.
+		return DesktopCoreMM2 * 32
+	default:
+		return CGCoreMM2
+	}
+}
+
+// FGPoolMM2 returns the area of n FG cores of the given type including
+// their mesh interconnect.
+func FGPoolMM2(cfg cpu.Config, n int) float64 {
+	return float64(n) * (CoreMM2(cfg) + MeshNodeMM2)
+}
+
+// SystemMM2 returns the area of a full ParallAX configuration: CG cores,
+// the partitioned L2, and the FG pool.
+func SystemMM2(nCG int, l2MB int, fg cpu.Config, nFG int) float64 {
+	return float64(nCG)*(CGCoreMM2+MeshNodeMM2) +
+		float64(l2MB)*L2MM2PerMB +
+		FGPoolMM2(fg, nFG)
+}

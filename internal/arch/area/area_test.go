@@ -1,0 +1,63 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/arch/cpu"
+)
+
+func TestPaperAreaNumbers(t *testing.T) {
+	// Paper section 8.2.1: "The area estimates for 30 desktop, 43
+	// console, and 150 shader cores are 1388 mm2, 926 mm2, and 591 mm2
+	// respectively."
+	cases := []struct {
+		cfg  cpu.Config
+		n    int
+		want float64
+	}{
+		{cpu.Desktop, 30, 1388},
+		{cpu.Console, 43, 926},
+		{cpu.Shader, 150, 591},
+	}
+	for _, c := range cases {
+		got := FGPoolMM2(c.cfg, c.n)
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("%s x %d = %.0f mm2, want ~%.0f", c.cfg.Name, c.n, got, c.want)
+		}
+	}
+}
+
+func TestShaderMostAreaEfficient(t *testing.T) {
+	// The paper's conclusion: the simplest cores are the most
+	// area-efficient pool for the same performance target.
+	d := FGPoolMM2(cpu.Desktop, 30)
+	c := FGPoolMM2(cpu.Console, 43)
+	s := FGPoolMM2(cpu.Shader, 150)
+	if !(s < c && c < d) {
+		t.Errorf("area ordering wrong: desktop %v, console %v, shader %v", d, c, s)
+	}
+}
+
+func TestSystemArea(t *testing.T) {
+	total := SystemMM2(4, 12, cpu.Shader, 150)
+	parts := 4*(CGCoreMM2+MeshNodeMM2) + 12*L2MM2PerMB + FGPoolMM2(cpu.Shader, 150)
+	if total != parts {
+		t.Errorf("system area %v != %v", total, parts)
+	}
+	if total <= FGPoolMM2(cpu.Shader, 150) {
+		t.Error("system must cost more than the FG pool alone")
+	}
+}
+
+func TestCoreMM2Known(t *testing.T) {
+	if CoreMM2(cpu.Desktop) != DesktopCoreMM2 || CoreMM2(cpu.Shader) != ShaderCoreMM2 {
+		t.Error("core area lookup broken")
+	}
+	if CoreMM2(cpu.Limit) <= CoreMM2(cpu.Desktop) {
+		t.Error("limit core must be enormous")
+	}
+	if CoreMM2(cpu.CGCore) != CGCoreMM2 {
+		t.Error("CG core area lookup broken")
+	}
+}

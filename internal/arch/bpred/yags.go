@@ -1,0 +1,205 @@
+// Package bpred implements the YAGS branch predictor (Eden & Mudge)
+// plus a return-address stack, as configured throughout the paper: a
+// 17KB YAGS with a 64-entry RAS for the coarse-grain and desktop cores,
+// 1KB for GPU-shader cores, and 64KB for the limit-study core.
+package bpred
+
+// counter is a 2-bit saturating counter.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// cacheEntry is one tagged direction-cache entry.
+type cacheEntry struct {
+	tag   uint16
+	ctr   counter
+	valid bool
+}
+
+// YAGS predicts branch direction with a choice PHT plus two small
+// tagged caches holding the exceptions: the T-cache remembers
+// not-taken-biased branches that the choice says are taken, and vice
+// versa for the NT-cache.
+type YAGS struct {
+	choice []counter
+	tcache []cacheEntry
+	ncache []cacheEntry
+	// hist is the global history register.
+	hist uint64
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewYAGS builds a predictor of approximately sizeKB kilobytes: the
+// budget is split between the choice PHT (2 bits/entry) and the two
+// direction caches (2-bit counter + 8-bit tag each).
+func NewYAGS(sizeKB int) *YAGS {
+	if sizeKB < 1 {
+		sizeKB = 1
+	}
+	bits := sizeKB * 1024 * 8
+	// Half the bits to the choice PHT, a quarter to each cache.
+	choiceEntries := nextPow2(bits / 2 / 2)
+	cacheEntries := nextPow2(bits / 4 / 10)
+	return &YAGS{
+		choice: make([]counter, choiceEntries),
+		tcache: make([]cacheEntry, cacheEntries),
+		ncache: make([]cacheEntry, cacheEntries),
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	if p > n && p > 1 {
+		p >>= 1
+	}
+	if p < 16 {
+		p = 16
+	}
+	return p
+}
+
+func (y *YAGS) choiceIndex(pc uint64) int {
+	return int(pc>>2) & (len(y.choice) - 1)
+}
+
+func (y *YAGS) cacheIndex(pc uint64) int {
+	return int((pc>>2)^y.hist) & (len(y.tcache) - 1)
+}
+
+func tagOf(pc uint64) uint16 { return uint16(pc>>2) & 0xFF }
+
+// Predict returns the predicted direction for the branch at pc without
+// training or counting; pair it with Update, which does both.
+func (y *YAGS) Predict(pc uint64) bool {
+	return y.predictQuiet(pc)
+}
+
+// Update trains the predictor with the actual outcome, counts the
+// lookup, and records whether the prediction was wrong. It returns true
+// on mispredict.
+func (y *YAGS) Update(pc uint64, taken bool) bool {
+	y.Lookups++
+	pred := y.predictQuiet(pc)
+	mis := pred != taken
+	if mis {
+		y.Mispredicts++
+	}
+
+	ci := y.choiceIndex(pc)
+	bias := y.choice[ci].taken()
+	ii := y.cacheIndex(pc)
+	tag := tagOf(pc)
+	if bias {
+		e := &y.ncache[ii]
+		hit := e.valid && e.tag == tag
+		if hit {
+			e.ctr = e.ctr.update(taken)
+		} else if !taken {
+			// Allocate an exception entry.
+			*e = cacheEntry{tag: tag, ctr: 1, valid: true}
+		}
+		// The choice PHT trains unless the exception cache was correct
+		// while the choice was wrong (standard YAGS partial update).
+		if !(hit && e.ctr.taken() == taken && bias != taken) {
+			y.choice[ci] = y.choice[ci].update(taken)
+		}
+	} else {
+		e := &y.tcache[ii]
+		hit := e.valid && e.tag == tag
+		if hit {
+			e.ctr = e.ctr.update(taken)
+		} else if taken {
+			*e = cacheEntry{tag: tag, ctr: 2, valid: true}
+		}
+		if !(hit && e.ctr.taken() == taken && bias != taken) {
+			y.choice[ci] = y.choice[ci].update(taken)
+		}
+	}
+
+	y.hist = y.hist<<1 | b2u(taken)
+	return mis
+}
+
+func (y *YAGS) predictQuiet(pc uint64) bool {
+	ci := y.choiceIndex(pc)
+	bias := y.choice[ci].taken()
+	ii := y.cacheIndex(pc)
+	tag := tagOf(pc)
+	if bias {
+		if e := y.ncache[ii]; e.valid && e.tag == tag {
+			return e.ctr.taken()
+		}
+		return true
+	}
+	if e := y.tcache[ii]; e.valid && e.tag == tag {
+		return e.ctr.taken()
+	}
+	return false
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MispredictRate returns mispredicts / lookups over the predictor's
+// lifetime.
+func (y *YAGS) MispredictRate() float64 {
+	if y.Lookups == 0 {
+		return 0
+	}
+	return float64(y.Mispredicts) / float64(y.Lookups)
+}
+
+// RAS is a fixed-depth return address stack (64 entries in Table 5).
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+
+	Pushes, Pops, Misses uint64
+}
+
+// NewRAS builds a return-address stack of the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{stack: make([]uint64, depth), depth: depth}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top%r.depth] = addr
+	r.top++
+	r.Pushes++
+}
+
+// Pop predicts the target of a return; ok is false when the stack has
+// underflowed (a guaranteed mispredict).
+func (r *RAS) Pop() (uint64, bool) {
+	r.Pops++
+	if r.top == 0 {
+		r.Misses++
+		return 0, false
+	}
+	r.top--
+	return r.stack[r.top%r.depth], true
+}

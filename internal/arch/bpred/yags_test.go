@@ -1,0 +1,130 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	y := NewYAGS(17)
+	pc := uint64(0x4000)
+	for i := 0; i < 100; i++ {
+		y.Update(pc, true)
+	}
+	if !y.Predict(pc) {
+		t.Error("always-taken branch predicted not-taken after training")
+	}
+	// The tail mispredict rate must be ~0.
+	y.Mispredicts, y.Lookups = 0, 0
+	for i := 0; i < 1000; i++ {
+		y.Update(pc, true)
+	}
+	if y.MispredictRate() > 0.01 {
+		t.Errorf("trained always-taken mispredict rate = %v", y.MispredictRate())
+	}
+}
+
+func TestBiasedBranchLowMispredicts(t *testing.T) {
+	y := NewYAGS(17)
+	r := rand.New(rand.NewSource(7))
+	pc := uint64(0x1234)
+	for i := 0; i < 2000; i++ {
+		y.Update(pc, r.Float64() < 0.95)
+	}
+	y.Mispredicts, y.Lookups = 0, 0
+	for i := 0; i < 10000; i++ {
+		y.Update(pc, r.Float64() < 0.95)
+	}
+	if rate := y.MispredictRate(); rate > 0.10 {
+		t.Errorf("95%%-biased branch mispredict rate = %v, want <= 0.10", rate)
+	}
+}
+
+func TestRandomBranchHighMispredicts(t *testing.T) {
+	y := NewYAGS(17)
+	r := rand.New(rand.NewSource(8))
+	pc := uint64(0x5678)
+	for i := 0; i < 20000; i++ {
+		y.Update(pc, r.Float64() < 0.5)
+	}
+	if rate := y.MispredictRate(); rate < 0.30 {
+		t.Errorf("random branch mispredict rate = %v, want >= 0.30", rate)
+	}
+}
+
+func TestPatternLearnedViaHistory(t *testing.T) {
+	// A short repeating pattern (TTN TTN ...) should be learned through
+	// the history-indexed exception caches.
+	y := NewYAGS(17)
+	pattern := []bool{true, true, false}
+	for i := 0; i < 3000; i++ {
+		y.Update(0x9999, pattern[i%3])
+	}
+	y.Mispredicts, y.Lookups = 0, 0
+	for i := 0; i < 3000; i++ {
+		y.Update(0x9999, pattern[i%3])
+	}
+	if rate := y.MispredictRate(); rate > 0.15 {
+		t.Errorf("periodic pattern mispredict rate = %v, want <= 0.15", rate)
+	}
+}
+
+func TestBiggerPredictorNoWorse(t *testing.T) {
+	// Many branches with mixed biases: a 17KB predictor should not be
+	// (much) worse than a 1KB one under aliasing pressure.
+	run := func(kb int) float64 {
+		y := NewYAGS(kb)
+		r := rand.New(rand.NewSource(9))
+		biases := make([]float64, 512)
+		for i := range biases {
+			biases[i] = 0.1 + 0.8*r.Float64()
+		}
+		for i := 0; i < 200000; i++ {
+			b := r.Intn(len(biases))
+			pc := uint64(b * 4096)
+			y.Update(pc, r.Float64() < biases[b])
+		}
+		return y.MispredictRate()
+	}
+	small := run(1)
+	big := run(17)
+	if big > small+0.02 {
+		t.Errorf("17KB predictor (%v) worse than 1KB (%v)", big, small)
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(100)
+	r.Push(200)
+	if v, ok := r.Pop(); !ok || v != 200 {
+		t.Errorf("Pop = %v,%v", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 100 {
+		t.Errorf("Pop = %v,%v", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("underflow should report miss")
+	}
+	if r.Misses != 1 {
+		t.Errorf("misses = %d", r.Misses)
+	}
+	// Overflow wraps: deepest entries are lost, shallow ones survive.
+	for i := 0; i < 6; i++ {
+		r.Push(uint64(1000 + i))
+	}
+	if v, ok := r.Pop(); !ok || v != 1005 {
+		t.Errorf("after overflow Pop = %v,%v, want 1005", v, ok)
+	}
+}
+
+func TestSizesConstructable(t *testing.T) {
+	for _, kb := range []int{1, 17, 64} {
+		y := NewYAGS(kb)
+		if len(y.choice) == 0 || len(y.tcache) == 0 {
+			t.Errorf("%dKB predictor has empty tables", kb)
+		}
+		y.Update(0x10, true)
+		_ = y.Predict(0x10)
+	}
+}

@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 2, BlockBytes: 64, HitLatency: 1})
+	if c.Access(0, false, 0, -1) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0, false, 0, -1) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(63, false, 0, -1) {
+		t.Error("same block should hit")
+	}
+	if c.Access(64, false, 0, -1) {
+		t.Error("next block should miss")
+	}
+	st := c.Stats
+	if st.Hits != 2 || st.Misses != 2 || st.ColdMisses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache with 1 set: 2 blocks capacity.
+	c := New(Config{SizeBytes: 128, Ways: 2, BlockBytes: 64, HitLatency: 1})
+	c.Access(0, false, 0, -1)   // A
+	c.Access(64, false, 0, -1)  // B
+	c.Access(0, false, 0, -1)   // touch A (B is LRU)
+	c.Access(128, false, 0, -1) // C evicts B
+	if !c.Access(0, false, 0, -1) {
+		t.Error("A should still be resident")
+	}
+	if c.Access(64, false, 0, -1) {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestCapacityBehaviour(t *testing.T) {
+	// A working set that fits has ~zero steady-state misses; one that
+	// doesn't fit keeps missing.
+	c := New(Config{SizeBytes: 1 << 14, Ways: 4, BlockBytes: 64, HitLatency: 1})
+	sweep := func(blocks int) {
+		for i := 0; i < blocks; i++ {
+			c.Access(uint64(i*64), false, 0, -1)
+		}
+	}
+	fitBlocks := (1 << 14) / 64 / 2 // half capacity
+	sweep(fitBlocks)
+	c.ResetStats()
+	sweep(fitBlocks)
+	if c.Stats.Misses != 0 {
+		t.Errorf("fitting working set missed %d times in steady state", c.Stats.Misses)
+	}
+	c.Reset()
+	over := (1 << 14) / 64 * 4 // 4x capacity
+	sweep(over)
+	c.ResetStats()
+	sweep(over)
+	if c.Stats.MissRatio() < 0.9 {
+		t.Errorf("thrashing sweep should keep missing: ratio %v", c.Stats.MissRatio())
+	}
+}
+
+func TestPartitioningProtectsWays(t *testing.T) {
+	// Two partitions on a 4-way cache: partition 0 owns ways 0-1,
+	// partition 1 owns ways 2-3. Partition 1's flood must not evict
+	// partition 0's resident data.
+	c := New(Config{SizeBytes: 64 * 4 * 16, Ways: 4, BlockBytes: 64, HitLatency: 1})
+	c.Partition(0, []int{0, 1})
+	c.Partition(1, []int{2, 3})
+	// Fill partition 0 with a small set.
+	nsets := 16
+	for i := 0; i < nsets*2; i++ {
+		c.Access(uint64(i*64), false, 0, 0)
+	}
+	// Flood partition 1 with a huge stream.
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64((1<<20)+i*64), false, 0, 1)
+	}
+	// Partition 0's data must still be resident.
+	c.ResetStats()
+	for i := 0; i < nsets*2; i++ {
+		c.Access(uint64(i*64), false, 0, 0)
+	}
+	if c.Stats.Misses != 0 {
+		t.Errorf("partitioned data evicted by other partition: %d misses", c.Stats.Misses)
+	}
+}
+
+func TestNoPartitionSharedEviction(t *testing.T) {
+	// Control for the partition test: without partitioning the flood
+	// does evict.
+	c := New(Config{SizeBytes: 64 * 4 * 16, Ways: 4, BlockBytes: 64, HitLatency: 1})
+	nsets := 16
+	for i := 0; i < nsets*2; i++ {
+		c.Access(uint64(i*64), false, 0, -1)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64((1<<20)+i*64), false, 0, -1)
+	}
+	c.ResetStats()
+	for i := 0; i < nsets*2; i++ {
+		c.Access(uint64(i*64), false, 0, -1)
+	}
+	if c.Stats.Misses == 0 {
+		t.Error("unpartitioned flood failed to evict anything")
+	}
+}
+
+func TestCoherenceInvalidations(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 4, BlockBytes: 64, HitLatency: 1})
+	c.Access(0, false, 0, -1) // core 0 reads (E)
+	c.Access(0, false, 1, -1) // core 1 reads
+	c.Access(0, true, 1, -1)  // core 1 writes: E/S -> invalidation event
+	if c.Stats.Invalidations == 0 {
+		t.Error("no invalidation recorded on shared write")
+	}
+	// Dirty read by another core downgrades to owned, then a write by a
+	// third core invalidates again.
+	base := c.Stats.Invalidations
+	c.Access(0, false, 2, -1)
+	c.Access(0, true, 0, -1)
+	if c.Stats.Invalidations <= base {
+		t.Error("owned-line write did not count an invalidation")
+	}
+}
+
+func TestWritebacks(t *testing.T) {
+	// 1-set 1-way cache: every dirty eviction is a writeback.
+	c := New(Config{SizeBytes: 64, Ways: 1, BlockBytes: 64, HitLatency: 1})
+	c.Access(0, true, 0, -1)
+	c.Access(64, false, 0, -1) // evicts dirty block 0
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(2, 1)
+	// First touch: L1 miss + L2 miss -> 2 + 15 + 340.
+	if lat := h.Access(0, 0, false, -1); lat != 357 {
+		t.Errorf("cold access latency = %d, want 357", lat)
+	}
+	// Now in both: L1 hit -> 2.
+	if lat := h.Access(0, 0, false, -1); lat != 2 {
+		t.Errorf("L1 hit latency = %d, want 2", lat)
+	}
+	// Other core: L1 miss, L2 hit -> 2 + 15.
+	if lat := h.Access(1, 0, false, -1); lat != 17 {
+		t.Errorf("L2 hit latency = %d, want 17", lat)
+	}
+}
+
+func TestL2BankConfig(t *testing.T) {
+	cfg := L2BankMB(4)
+	if cfg.SizeBytes != 4<<20 || cfg.Banks != 4 || cfg.Ways != 4 {
+		t.Errorf("L2 config = %+v", cfg)
+	}
+	c := New(cfg)
+	if len(c.sets) != 4<<20/64/4 {
+		t.Errorf("set count = %d", len(c.sets))
+	}
+}
+
+func TestMissRatioMonotoneInSize(t *testing.T) {
+	// Property: for a random reference stream with reuse, a bigger cache
+	// never has (meaningfully) more misses.
+	r := rand.New(rand.NewSource(5))
+	addrs := make([]uint64, 20000)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<16)) * 64 // 4MB footprint, reuse-heavy
+	}
+	var prev uint64 = ^uint64(0)
+	for _, mb := range []int{1, 2, 4} {
+		c := New(L2BankMB(mb))
+		for _, a := range addrs {
+			c.Access(a, false, 0, -1)
+		}
+		if c.Stats.Misses > prev {
+			t.Errorf("%dMB cache missed more (%d) than smaller cache (%d)",
+				mb, c.Stats.Misses, prev)
+		}
+		prev = c.Stats.Misses
+	}
+}
+
+func TestResetClearsContents(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 2, BlockBytes: 64, HitLatency: 1})
+	c.Access(0, false, 0, -1)
+	c.Reset()
+	if c.Access(0, false, 0, -1) {
+		t.Error("access after Reset should miss")
+	}
+	if c.Stats.Misses != 1 || c.Stats.ColdMisses != 1 {
+		t.Errorf("stats after reset = %+v", c.Stats)
+	}
+}

@@ -1,0 +1,253 @@
+package cpu
+
+import (
+	"testing"
+)
+
+// chain builds n fully serial IntALU instructions.
+func chain(n int) []Instr {
+	t := make([]Instr, n)
+	for i := range t {
+		t[i] = Instr{Op: IntALU, PC: uint32(i * 4)}
+		if i > 0 {
+			t[i].Src1 = 1
+		}
+	}
+	return t
+}
+
+// independent builds n IntALU instructions with no dependencies.
+func independent(n int) []Instr {
+	t := make([]Instr, n)
+	for i := range t {
+		t[i] = Instr{Op: IntALU, PC: uint32(i * 4)}
+	}
+	return t
+}
+
+func TestSerialChainIPCNearOne(t *testing.T) {
+	r := New(Desktop).Run(chain(10000))
+	if ipc := r.IPC(); ipc > 1.05 || ipc < 0.8 {
+		t.Errorf("serial chain IPC = %v, want ~1", ipc)
+	}
+}
+
+func TestIndependentStreamLimitedByWidth(t *testing.T) {
+	r := New(Desktop).Run(independent(20000))
+	if ipc := r.IPC(); ipc < 3.2 {
+		t.Errorf("independent stream on 4-wide core: IPC = %v, want ~4", ipc)
+	}
+	r2 := New(Console).Run(independent(20000))
+	if ipc := r2.IPC(); ipc > 2.05 || ipc < 1.6 {
+		t.Errorf("independent stream on 2-wide core: IPC = %v, want ~2", ipc)
+	}
+	r3 := New(Shader).Run(independent(20000))
+	if ipc := r3.IPC(); ipc > 1.01 || ipc < 0.8 {
+		t.Errorf("independent stream on 1-wide core: IPC = %v, want ~1", ipc)
+	}
+}
+
+func TestFPUnitsConstrain(t *testing.T) {
+	// All-FP independent stream on Desktop (2 FP units): IPC ~2, not 4.
+	n := 20000
+	tr := make([]Instr, n)
+	for i := range tr {
+		tr[i] = Instr{Op: FPAdd, PC: uint32(i * 4)}
+	}
+	r := New(Desktop).Run(tr)
+	if ipc := r.IPC(); ipc > 2.05 || ipc < 1.6 {
+		t.Errorf("FP stream IPC = %v, want ~2 (2 FP units)", ipc)
+	}
+}
+
+func TestLatencyExposedOnDependentFP(t *testing.T) {
+	// Serial FPMul chain: IPC ~ 1/4 (4-cycle latency).
+	n := 8000
+	tr := make([]Instr, n)
+	for i := range tr {
+		tr[i] = Instr{Op: FPMul, PC: uint32(i * 4)}
+		if i > 0 {
+			tr[i].Src1 = 1
+		}
+	}
+	r := New(Desktop).Run(tr)
+	if ipc := r.IPC(); ipc > 0.30 || ipc < 0.20 {
+		t.Errorf("serial FPMul IPC = %v, want ~0.25", ipc)
+	}
+}
+
+func TestMispredictsSlowBranchyCode(t *testing.T) {
+	// Random branches every 8 instructions.
+	mk := func(rndTaken func(i int) bool) []Instr {
+		var tr []Instr
+		for i := 0; i < 30000; i++ {
+			if i%8 == 7 {
+				tr = append(tr, Instr{Op: Branch, PC: uint32((i % 512) * 4), Taken: rndTaken(i)})
+			} else {
+				tr = append(tr, Instr{Op: IntALU, PC: uint32(i * 4)})
+			}
+		}
+		return tr
+	}
+	biased := mk(func(i int) bool { return true })
+	// Pseudo-random but deterministic outcome pattern.
+	random := mk(func(i int) bool { return (i*2654435761)>>13&1 == 1 })
+
+	rb := New(Desktop).Run(biased)
+	rr := New(Desktop).Run(random)
+	if rb.IPC() <= rr.IPC() {
+		t.Errorf("biased branches (%v IPC) should beat random branches (%v IPC)",
+			rb.IPC(), rr.IPC())
+	}
+	if rr.Mispredicts == 0 {
+		t.Error("random branches should mispredict")
+	}
+}
+
+func TestPerfectBPHelps(t *testing.T) {
+	var tr []Instr
+	for i := 0; i < 30000; i++ {
+		if i%8 == 7 {
+			tr = append(tr, Instr{Op: Branch, PC: uint32((i % 512) * 4),
+				Taken: (i*2654435761)>>13&1 == 1})
+		} else {
+			tr = append(tr, Instr{Op: IntALU, PC: uint32(i * 4)})
+		}
+	}
+	real := New(Desktop)
+	ideal := New(Desktop)
+	ideal.PerfectBP = true
+	rIPC := real.Run(tr).IPC()
+	iIPC := ideal.Run(tr).IPC()
+	if iIPC <= rIPC*1.1 {
+		t.Errorf("perfect BP should clearly help branchy code: %v vs %v", iIPC, rIPC)
+	}
+}
+
+func TestWindowEnablesILPAcrossChains(t *testing.T) {
+	// Two interleaved serial chains: a 1-entry-window core cannot look
+	// past the stalled head; a wide-window core overlaps the chains.
+	n := 10000
+	tr := make([]Instr, n)
+	for i := range tr {
+		tr[i] = Instr{Op: FPAdd, PC: uint32(i * 4)}
+		if i >= 2 {
+			tr[i].Src1 = 2 // depend on same-parity predecessor
+		}
+	}
+	wide := New(Desktop).Run(tr).IPC()
+	narrow := New(Shader).Run(tr).IPC()
+	if wide <= narrow {
+		t.Errorf("window should exploit interleaved chains: desktop %v vs shader %v",
+			wide, narrow)
+	}
+}
+
+func TestLimitCoreExtractsMassiveILP(t *testing.T) {
+	// 64 interleaved chains: limit core should get far more ILP than
+	// desktop.
+	n := 40000
+	tr := make([]Instr, n)
+	for i := range tr {
+		tr[i] = Instr{Op: FPAdd, PC: uint32(i * 4)}
+		if i >= 64 {
+			tr[i].Src1 = 64
+		}
+	}
+	lim := New(Limit).Run(tr).IPC()
+	desk := New(Desktop).Run(tr).IPC()
+	if lim < desk*2 {
+		t.Errorf("limit core IPC %v should dwarf desktop %v", lim, desk)
+	}
+}
+
+func TestCallReturnUseRAS(t *testing.T) {
+	var tr []Instr
+	for i := 0; i < 1000; i++ {
+		site := uint32(i%16) * 64 // 16 hot call sites, repeatedly visited
+		tr = append(tr, Instr{Op: Call, PC: site, Taken: true})
+		tr = append(tr, Instr{Op: IntALU})
+		tr = append(tr, Instr{Op: Ret, PC: site + 8, Taken: true})
+		tr = append(tr, Instr{Op: IntALU})
+	}
+	r := New(Desktop).Run(tr)
+	// Balanced call/return: the RAS should make returns nearly free.
+	if float64(r.Mispredicts)/float64(r.Branches) > 0.1 {
+		t.Errorf("balanced call/ret mispredict ratio = %v",
+			float64(r.Mispredicts)/float64(r.Branches))
+	}
+}
+
+func TestAllConfigsTerminate(t *testing.T) {
+	tr := chain(2000)
+	for _, cfg := range append(FGConfigs, CGCore) {
+		r := New(cfg).Run(tr)
+		if r.Instructions != 2000 || r.Cycles == 0 {
+			t.Errorf("%s: result %+v", cfg.Name, r)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r := New(Desktop).Run(nil)
+	if r.Cycles != 0 || r.Instructions != 0 {
+		t.Errorf("empty trace: %+v", r)
+	}
+}
+
+func TestROBLimitsInflight(t *testing.T) {
+	// A long-latency head (FPSqrt chain) with many independent followers:
+	// a tiny ROB throttles how much independent work proceeds past it.
+	n := 8000
+	tr := make([]Instr, n)
+	for i := range tr {
+		if i%64 == 0 {
+			tr[i] = Instr{Op: FPSqrt, PC: uint32(i * 4)}
+			if i > 0 {
+				tr[i].Src1 = 64 // sqrt chain
+			}
+		} else {
+			tr[i] = Instr{Op: IntALU, PC: uint32(i * 4)}
+		}
+	}
+	big := Desktop
+	big.ROB = 512
+	big.Window = 128
+	small := Desktop
+	small.ROB = 16
+	small.Window = 128
+	if bi, si := New(big).Run(tr).IPC(), New(small).Run(tr).IPC(); bi <= si {
+		t.Errorf("bigger ROB should help latency hiding: %v vs %v", bi, si)
+	}
+}
+
+func TestSafetyValveOnDegenerateConfig(t *testing.T) {
+	// Zero-unit configs must not hang the simulator.
+	cfg := Desktop
+	cfg.IntUnits, cfg.FPUnits, cfg.MemUnits = 0, 0, 0
+	r := New(cfg).Run(chain(100))
+	if r.Cycles == 0 {
+		t.Error("degenerate config produced no cycles")
+	}
+}
+
+func TestMixedFUPressure(t *testing.T) {
+	// Alternating int and FP work uses both pipes: IPC beats an all-FP
+	// stream on a machine with more int units than FP units.
+	n := 20000
+	mixed := make([]Instr, n)
+	fpOnly := make([]Instr, n)
+	for i := range mixed {
+		if i%2 == 0 {
+			mixed[i] = Instr{Op: IntALU, PC: uint32(i * 4)}
+		} else {
+			mixed[i] = Instr{Op: FPAdd, PC: uint32(i * 4)}
+		}
+		fpOnly[i] = Instr{Op: FPAdd, PC: uint32(i * 4)}
+	}
+	mi := New(Desktop).Run(mixed).IPC()
+	fi := New(Desktop).Run(fpOnly).IPC()
+	if mi <= fi {
+		t.Errorf("mixed stream IPC %v should beat FP-only %v on a 4int/2fp core", mi, fi)
+	}
+}

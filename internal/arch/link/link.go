@@ -1,0 +1,89 @@
+// Package link models the off-chip interconnects evaluated for CG-to-FG
+// communication (paper sections 5.1, 7.2, 8.2.2): PCI Express, the
+// system interconnect used by GPUs and PhysX (4 GB/s half duplex), and
+// HyperTransport (HTX), the coprocessor interconnect used by AMD
+// (20.8 GB/s half duplex). The on-chip mesh is exposed through the same
+// interface for side-by-side comparison.
+package link
+
+// Kind selects an interconnect class.
+type Kind int
+
+// The three interconnect classes compared in Table 7.
+const (
+	OnChip Kind = iota
+	HTX
+	PCIe
+)
+
+var kindNames = [...]string{"On-chip", "HTX", "PCIe"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Config describes one interconnect.
+type Config struct {
+	Kind Kind
+	// BandwidthBytes is the half-duplex bandwidth in bytes/second.
+	BandwidthBytes float64
+	// BaseLatency is the one-way transfer initiation latency in seconds
+	// (protocol + PHY + controller).
+	BaseLatency float64
+	// PerPacketOverheadBytes models header/CRC framing per transfer.
+	PerPacketOverheadBytes int
+}
+
+// Configs returns the evaluated interconnect, with the on-chip mesh
+// represented by avg-hop latency over a mesh of the given node count.
+func For(k Kind) Config {
+	// Base latencies include the software dispatch cost visible to a
+	// task round trip (control packet assembly, data packing on the CG
+	// core, arbiter handshake) on top of the raw wire/protocol latency.
+	switch k {
+	case HTX:
+		// 20.8 GB/s half duplex; coprocessor-attach transaction ~400 ns.
+		return Config{Kind: HTX, BandwidthBytes: 20.8e9, BaseLatency: 400e-9, PerPacketOverheadBytes: 16}
+	case PCIe:
+		// 4 GB/s half duplex; system-bus transaction ~2.2 us one way.
+		return Config{Kind: PCIe, BandwidthBytes: 4e9, BaseLatency: 2.2e-6, PerPacketOverheadBytes: 24}
+	default:
+		// On-chip mesh: ~12 hops x 6 cycles at 2GHz plus dispatch
+		// software ~ 120 ns; 7B payload per flit per cycle ~ 14 GB/s.
+		return Config{Kind: OnChip, BandwidthBytes: 14e9, BaseLatency: 120e-9, PerPacketOverheadBytes: 1}
+	}
+}
+
+// TransferTime returns the one-way time to move payloadBytes.
+func (c Config) TransferTime(payloadBytes int) float64 {
+	total := float64(payloadBytes + c.PerPacketOverheadBytes)
+	return c.BaseLatency + total/c.BandwidthBytes
+}
+
+// RoundTrip returns the request/response time for a task dispatch
+// carrying inBytes out and outBytes back.
+func (c Config) RoundTrip(inBytes, outBytes int) float64 {
+	return c.TransferTime(inBytes) + c.TransferTime(outBytes)
+}
+
+// TasksToHide returns how many buffered tasks one FG core needs so that
+// task communication (delivery of the next task's data) fully overlaps
+// with computation: the ceiling of communication time per task over
+// compute time per task, and at least 1.
+//
+// This is the quantity Table 7 reports (multiplied by the number of FG
+// cores in the pool).
+func (c Config) TasksToHide(taskComputeSec float64, inBytes, outBytes int) int {
+	if taskComputeSec <= 0 {
+		return 1
+	}
+	comm := c.RoundTrip(inBytes, outBytes)
+	n := int(comm/taskComputeSec) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BufferBytes returns the local-store bytes needed to hold n buffered
+// tasks' inputs (the paper finds 2KB of local storage suffices in all
+// cases for the minimum buffering).
+func BufferBytes(n, inBytes int) int { return n * inBytes }

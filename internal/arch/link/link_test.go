@@ -1,0 +1,70 @@
+package link
+
+import "testing"
+
+func TestOrdering(t *testing.T) {
+	// Latency and inverse bandwidth both order on-chip < HTX < PCIe.
+	on, htx, pcie := For(OnChip), For(HTX), For(PCIe)
+	if !(on.BaseLatency < htx.BaseLatency && htx.BaseLatency < pcie.BaseLatency) {
+		t.Error("base latency ordering wrong")
+	}
+	if !(pcie.BandwidthBytes < htx.BandwidthBytes) {
+		t.Error("PCIe should have less bandwidth than HTX")
+	}
+	// Transfer of an island task's data (604B in, 128B out).
+	tOn := on.RoundTrip(604, 128)
+	tHTX := htx.RoundTrip(604, 128)
+	tPCIe := pcie.RoundTrip(604, 128)
+	if !(tOn < tHTX && tHTX < tPCIe) {
+		t.Errorf("round trips not ordered: %v %v %v", tOn, tHTX, tPCIe)
+	}
+}
+
+func TestBandwidthNumbers(t *testing.T) {
+	if For(HTX).BandwidthBytes != 20.8e9 {
+		t.Error("HTX bandwidth must be 20.8 GB/s (paper)")
+	}
+	if For(PCIe).BandwidthBytes != 4e9 {
+		t.Error("PCIe bandwidth must be 4 GB/s (paper)")
+	}
+}
+
+func TestTasksToHideShape(t *testing.T) {
+	// An island row task computes for ~60ns (177 instrs at ~1.5 IPC,
+	// 2GHz). The buffering needed to hide latency must grow sharply from
+	// on-chip to PCIe (Table 7's shape).
+	const taskSec = 60e-9
+	nOn := For(OnChip).TasksToHide(taskSec, 604, 128)
+	nHTX := For(HTX).TasksToHide(taskSec, 604, 128)
+	nPCIe := For(PCIe).TasksToHide(taskSec, 604, 128)
+	if !(nOn < nHTX && nHTX < nPCIe) {
+		t.Fatalf("tasks to hide not ordered: %d %d %d", nOn, nHTX, nPCIe)
+	}
+	if nPCIe < 10*nOn {
+		t.Errorf("PCIe buffering (%d) should dwarf on-chip (%d)", nPCIe, nOn)
+	}
+	// A long narrow-phase task (~3us) hides on-chip latency with a
+	// couple of buffered tasks.
+	if n := For(OnChip).TasksToHide(3e-6, 1668, 100); n > 2 {
+		t.Errorf("narrowphase on-chip buffering = %d, want <= 2", n)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if n := For(OnChip).TasksToHide(0, 100, 100); n != 1 {
+		t.Errorf("zero compute time should clamp to 1, got %d", n)
+	}
+	if BufferBytes(3, 700) != 2100 {
+		t.Error("BufferBytes arithmetic")
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	c := For(PCIe)
+	if c.TransferTime(100) >= c.TransferTime(10000) {
+		t.Error("larger payloads must take longer")
+	}
+	if c.TransferTime(0) < c.BaseLatency {
+		t.Error("transfer cannot beat base latency")
+	}
+}

@@ -1,0 +1,120 @@
+// Package noc models the on-chip 2D mesh interconnect used between
+// cores and cache banks (paper section 5.1, from Polaris 90nm data): a
+// 1-cycle per-hop wire delay, a 5-cycle router pipeline at 2GHz, 64-bit
+// flits with an 8-bit packet header (56-bit payload per flit), and four
+// virtual channels.
+package noc
+
+import "math"
+
+// Config describes the mesh.
+type Config struct {
+	// Width and Height give the node grid.
+	Width, Height int
+	// HopCycles is the per-hop wire latency (1 in the paper).
+	HopCycles int
+	// RouterCycles is the router pipeline depth (5 in the paper).
+	RouterCycles int
+	// FlitBits is the link width (64); HeaderBits is per-packet header
+	// overhead (8), leaving PayloadBits per flit.
+	FlitBits   int
+	HeaderBits int
+	// VCs is the number of virtual channels (4).
+	VCs int
+	// ClockGHz converts cycles to time.
+	ClockGHz float64
+}
+
+// Default returns the paper's mesh parameters for an n-node layout,
+// arranged as close to square as possible.
+func Default(nodes int) Config {
+	w := int(math.Ceil(math.Sqrt(float64(nodes))))
+	h := (nodes + w - 1) / w
+	return Config{
+		Width: w, Height: h,
+		HopCycles: 1, RouterCycles: 5,
+		FlitBits: 64, HeaderBits: 8, VCs: 4,
+		ClockGHz: 2,
+	}
+}
+
+// Node is a grid coordinate.
+type Node struct{ X, Y int }
+
+// NodeAt maps a linear index to its grid position (row-major).
+func (c Config) NodeAt(i int) Node {
+	return Node{X: i % c.Width, Y: i / c.Width}
+}
+
+// Hops returns the XY-routing hop count between two nodes.
+func (c Config) Hops(a, b Node) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// MaxHops returns the mesh diameter.
+func (c Config) MaxHops() int { return c.Width - 1 + c.Height - 1 }
+
+// AvgHops returns the average XY distance between distinct nodes.
+func (c Config) AvgHops() float64 {
+	n := c.Width * c.Height
+	if n <= 1 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				total += c.Hops(c.NodeAt(i), c.NodeAt(j))
+			}
+		}
+	}
+	return float64(total) / float64(n*(n-1))
+}
+
+// FlitsFor returns the number of flits needed to carry a payload.
+func (c Config) FlitsFor(payloadBytes int) int {
+	payloadPerFlit := c.FlitBits - c.HeaderBits
+	bits := payloadBytes * 8
+	f := (bits + payloadPerFlit - 1) / payloadPerFlit
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// LatencyCycles returns the head latency plus serialization for a
+// payload over the given hop count.
+func (c Config) LatencyCycles(hops, payloadBytes int) int {
+	head := hops*(c.HopCycles+c.RouterCycles) + c.RouterCycles
+	return head + c.FlitsFor(payloadBytes) - 1
+}
+
+// LatencySeconds converts LatencyCycles to time.
+func (c Config) LatencySeconds(hops, payloadBytes int) float64 {
+	return float64(c.LatencyCycles(hops, payloadBytes)) / (c.ClockGHz * 1e9)
+}
+
+// LinkBandwidth returns one link's bandwidth in bytes/second (payload
+// bits per cycle x clock).
+func (c Config) LinkBandwidth() float64 {
+	return float64(c.FlitBits-c.HeaderBits) / 8 * c.ClockGHz * 1e9
+}
+
+// BisectionBandwidth returns the mesh bisection bandwidth in bytes/s:
+// min(width, height) links across the cut, times VCs' utilization is
+// ignored (peak).
+func (c Config) BisectionBandwidth() float64 {
+	cut := c.Width
+	if c.Height < cut {
+		cut = c.Height
+	}
+	return float64(cut) * c.LinkBandwidth()
+}

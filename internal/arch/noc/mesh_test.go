@@ -1,0 +1,92 @@
+package noc
+
+import "testing"
+
+func TestDefaultGrid(t *testing.T) {
+	c := Default(16)
+	if c.Width != 4 || c.Height != 4 {
+		t.Errorf("16 nodes -> %dx%d, want 4x4", c.Width, c.Height)
+	}
+	c = Default(30)
+	if c.Width*c.Height < 30 {
+		t.Errorf("grid %dx%d too small for 30 nodes", c.Width, c.Height)
+	}
+}
+
+func TestHops(t *testing.T) {
+	c := Default(16)
+	if h := c.Hops(Node{0, 0}, Node{3, 3}); h != 6 {
+		t.Errorf("corner-to-corner hops = %d, want 6", h)
+	}
+	if h := c.Hops(Node{2, 1}, Node{2, 1}); h != 0 {
+		t.Errorf("self hops = %d", h)
+	}
+	if c.MaxHops() != 6 {
+		t.Errorf("diameter = %d", c.MaxHops())
+	}
+}
+
+func TestAvgHopsBounds(t *testing.T) {
+	c := Default(16)
+	avg := c.AvgHops()
+	if avg <= 0 || avg > float64(c.MaxHops()) {
+		t.Errorf("avg hops = %v out of range", avg)
+	}
+	// 4x4 mesh average distance is 8/3.
+	if avg < 2.5 || avg > 2.8 {
+		t.Errorf("4x4 avg hops = %v, want ~2.67", avg)
+	}
+}
+
+func TestFlits(t *testing.T) {
+	c := Default(16)
+	// 56 payload bits per flit = 7 bytes.
+	if f := c.FlitsFor(7); f != 1 {
+		t.Errorf("7B -> %d flits, want 1", f)
+	}
+	if f := c.FlitsFor(8); f != 2 {
+		t.Errorf("8B -> %d flits, want 2", f)
+	}
+	if f := c.FlitsFor(0); f != 1 {
+		t.Errorf("0B -> %d flits, want 1 (header)", f)
+	}
+	if f := c.FlitsFor(604); f != 87 {
+		t.Errorf("604B -> %d flits, want 87", f)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	c := Default(16)
+	// 1 hop, 1 flit: 1*(1+5) + 5 = 11 cycles.
+	if l := c.LatencyCycles(1, 7); l != 11 {
+		t.Errorf("1-hop small packet = %d cycles, want 11", l)
+	}
+	// Serialization adds flits-1 cycles.
+	if l := c.LatencyCycles(1, 70); l != 11+9 {
+		t.Errorf("1-hop 70B packet = %d cycles, want 20", l)
+	}
+	// Seconds conversion at 2GHz.
+	if s := c.LatencySeconds(1, 7); s != 11/2e9 {
+		t.Errorf("latency seconds = %v", s)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	c := Default(16)
+	if bw := c.LinkBandwidth(); bw != 14e9 {
+		t.Errorf("link bandwidth = %v, want 14GB/s", bw)
+	}
+	if bb := c.BisectionBandwidth(); bb != 4*14e9 {
+		t.Errorf("bisection = %v", bb)
+	}
+}
+
+func TestNodeAtRoundTrip(t *testing.T) {
+	c := Default(12)
+	for i := 0; i < 12; i++ {
+		n := c.NodeAt(i)
+		if n.Y*c.Width+n.X != i {
+			t.Errorf("NodeAt(%d) = %+v does not invert", i, n)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package os
+
+import "testing"
+
+func TestPerThreadBytes(t *testing.T) {
+	if PerThreadBytes(1) != 850<<10 || PerThreadBytes(4) != 850<<10 {
+		t.Error("1-4 threads must use 850KB per thread (measured)")
+	}
+	if PerThreadBytes(8) != 5<<20 || PerThreadBytes(16) != 5<<20 {
+		t.Error(">= 8 threads must use 5MB per thread (measured)")
+	}
+	mid := PerThreadBytes(6)
+	if mid <= 850<<10 || mid >= 5<<20 {
+		t.Errorf("6 threads = %d, want between 850KB and 5MB", mid)
+	}
+}
+
+func TestKernelStreamVolume(t *testing.T) {
+	count := func(threads int) int {
+		n := 0
+		KernelStream(threads, func(t int) uint64 { return uint64(t) << 24 }, func(uint64, bool) { n++ })
+		return n
+	}
+	c4 := count(4)
+	c8 := count(8)
+	// 8 threads touch far more kernel memory than 4 (the 5x L2 miss
+	// blow-up's source): 2x threads x ~6x footprint.
+	if c8 < 8*c4 {
+		t.Errorf("8-thread kernel stream (%d refs) should be >= 8x the 4-thread one (%d)", c8, c4)
+	}
+}
+
+func TestKernelStreamAddressesDisjoint(t *testing.T) {
+	seen := map[int]map[uint64]bool{}
+	base := func(t int) uint64 { return uint64(t+1) << 32 }
+	for _, th := range []int{2} {
+		perThread := map[uint64]int{}
+		KernelStream(th, base, func(a uint64, w bool) {
+			perThread[a>>32]++
+		})
+		if len(perThread) != th {
+			t.Errorf("expected %d disjoint regions, got %d", th, len(perThread))
+		}
+	}
+	_ = seen
+}

@@ -1,0 +1,167 @@
+// Package parallax assembles the full ParallAX system model (paper
+// sections 7-8): coarse-grain cores with an application-aware
+// partitioned L2 execute the serial and coarse-grain-parallel phases of
+// the physics pipeline, while a pool of fine-grain cores — flexibly
+// arbitrated among the CG cores and connected on-chip or over
+// HTX/PCIe — executes the fine-grain kernels. The model is trace-driven:
+// the real Go physics engine runs each benchmark and the captured
+// per-step profiles (work counters, pair lists, island structure) drive
+// instruction-count, cache, core-timing and interconnect models.
+package parallax
+
+import (
+	"sort"
+
+	"github.com/parallax-arch/parallax/internal/arch/cpu"
+	"github.com/parallax-arch/parallax/internal/arch/kernels"
+	"github.com/parallax-arch/parallax/internal/arch/mem"
+	"github.com/parallax-arch/parallax/internal/phys/world"
+)
+
+// Workload is one captured benchmark: the simulated world (for memory
+// layout) plus the worst measured frame's step profiles (paper section
+// 5: frames 5-7 are executed and the worst-case frame is chosen, after
+// warm-up).
+type Workload struct {
+	Name   string
+	World  *world.World
+	Frame  world.FrameProfile
+	Layout *mem.Layout
+
+	ipcCache map[string][kernels.NumAllKernels]float64
+}
+
+// Capture runs the benchmark world for warmFrames unrecorded frames,
+// then measureFrames recorded frames, keeping the worst (most
+// instructions) as the representative frame.
+func Capture(name string, w *world.World, warmFrames, measureFrames int) *Workload {
+	for i := 0; i < warmFrames; i++ {
+		w.StepFrame()
+	}
+	w.RecordDetail = true
+	var worst world.FrameProfile
+	worstInstr := -1.0
+	for i := 0; i < measureFrames; i++ {
+		f := w.StepFrame()
+		t := 0.0
+		for si := range f.Steps {
+			t += kernels.DefaultCost.InstrCounts(&f.Steps[si]).Total()
+		}
+		if t > worstInstr {
+			worstInstr = t
+			worst = f
+		}
+	}
+	return &Workload{
+		Name:   name,
+		World:  w,
+		Frame:  worst,
+		Layout: mem.NewLayout(w),
+	}
+}
+
+// FrameInstr returns the frame's per-phase dynamic instruction counts.
+func (wl *Workload) FrameInstr() kernels.PhaseInstr {
+	return kernels.DefaultCost.FrameInstr(&wl.Frame)
+}
+
+// KernelIPC returns (and caches) each kernel's IPC on the given core
+// configuration — the three FG kernels plus the two serial-phase code
+// models — measured by running synthetic kernel traces through the cpu
+// timing model.
+func (wl *Workload) KernelIPC(cfg cpu.Config) [kernels.NumAllKernels]float64 {
+	if wl.ipcCache == nil {
+		wl.ipcCache = make(map[string][kernels.NumAllKernels]float64)
+	}
+	if v, ok := wl.ipcCache[cfg.Name]; ok {
+		return v
+	}
+	var out [kernels.NumAllKernels]float64
+	for _, k := range []kernels.Kernel{
+		kernels.Narrow, kernels.Island, kernels.Cloth,
+		kernels.Broad, kernels.IslandGen,
+	} {
+		out[k] = cpu.New(cfg).Run(k.Trace(300, int64(k)+11)).IPC()
+	}
+	wl.ipcCache[cfg.Name] = out
+	return out
+}
+
+// PhaseKernel maps an engine phase to the kernel that models its code:
+// the FG kernels for the parallel phases, the sweep/union-find models
+// for the serial ones.
+func PhaseKernel(ph world.Phase) kernels.Kernel {
+	switch ph {
+	case world.PhaseIslandProc:
+		return kernels.Island
+	case world.PhaseCloth:
+		return kernels.Cloth
+	case world.PhaseBroad:
+		return kernels.Broad
+	case world.PhaseIslandGen:
+		return kernels.IslandGen
+	default:
+		return kernels.Narrow
+	}
+}
+
+// AvailableFGTasks returns the frame's average per-step fine-grain task
+// counts: object-pairs (Narrowphase), summed island DOFs (Island
+// Processing) and cloth vertices (Cloth) — the data behind Fig 11.
+func (wl *Workload) AvailableFGTasks() (pairs, islandDOF, clothVerts float64) {
+	n := float64(len(wl.Frame.Steps))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	for i := range wl.Frame.Steps {
+		s := &wl.Frame.Steps[i]
+		pairs += float64(s.Pairs)
+		for _, is := range s.Islands {
+			islandDOF += float64(is.DOF)
+		}
+		for _, v := range s.ClothVerts {
+			clothVerts += float64(v)
+		}
+	}
+	return pairs / n, islandDOF / n, clothVerts / n
+}
+
+// LargestIslandDOF returns the frame's maximum island size in DOF — the
+// bound on coarse-grain scaling of Island Processing.
+func (wl *Workload) LargestIslandDOF() int {
+	m := 0
+	for i := range wl.Frame.Steps {
+		for _, is := range wl.Frame.Steps[i].Islands {
+			if is.DOF > m {
+				m = is.DOF
+			}
+		}
+	}
+	return m
+}
+
+// LargestClothVerts returns the biggest cloth's vertex count.
+func (wl *Workload) LargestClothVerts() int {
+	m := 0
+	for i := range wl.Frame.Steps {
+		for _, v := range wl.Frame.Steps[i].ClothVerts {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// IslandDOFsSorted returns all per-step island DOF counts, descending,
+// for the filtering analysis of section 8.2.2.
+func (wl *Workload) IslandDOFsSorted() []int {
+	var out []int
+	for i := range wl.Frame.Steps {
+		for _, is := range wl.Frame.Steps[i].Islands {
+			out = append(out, is.DOF)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

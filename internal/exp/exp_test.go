@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallSuite shares one scaled-down capture across the package's tests.
+var smallSuite *Suite
+
+func suiteForTest(t *testing.T) *Suite {
+	t.Helper()
+	if smallSuite == nil {
+		smallSuite = NewSuite(0.15)
+	}
+	return smallSuite
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table3", "table4", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a",
+		"fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
+		"fig9a", "fig9b", "fig10a", "fig10b", "table7", "fig11",
+		"sec721", "sec822", "sec83",
+		"ext-prefetch", "ext-sharedmem",
+		"abl-partition", "abl-broadphase", "abl-iterations", "abl-warmstart",
+		"ref-system",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, ok := ByID("fig10b"); !ok {
+		t.Error("ByID broken")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("ByID found nonsense")
+	}
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	s := suiteForTest(t)
+	for _, e := range Registry {
+		var buf bytes.Buffer
+		e.Run(s, &buf)
+		out := buf.String()
+		if len(out) < 40 {
+			t.Errorf("%s produced almost no output: %q", e.ID, out)
+		}
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Errorf("%s output contains NaN/Inf:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestFig2aEveryBenchmarkListed(t *testing.T) {
+	s := suiteForTest(t)
+	var buf bytes.Buffer
+	s.Fig2a(&buf)
+	for _, n := range Names() {
+		if !strings.Contains(buf.String(), n) {
+			t.Errorf("fig2a missing benchmark %s", n)
+		}
+	}
+}
+
+func TestFig10aShowsAllCores(t *testing.T) {
+	s := suiteForTest(t)
+	var buf bytes.Buffer
+	s.Fig10a(&buf)
+	for _, name := range []string{"Desktop", "Console", "Shader", "Limit"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("fig10a missing %s:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestTable7ShowsInterconnects(t *testing.T) {
+	s := suiteForTest(t)
+	var buf bytes.Buffer
+	s.Table7(&buf)
+	for _, name := range []string{"On-chip", "HTX", "PCIe"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("table7 missing %s", name)
+		}
+	}
+}
+
+func TestNewSuiteOf(t *testing.T) {
+	s := NewSuiteOf(0.1, "Periodic", "Ragdoll")
+	if len(s.Workloads) != 2 {
+		t.Fatalf("suite of 2 has %d workloads", len(s.Workloads))
+	}
+	if s.byName("Periodic").Name != "Periodic" {
+		t.Error("byName broken")
+	}
+	// Unknown benchmark falls back to the last workload rather than nil.
+	if s.byName("Missing") == nil {
+		t.Error("byName should fall back, not return nil")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := suiteForTest(t)
+	var buf bytes.Buffer
+	s.RunAll(&buf)
+	for _, e := range Registry {
+		if !strings.Contains(buf.String(), "==== "+e.ID) {
+			t.Errorf("RunAll missing %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package exp reproduces every table and figure of the paper's
+// evaluation. Each experiment captures the benchmark workloads once
+// (running the real physics engine), drives the architecture models,
+// and prints the same rows/series the paper reports.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/parallax-arch/parallax/internal/arch/parallax"
+	"github.com/parallax-arch/parallax/internal/phys/workload"
+)
+
+// Suite holds the captured workloads for all eight benchmarks.
+type Suite struct {
+	// Scale is the workload scale factor (1.0 = the paper's scene
+	// sizes).
+	Scale float64
+	// Workloads in the paper's benchmark order.
+	Workloads []*parallax.Workload
+
+	cgCache map[string]parallax.CGResult
+}
+
+// Names lists the benchmarks in paper order.
+func Names() []string {
+	var out []string
+	for _, b := range workload.All {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// NewSuite builds and captures every benchmark at the given scale,
+// warming one frame and measuring three (the paper measures frames 5-7;
+// the scenes here are arranged so peak activity falls in the measured
+// window).
+func NewSuite(scale float64) *Suite {
+	s := &Suite{Scale: scale, cgCache: make(map[string]parallax.CGResult)}
+	for _, b := range workload.All {
+		w := b.Build(scale)
+		s.Workloads = append(s.Workloads, parallax.Capture(b.Name, w, 1, 3))
+	}
+	return s
+}
+
+// NewSuiteOf captures only the named benchmarks (used by focused
+// experiments and tests).
+func NewSuiteOf(scale float64, names ...string) *Suite {
+	s := &Suite{Scale: scale, cgCache: make(map[string]parallax.CGResult)}
+	for _, n := range names {
+		b, ok := workload.ByName(n)
+		if !ok {
+			continue
+		}
+		s.Workloads = append(s.Workloads, parallax.Capture(b.Name, b.Build(scale), 1, 3))
+	}
+	return s
+}
+
+// byName finds a captured workload.
+func (s *Suite) byName(name string) *parallax.Workload {
+	for _, wl := range s.Workloads {
+		if wl.Name == name {
+			return wl
+		}
+	}
+	if len(s.Workloads) > 0 {
+		return s.Workloads[len(s.Workloads)-1]
+	}
+	return nil
+}
+
+// cgOnly memoizes CG-machine evaluations, which several figures share.
+func (s *Suite) cgOnly(wl *parallax.Workload, cores, l2MB int, part bool) parallax.CGResult {
+	key := fmt.Sprintf("%s/%d/%d/%v", wl.Name, cores, l2MB, part)
+	if r, ok := s.cgCache[key]; ok {
+		return r
+	}
+	r := wl.CGOnly(cores, l2MB, part)
+	s.cgCache[key] = r
+	return r
+}
+
+// Experiment is one runnable table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s *Suite, w io.Writer)
+}
+
+// Registry lists all experiments in paper order.
+var Registry = []Experiment{
+	{"table3", "Table 3: average instructions per frame", (*Suite).Table3},
+	{"table4", "Table 4: benchmark specs", (*Suite).Table4},
+	{"fig2a", "Fig 2a: 1-core + 1MB L2 execution-time breakdown", (*Suite).Fig2a},
+	{"fig2b", "Fig 2b: serial phases vs shared L2 size", (*Suite).Fig2b},
+	{"fig3a", "Fig 3a: Broadphase with dedicated L2", (*Suite).Fig3a},
+	{"fig3b", "Fig 3b: Narrowphase with dedicated L2", (*Suite).Fig3b},
+	{"fig4a", "Fig 4a: Island Creation with dedicated L2", (*Suite).Fig4a},
+	{"fig4b", "Fig 4b: Island Processing with dedicated L2", (*Suite).Fig4b},
+	{"fig5a", "Fig 5a: Cloth with dedicated L2", (*Suite).Fig5a},
+	{"fig5b", "Fig 5b: performance with processor scaling", (*Suite).Fig5b},
+	{"fig6a", "Fig 6a: 4-core + 12MB execution-time breakdown", (*Suite).Fig6a},
+	{"fig6b", "Fig 6b: L2 miss breakdown with thread scaling", (*Suite).Fig6b},
+	{"fig7a", "Fig 7a: limit of coarse-grain parallelism", (*Suite).Fig7a},
+	{"fig7b", "Fig 7b: instruction mix for all 5 phases", (*Suite).Fig7b},
+	{"fig9a", "Fig 9a: coarse-grain vs fine-grain execution time", (*Suite).Fig9a},
+	{"fig9b", "Fig 9b: instruction mix of fine-grain kernels", (*Suite).Fig9b},
+	{"fig10a", "Fig 10a: IPC of fine-grain core types", (*Suite).Fig10a},
+	{"fig10b", "Fig 10b: fine-grain cores required for 30 FPS", (*Suite).Fig10b},
+	{"table7", "Table 7: FG tasks required to hide communication", (*Suite).Table7},
+	{"fig11", "Fig 11: available fine-grain parallel tasks", (*Suite).Fig11},
+	{"sec721", "Sec 7.1/8.2.1: dynamic vs static FG mapping", (*Suite).Sec721},
+	{"sec822", "Sec 8.2.2: filtering small islands/cloths", (*Suite).Sec822},
+	{"sec83", "Sec 8.3: Model 2 per-frame transfer", (*Suite).Sec83},
+	// Future-work extensions and ablations beyond the published figures.
+	{"ext-prefetch", "Extension: L2 prefetching (future work, sec 6.2)", (*Suite).ExtPrefetch},
+	{"ext-sharedmem", "Extension: shared FG local memories (future work, sec 8.2.2)", (*Suite).ExtSharedMem},
+	{"abl-partition", "Ablation: partitioned vs shared L2", (*Suite).AblPartition},
+	{"abl-broadphase", "Ablation: sweep-and-prune vs spatial hash", (*Suite).AblBroadphase},
+	{"abl-iterations", "Ablation: solver iteration count", (*Suite).AblIterations},
+	{"abl-warmstart", "Ablation: contact warm starting vs iteration count", (*Suite).AblWarmstart},
+	{"ref-system", "Bottom line: the proposed ParallAX system vs 30 FPS", (*Suite).RefSystem},
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in order.
+func (s *Suite) RunAll(w io.Writer) {
+	for _, e := range Registry {
+		fmt.Fprintf(w, "==== %s — %s ====\n", e.ID, e.Title)
+		e.Run(s, w)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,164 @@
+package body
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func unitSphereBody(mass float64) *Body {
+	return New(mass, geom.Sphere{R: 1}.Inertia(mass))
+}
+
+func TestFreeFall(t *testing.T) {
+	b := unitSphereBody(2)
+	g := m3.V(0, -9.81, 0)
+	const dt = 0.01
+	for i := 0; i < 100; i++ {
+		b.AddForce(g.Scale(b.Mass))
+		b.IntegrateVelocity(dt)
+		b.IntegratePosition(dt)
+	}
+	// After 1s of semi-implicit Euler: v = g*t exactly, y ~= -g t^2 / 2.
+	if !vecClose(b.LinVel, g, 1e-9) {
+		t.Errorf("velocity after 1s = %v, want %v", b.LinVel, g)
+	}
+	wantY := -9.81 * 0.5 * (1 + 0.01) // semi-implicit offset of dt/2
+	if math.Abs(b.Pos.Y-wantY) > 1e-6 {
+		t.Errorf("position after 1s = %v, want %v", b.Pos.Y, wantY)
+	}
+}
+
+func vecClose(a, b m3.Vec, tol float64) bool { return a.Sub(b).Len() <= tol }
+
+func TestImmovableBody(t *testing.T) {
+	b := New(0, m3.Mat{})
+	b.AddForce(m3.V(100, 100, 100))
+	b.IntegrateVelocity(0.01)
+	b.IntegratePosition(0.01)
+	if b.Pos != m3.Zero || b.LinVel != m3.Zero {
+		t.Errorf("immovable body moved: %+v", b)
+	}
+}
+
+func TestApplyImpulseLinear(t *testing.T) {
+	b := unitSphereBody(4)
+	b.ApplyImpulse(m3.V(8, 0, 0), b.Pos)
+	if !vecClose(b.LinVel, m3.V(2, 0, 0), 1e-12) {
+		t.Errorf("LinVel = %v, want (2,0,0)", b.LinVel)
+	}
+	if b.AngVel.Len() > 1e-12 {
+		t.Errorf("central impulse should not spin body: %v", b.AngVel)
+	}
+}
+
+func TestApplyImpulseOffCenterSpins(t *testing.T) {
+	b := unitSphereBody(1)
+	b.ApplyImpulse(m3.V(0, 1, 0), b.Pos.Add(m3.V(1, 0, 0)))
+	if b.AngVel.Len() < 1e-9 {
+		t.Error("off-center impulse should produce spin")
+	}
+	// Torque axis: r x j = (1,0,0) x (0,1,0) = (0,0,1).
+	if b.AngVel.Z <= 0 {
+		t.Errorf("spin axis wrong: %v", b.AngVel)
+	}
+}
+
+func TestVelocityAt(t *testing.T) {
+	b := unitSphereBody(1)
+	b.LinVel = m3.V(1, 0, 0)
+	b.AngVel = m3.V(0, 0, 2)
+	v := b.VelocityAt(b.Pos.Add(m3.V(0, 1, 0)))
+	// v = lin + w x r = (1,0,0) + (0,0,2)x(0,1,0) = (1,0,0) + (-2,0,0)
+	if !vecClose(v, m3.V(-1, 0, 0), 1e-12) {
+		t.Errorf("VelocityAt = %v, want (-1,0,0)", v)
+	}
+}
+
+func TestTorqueFreePrecessionConservesEnergy(t *testing.T) {
+	// A tumbling box with no external forces should approximately
+	// conserve kinetic energy under small steps.
+	b := New(2, geom.Box{Half: m3.V(0.1, 0.2, 0.4)}.Inertia(2))
+	b.AngVel = m3.V(3, 5, 1)
+	e0 := b.KineticEnergy()
+	for i := 0; i < 2000; i++ {
+		b.IntegratePosition(0.0005)
+	}
+	e1 := b.KineticEnergy()
+	if math.Abs(e1-e0)/e0 > 0.05 {
+		t.Errorf("energy drifted: %v -> %v", e0, e1)
+	}
+	if !b.Valid() {
+		t.Error("body state became invalid")
+	}
+}
+
+func TestInvInertiaWorldRotates(t *testing.T) {
+	b := New(1, geom.Box{Half: m3.V(1, 0.1, 0.1)}.Inertia(1))
+	i0 := b.InvInertiaWorld()
+	// Rotate 90 degrees about Z: X and Y diagonal entries swap.
+	b.Rot = m3.QFromAxisAngle(m3.V(0, 0, 1), math.Pi/2)
+	i1 := b.InvInertiaWorld()
+	if math.Abs(i0.M[0][0]-i1.M[1][1]) > 1e-9 || math.Abs(i0.M[1][1]-i1.M[0][0]) > 1e-9 {
+		t.Errorf("world inertia did not rotate:\n%v\n%v", i0, i1)
+	}
+}
+
+func TestSleepWake(t *testing.T) {
+	b := unitSphereBody(1)
+	b.LinVel = m3.V(0.001, 0, 0)
+	for i := 0; i < 100; i++ {
+		b.UpdateSleep(0.01)
+	}
+	if !b.Asleep {
+		t.Fatal("slow body should fall asleep after SleepDelay")
+	}
+	if b.LinVel != m3.Zero {
+		t.Error("sleeping body should have zero velocity")
+	}
+	b.Wake()
+	if b.Asleep {
+		t.Error("Wake failed")
+	}
+	// A fast body never sleeps.
+	b.LinVel = m3.V(5, 0, 0)
+	for i := 0; i < 100; i++ {
+		b.UpdateSleep(0.01)
+	}
+	if b.Asleep {
+		t.Error("fast body fell asleep")
+	}
+}
+
+func TestMomentum(t *testing.T) {
+	b := unitSphereBody(3)
+	b.LinVel = m3.V(1, 2, 3)
+	if !vecClose(b.Momentum(), m3.V(3, 6, 9), 1e-12) {
+		t.Errorf("Momentum = %v", b.Momentum())
+	}
+	s := New(0, m3.Mat{})
+	s.LinVel = m3.V(1, 0, 0)
+	if s.Momentum() != m3.Zero {
+		t.Error("immovable body momentum should be zero")
+	}
+}
+
+func TestAddForceAtMatchesImpulse(t *testing.T) {
+	// Integrating AddForceAt(f, p) over dt should match ApplyImpulse(f*dt, p).
+	p := m3.V(0.5, 0.25, -0.3)
+	f := m3.V(2, -1, 4)
+	const dt = 0.01
+
+	b1 := unitSphereBody(2)
+	b1.AddForceAt(f, p)
+	b1.IntegrateVelocity(dt)
+
+	b2 := unitSphereBody(2)
+	b2.ApplyImpulse(f.Scale(dt), p)
+
+	if !vecClose(b1.LinVel, b2.LinVel, 1e-12) || !vecClose(b1.AngVel, b2.AngVel, 1e-12) {
+		t.Errorf("force/impulse mismatch: %v/%v vs %v/%v", b1.LinVel, b1.AngVel, b2.LinVel, b2.AngVel)
+	}
+}

@@ -1,0 +1,370 @@
+// Package broadphase implements the first stage of collision detection:
+// culling the O(n^2) space of geom pairs down to pairs whose bounding
+// boxes overlap. Two classic algorithms are provided — sweep-and-prune
+// and a uniform spatial hash — both maintaining persistent spatial
+// structures across steps, which is what makes this phase hard to
+// parallelize (the paper treats broad phase as a serial phase).
+package broadphase
+
+import (
+	"sort"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// Pair is a candidate colliding pair of geom indices, with A < B.
+type Pair struct {
+	A, B int32
+}
+
+// Stats records the work done by one broad-phase pass; the architecture
+// model converts these counts into instruction and memory streams.
+type Stats struct {
+	// Geoms considered (enabled geoms).
+	Geoms int
+	// AABBUpdates is the number of bounding boxes recomputed.
+	AABBUpdates int
+	// SortOps counts comparison/exchange work in the sweep structures.
+	SortOps int
+	// OverlapTests counts narrow AABB-vs-AABB tests performed.
+	OverlapTests int
+	// PairsOut is the number of candidate pairs produced.
+	PairsOut int
+}
+
+// Interface is a broad-phase algorithm. Implementations keep persistent
+// state between calls to exploit temporal coherence.
+type Interface interface {
+	// Pairs updates the spatial structure for the current geom
+	// placements and appends all candidate pairs to dst, returning it.
+	Pairs(geoms []*geom.Geom, dst []Pair) []Pair
+	// Stats returns counters for the most recent Pairs call.
+	Stats() Stats
+}
+
+// shouldPair applies the engine-level pair filter plus the AABB test.
+func shouldPair(a, b *geom.Geom) bool {
+	return geom.ShouldCollide(a, b) && a.Box.Overlaps(b.Box)
+}
+
+// SweepAndPrune is a sort-and-sweep broad phase. Each pass it refreshes
+// the world AABBs, picks the axis with the greatest spread, sorts the
+// interval endpoints along it (insertion sort over the mostly-sorted
+// previous order, exploiting temporal coherence), and sweeps to emit
+// overlapping pairs. Unbounded shapes (planes) are handled out-of-band
+// and paired against every dynamic geom.
+type SweepAndPrune struct {
+	order []int32 // geom indices sorted by Box.Min along the sweep axis
+	axis  int
+	stats Stats
+}
+
+// NewSweepAndPrune returns an empty sweep-and-prune structure.
+func NewSweepAndPrune() *SweepAndPrune { return &SweepAndPrune{} }
+
+// Stats implements Interface.
+func (s *SweepAndPrune) Stats() Stats { return s.stats }
+
+// Pairs implements Interface.
+func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
+	s.stats = Stats{}
+	var unbounded []int32 // planes etc.
+	// Refresh AABBs and the index list.
+	live := s.order[:0]
+	present := make(map[int32]bool, len(s.order))
+	for _, id := range s.order {
+		if int(id) < len(geoms) && geoms[id].Enabled() && geoms[id].Shape.Kind() != geom.KindPlane {
+			live = append(live, id)
+			present[id] = true
+		}
+	}
+	for _, g := range geoms {
+		if !g.Enabled() {
+			continue
+		}
+		s.stats.Geoms++
+		g.UpdateAABB()
+		s.stats.AABBUpdates++
+		if g.Shape.Kind() == geom.KindPlane {
+			unbounded = append(unbounded, int32(g.ID))
+			continue
+		}
+		if !present[int32(g.ID)] {
+			live = append(live, int32(g.ID))
+		}
+	}
+	s.order = live
+
+	// Choose sweep axis by spread of box centers.
+	s.axis = bestAxis(geoms, s.order)
+
+	// Insertion sort: nearly sorted from the previous frame.
+	s.insertionSort(geoms)
+
+	// Sweep.
+	for i := 0; i < len(s.order); i++ {
+		a := geoms[s.order[i]]
+		amax := a.Box.Max.Comp(s.axis)
+		for j := i + 1; j < len(s.order); j++ {
+			b := geoms[s.order[j]]
+			if b.Box.Min.Comp(s.axis) > amax {
+				break
+			}
+			s.stats.OverlapTests++
+			if shouldPair(a, b) {
+				dst = appendPair(dst, int32(a.ID), int32(b.ID))
+				s.stats.PairsOut++
+			}
+		}
+	}
+	// Planes against everything dynamic.
+	for _, pid := range unbounded {
+		p := geoms[pid]
+		for _, id := range s.order {
+			g := geoms[id]
+			if g.Flags.Has(geom.FlagStatic) {
+				continue
+			}
+			s.stats.OverlapTests++
+			if geom.ShouldCollide(p, g) {
+				dst = appendPair(dst, pid, id)
+				s.stats.PairsOut++
+			}
+		}
+	}
+	sortPairs(dst)
+	return dst
+}
+
+func (s *SweepAndPrune) insertionSort(geoms []*geom.Geom) {
+	key := func(id int32) float64 { return geoms[id].Box.Min.Comp(s.axis) }
+	for i := 1; i < len(s.order); i++ {
+		v := s.order[i]
+		kv := key(v)
+		j := i - 1
+		for j >= 0 && key(s.order[j]) > kv {
+			s.order[j+1] = s.order[j]
+			j--
+			s.stats.SortOps++
+		}
+		s.order[j+1] = v
+		s.stats.SortOps++
+	}
+}
+
+func bestAxis(geoms []*geom.Geom, order []int32) int {
+	if len(order) == 0 {
+		return 0
+	}
+	var mean, m2 [3]float64
+	n := 0.0
+	for _, id := range order {
+		c := geoms[id].Box.Center()
+		n++
+		for k := 0; k < 3; k++ {
+			x := c.Comp(k)
+			d := x - mean[k]
+			mean[k] += d / n
+			m2[k] += d * (x - mean[k])
+		}
+	}
+	axis := 0
+	for k := 1; k < 3; k++ {
+		if m2[k] > m2[axis] {
+			axis = k
+		}
+	}
+	return axis
+}
+
+func appendPair(dst []Pair, a, b int32) []Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return append(dst, Pair{A: a, B: b})
+}
+
+// SpatialHash is a uniform-grid broad phase: geoms are binned by their
+// AABBs into grid cells keyed by a hash; pairs are emitted within each
+// cell and deduplicated.
+type SpatialHash struct {
+	// CellSize is the grid pitch; if zero it is derived from the average
+	// geom extent on each pass.
+	CellSize float64
+	cells    map[uint64][]int32
+	seen     map[uint64]bool
+	stats    Stats
+}
+
+// NewSpatialHash returns a spatial hash with automatic cell sizing.
+func NewSpatialHash() *SpatialHash {
+	return &SpatialHash{
+		cells: make(map[uint64][]int32),
+		seen:  make(map[uint64]bool),
+	}
+}
+
+// Stats implements Interface.
+func (h *SpatialHash) Stats() Stats { return h.stats }
+
+func cellKey(x, y, z int32) uint64 {
+	// Morton-ish mix of the three signed cell coordinates.
+	const p1, p2, p3 = 73856093, 19349663, 83492791
+	return uint64(uint32(x)*p1) ^ uint64(uint32(y)*p2)<<1 ^ uint64(uint32(z)*p3)<<2
+}
+
+// Pairs implements Interface.
+func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
+	h.stats = Stats{}
+	for k := range h.cells {
+		delete(h.cells, k)
+	}
+	for k := range h.seen {
+		delete(h.seen, k)
+	}
+
+	var unbounded, dynamic []int32
+	sum := 0.0
+	cnt := 0
+	for _, g := range geoms {
+		if !g.Enabled() {
+			continue
+		}
+		h.stats.Geoms++
+		g.UpdateAABB()
+		h.stats.AABBUpdates++
+		if g.Shape.Kind() == geom.KindPlane {
+			unbounded = append(unbounded, int32(g.ID))
+			continue
+		}
+		dynamic = append(dynamic, int32(g.ID))
+		e := g.Box.Extent()
+		sum += (e.X + e.Y + e.Z) / 3
+		cnt++
+	}
+	cell := h.CellSize
+	if cell <= 0 {
+		if cnt == 0 {
+			return dst
+		}
+		cell = 2*sum/float64(cnt) + m3.Eps
+	}
+
+	for _, id := range dynamic {
+		g := geoms[id]
+		x0 := int32(fastFloor(g.Box.Min.X / cell))
+		y0 := int32(fastFloor(g.Box.Min.Y / cell))
+		z0 := int32(fastFloor(g.Box.Min.Z / cell))
+		x1 := int32(fastFloor(g.Box.Max.X / cell))
+		y1 := int32(fastFloor(g.Box.Max.Y / cell))
+		z1 := int32(fastFloor(g.Box.Max.Z / cell))
+		for z := z0; z <= z1; z++ {
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					k := cellKey(x, y, z)
+					h.cells[k] = append(h.cells[k], id)
+					h.stats.SortOps++ // hashing/insert work
+				}
+			}
+		}
+	}
+
+	for _, bucket := range h.cells {
+		for i := 0; i < len(bucket); i++ {
+			for j := i + 1; j < len(bucket); j++ {
+				a, b := bucket[i], bucket[j]
+				if a == b {
+					continue
+				}
+				lo, hi := a, b
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				pk := uint64(lo)<<32 | uint64(uint32(hi))
+				if h.seen[pk] {
+					continue
+				}
+				h.seen[pk] = true
+				h.stats.OverlapTests++
+				if shouldPair(geoms[a], geoms[b]) {
+					dst = appendPair(dst, a, b)
+					h.stats.PairsOut++
+				}
+			}
+		}
+	}
+	for _, pid := range unbounded {
+		p := geoms[pid]
+		for _, id := range dynamic {
+			g := geoms[id]
+			if g.Flags.Has(geom.FlagStatic) {
+				continue
+			}
+			h.stats.OverlapTests++
+			if geom.ShouldCollide(p, g) {
+				dst = appendPair(dst, pid, id)
+				h.stats.PairsOut++
+			}
+		}
+	}
+	sortPairs(dst)
+	return dst
+}
+
+func fastFloor(x float64) int {
+	i := int(x)
+	if x < 0 && float64(i) != x {
+		i--
+	}
+	return i
+}
+
+// sortPairs orders pairs deterministically (map iteration above is
+// random); determinism keeps simulation results reproducible.
+func sortPairs(p []Pair) {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].A != p[j].A {
+			return p[i].A < p[j].A
+		}
+		return p[i].B < p[j].B
+	})
+}
+
+// BruteForce is the O(n^2) reference implementation used by tests to
+// validate the real algorithms.
+type BruteForce struct{ stats Stats }
+
+// NewBruteForce returns the reference broad phase.
+func NewBruteForce() *BruteForce { return &BruteForce{} }
+
+// Stats implements Interface.
+func (bf *BruteForce) Stats() Stats { return bf.stats }
+
+// Pairs implements Interface.
+func (bf *BruteForce) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
+	bf.stats = Stats{}
+	var live []*geom.Geom
+	for _, g := range geoms {
+		if !g.Enabled() {
+			continue
+		}
+		bf.stats.Geoms++
+		g.UpdateAABB()
+		bf.stats.AABBUpdates++
+		live = append(live, g)
+	}
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			a, b := live[i], live[j]
+			// Plane-vs-plane is filtered by ShouldCollide (two statics).
+			bf.stats.OverlapTests++
+			if shouldPair(a, b) {
+				dst = appendPair(dst, int32(a.ID), int32(b.ID))
+				bf.stats.PairsOut++
+			}
+		}
+	}
+	sortPairs(dst)
+	return dst
+}

@@ -1,0 +1,173 @@
+package broadphase
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// randomScene builds n sphere geoms scattered in a cube of the given
+// side, with a ground plane.
+func randomScene(r *rand.Rand, n int, side float64) []*geom.Geom {
+	var gs []*geom.Geom
+	gs = append(gs, &geom.Geom{
+		ID:    0,
+		Shape: geom.Plane{Normal: m3.V(0, 1, 0), Offset: 0},
+		Rot:   m3.Ident,
+		Body:  -1,
+		Flags: geom.FlagStatic,
+	})
+	for i := 1; i <= n; i++ {
+		gs = append(gs, &geom.Geom{
+			ID:    i,
+			Shape: geom.Sphere{R: 0.3 + r.Float64()*0.5},
+			Pos:   m3.V(r.Float64()*side, r.Float64()*side, r.Float64()*side),
+			Rot:   m3.Ident,
+			Body:  i - 1,
+		})
+	}
+	return gs
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSAPMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		gs := randomScene(r, 60, 8)
+		sap := NewSweepAndPrune()
+		got := sap.Pairs(gs, nil)
+		want := NewBruteForce().Pairs(gs, nil)
+		if !pairsEqual(got, want) {
+			t.Fatalf("trial %d: SAP %d pairs, brute force %d pairs", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestSpatialHashMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		gs := randomScene(r, 60, 8)
+		sh := NewSpatialHash()
+		got := sh.Pairs(gs, nil)
+		want := NewBruteForce().Pairs(gs, nil)
+		if !pairsEqual(got, want) {
+			t.Fatalf("trial %d: hash %d pairs, brute force %d pairs", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestSAPTemporalCoherence(t *testing.T) {
+	// Moving the scene slightly between passes must keep results correct
+	// and should sort cheaply the second time.
+	r := rand.New(rand.NewSource(13))
+	gs := randomScene(r, 100, 10)
+	sap := NewSweepAndPrune()
+	sap.Pairs(gs, nil)
+	firstSort := sap.Stats().SortOps
+	for _, g := range gs[1:] {
+		g.Pos = g.Pos.Add(m3.V(r.Float64()*0.01, r.Float64()*0.01, 0))
+	}
+	got := sap.Pairs(gs, nil)
+	want := NewBruteForce().Pairs(gs, nil)
+	if !pairsEqual(got, want) {
+		t.Fatal("SAP wrong after incremental update")
+	}
+	secondSort := sap.Stats().SortOps
+	if secondSort > firstSort {
+		t.Errorf("expected cheaper incremental sort: first %d, second %d", firstSort, secondSort)
+	}
+}
+
+func TestDisabledGeomsSkipped(t *testing.T) {
+	a := &geom.Geom{ID: 0, Shape: geom.Sphere{R: 1}, Rot: m3.Ident, Body: 0}
+	b := &geom.Geom{ID: 1, Shape: geom.Sphere{R: 1}, Rot: m3.Ident, Body: 1}
+	c := &geom.Geom{ID: 2, Shape: geom.Sphere{R: 1}, Rot: m3.Ident, Body: 2, Flags: geom.FlagDisabled}
+	gs := []*geom.Geom{a, b, c}
+	for _, bp := range []Interface{NewSweepAndPrune(), NewSpatialHash(), NewBruteForce()} {
+		pairs := bp.Pairs(gs, nil)
+		if len(pairs) != 1 || pairs[0] != (Pair{A: 0, B: 1}) {
+			t.Errorf("%T: pairs = %v, want [{0 1}]", bp, pairs)
+		}
+	}
+}
+
+func TestGroupFiltering(t *testing.T) {
+	a := &geom.Geom{ID: 0, Shape: geom.Sphere{R: 1}, Rot: m3.Ident, Body: 0, Group: 5}
+	b := &geom.Geom{ID: 1, Shape: geom.Sphere{R: 1}, Rot: m3.Ident, Body: 1, Group: 5}
+	gs := []*geom.Geom{a, b}
+	for _, bp := range []Interface{NewSweepAndPrune(), NewSpatialHash()} {
+		if pairs := bp.Pairs(gs, nil); len(pairs) != 0 {
+			t.Errorf("%T: same-group pair not filtered: %v", bp, pairs)
+		}
+	}
+}
+
+func TestPlanePairsWithAllDynamics(t *testing.T) {
+	gs := []*geom.Geom{
+		{ID: 0, Shape: geom.Plane{Normal: m3.V(0, 1, 0)}, Rot: m3.Ident, Body: -1, Flags: geom.FlagStatic},
+		{ID: 1, Shape: geom.Sphere{R: 1}, Pos: m3.V(0, 100, 0), Rot: m3.Ident, Body: 0},
+		{ID: 2, Shape: geom.Sphere{R: 1}, Pos: m3.V(50, 3, -20), Rot: m3.Ident, Body: 1},
+	}
+	sap := NewSweepAndPrune()
+	pairs := sap.Pairs(gs, nil)
+	if len(pairs) != 2 {
+		t.Fatalf("plane should pair with both spheres, got %v", pairs)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	gs := randomScene(r, 30, 5)
+	sap := NewSweepAndPrune()
+	sap.Pairs(gs, nil)
+	st := sap.Stats()
+	if st.Geoms != 31 || st.AABBUpdates != 31 {
+		t.Errorf("geoms/updates = %d/%d, want 31/31", st.Geoms, st.AABBUpdates)
+	}
+	if st.OverlapTests == 0 {
+		t.Error("no overlap tests recorded")
+	}
+}
+
+func TestEmptyWorld(t *testing.T) {
+	for _, bp := range []Interface{NewSweepAndPrune(), NewSpatialHash(), NewBruteForce()} {
+		if pairs := bp.Pairs(nil, nil); len(pairs) != 0 {
+			t.Errorf("%T: empty world produced pairs", bp)
+		}
+	}
+}
+
+func BenchmarkSAP500(b *testing.B) {
+	r := rand.New(rand.NewSource(15))
+	gs := randomScene(r, 500, 20)
+	sap := NewSweepAndPrune()
+	var buf []Pair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sap.Pairs(gs, buf[:0])
+	}
+}
+
+func BenchmarkSpatialHash500(b *testing.B) {
+	r := rand.New(rand.NewSource(15))
+	gs := randomScene(r, 500, 20)
+	sh := NewSpatialHash()
+	var buf []Pair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sh.Pairs(gs, buf[:0])
+	}
+}

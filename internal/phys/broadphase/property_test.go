@@ -1,0 +1,122 @@
+package broadphase
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// TestSAPTracksMotionOverManyFrames runs a random walk over many frames
+// and checks the incremental sweep structure never diverges from the
+// brute-force reference — the temporal-coherence correctness property.
+func TestSAPTracksMotionOverManyFrames(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	gs := randomScene(r, 80, 10)
+	sap := NewSweepAndPrune()
+	bf := NewBruteForce()
+	for frame := 0; frame < 60; frame++ {
+		for _, g := range gs[1:] {
+			g.Pos = g.Pos.Add(m3.V(
+				(r.Float64()-0.5)*0.3,
+				(r.Float64()-0.5)*0.3,
+				(r.Float64()-0.5)*0.3,
+			))
+		}
+		got := sap.Pairs(gs, nil)
+		want := bf.Pairs(gs, nil)
+		if !pairsEqual(got, want) {
+			t.Fatalf("frame %d: SAP diverged (%d vs %d pairs)", frame, len(got), len(want))
+		}
+	}
+}
+
+// TestSAPHandlesEnableDisableChurn toggles geoms on and off between
+// passes; the persistent order list must stay consistent.
+func TestSAPHandlesEnableDisableChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	gs := randomScene(r, 50, 8)
+	sap := NewSweepAndPrune()
+	bf := NewBruteForce()
+	for frame := 0; frame < 40; frame++ {
+		for _, g := range gs[1:] {
+			if r.Float64() < 0.15 {
+				g.Flags ^= geom.FlagDisabled
+			}
+		}
+		got := sap.Pairs(gs, nil)
+		want := bf.Pairs(gs, nil)
+		if !pairsEqual(got, want) {
+			t.Fatalf("frame %d: SAP wrong under enable/disable churn", frame)
+		}
+	}
+}
+
+// TestSAPHandlesGrowth adds geoms between passes (projectile spawning,
+// blast volumes) without rebuilding.
+func TestSAPHandlesGrowth(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	gs := randomScene(r, 20, 6)
+	sap := NewSweepAndPrune()
+	bf := NewBruteForce()
+	for frame := 0; frame < 30; frame++ {
+		id := len(gs)
+		gs = append(gs, &geom.Geom{
+			ID:    id,
+			Shape: geom.Sphere{R: 0.3 + r.Float64()*0.4},
+			Pos:   m3.V(r.Float64()*6, r.Float64()*6, r.Float64()*6),
+			Rot:   m3.Ident,
+			Body:  id,
+		})
+		got := sap.Pairs(gs, nil)
+		want := bf.Pairs(gs, nil)
+		if !pairsEqual(got, want) {
+			t.Fatalf("frame %d: SAP wrong after geom insertion", frame)
+		}
+	}
+}
+
+// TestHashCellSizeOverride checks explicit cell sizing still matches the
+// reference.
+func TestHashCellSizeOverride(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	gs := randomScene(r, 60, 8)
+	want := NewBruteForce().Pairs(gs, nil)
+	for _, cell := range []float64{0.5, 1.5, 4.0} {
+		sh := NewSpatialHash()
+		sh.CellSize = cell
+		got := sh.Pairs(gs, nil)
+		if !pairsEqual(got, want) {
+			t.Fatalf("cell=%v: hash wrong (%d vs %d pairs)", cell, len(got), len(want))
+		}
+	}
+}
+
+// TestMixedShapesBroadphase exercises the sweep over heterogeneous AABB
+// sizes (tiny debris next to a huge terrain box).
+func TestMixedShapesBroadphase(t *testing.T) {
+	var gs []*geom.Geom
+	add := func(s geom.Shape, pos m3.Vec, static bool) {
+		g := &geom.Geom{ID: len(gs), Shape: s, Pos: pos, Rot: m3.Ident, Body: len(gs)}
+		if static {
+			g.Body = -1
+			g.Flags = geom.FlagStatic
+		}
+		gs = append(gs, g)
+	}
+	hs := make([]float64, 64)
+	add(geom.NewHeightField(8, 8, 5, 5, hs), m3.V(-20, 0, -20), true)
+	for i := 0; i < 30; i++ {
+		add(geom.Sphere{R: 0.05}, m3.V(float64(i%6), 0.02, float64(i/6)), false)
+	}
+	add(geom.Box{Half: m3.V(10, 0.5, 10)}, m3.V(0, -1, 0), false)
+	got := NewSweepAndPrune().Pairs(gs, nil)
+	want := NewBruteForce().Pairs(gs, nil)
+	if !pairsEqual(got, want) {
+		t.Fatalf("mixed-extent scene: %d vs %d pairs", len(got), len(want))
+	}
+	if len(got) == 0 {
+		t.Fatal("expected overlaps in the mixed scene")
+	}
+}

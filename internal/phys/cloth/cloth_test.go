@@ -1,0 +1,194 @@
+package cloth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+var gravity = m3.V(0, -9.81, 0)
+
+func step(c *Cloth, dt float64, geoms ...*geom.Geom) {
+	c.Integrate(dt, gravity)
+	c.Relax()
+	for _, g := range geoms {
+		c.CollideGeom(g)
+	}
+	c.UpdateBox()
+}
+
+func TestGridConstruction(t *testing.T) {
+	c := NewGrid(5, 5, 0.1, m3.Zero, 1)
+	if c.NumVertices() != 25 {
+		t.Fatalf("vertices = %d, want 25", c.NumVertices())
+	}
+	// Structural: 4*5*2 = 40; shear: 4*4*2 = 32.
+	if len(c.Constraints) != 72 {
+		t.Errorf("constraints = %d, want 72", len(c.Constraints))
+	}
+	if len(c.Tris) != 32 {
+		t.Errorf("tris = %d, want 32", len(c.Tris))
+	}
+	if c.MaxStretch() > 1e-12 {
+		t.Errorf("fresh grid should be unstretched: %v", c.MaxStretch())
+	}
+}
+
+func TestFreeFallingCloth(t *testing.T) {
+	c := NewGrid(5, 5, 0.1, m3.V(0, 2, 0), 1)
+	y0 := c.Particles[12].Pos.Y
+	for i := 0; i < 50; i++ {
+		step(c, 0.01)
+	}
+	y1 := c.Particles[12].Pos.Y
+	if y1 >= y0-0.5 {
+		t.Errorf("cloth did not fall: %v -> %v", y0, y1)
+	}
+	// Free fall should not stretch the cloth much.
+	if c.MaxStretch() > 0.05 {
+		t.Errorf("free-falling cloth stretched: %v", c.MaxStretch())
+	}
+}
+
+func TestHangingClothStabilizes(t *testing.T) {
+	c := NewGrid(8, 8, 0.1, m3.V(0, 2, 0), 0.5)
+	// Pin the two top corners (row z=0).
+	c.PinParticle(0)
+	c.PinParticle(7)
+	for i := 0; i < 300; i++ {
+		step(c, 0.01)
+	}
+	// Pinned particles have not moved.
+	if c.Particles[0].Pos.Dist(m3.V(0, 2, 0)) > 1e-9 {
+		t.Errorf("pinned particle moved: %v", c.Particles[0].Pos)
+	}
+	// The cloth hangs below its pins.
+	low := c.Particles[63].Pos.Y
+	if low >= 2 {
+		t.Errorf("cloth bottom did not drop below pins: %v", low)
+	}
+	// Constraints keep the mesh together under moderate stretch.
+	if c.MaxStretch() > 0.30 {
+		t.Errorf("hanging cloth over-stretched: %v", c.MaxStretch())
+	}
+	// Motion has largely stopped.
+	v := c.Particles[63].Pos.Sub(c.Particles[63].Prev).Len() / 0.01
+	if v > 0.5 {
+		t.Errorf("cloth still swinging at %v m/s", v)
+	}
+}
+
+func TestClothOnPlane(t *testing.T) {
+	c := NewGrid(6, 6, 0.1, m3.V(0, 0.5, 0), 1)
+	ground := &geom.Geom{
+		Shape: geom.Plane{Normal: m3.V(0, 1, 0), Offset: 0},
+		Rot:   m3.Ident, Body: -1, Flags: geom.FlagStatic,
+	}
+	ground.UpdateAABB()
+	for i := 0; i < 200; i++ {
+		step(c, 0.01, ground)
+	}
+	for i, p := range c.Particles {
+		if p.Pos.Y < c.Thickness-1e-6 {
+			t.Fatalf("particle %d sank through the ground: %v", i, p.Pos.Y)
+		}
+	}
+}
+
+func TestClothDrapesOverSphere(t *testing.T) {
+	c := NewGrid(10, 10, 0.1, m3.V(-0.45, 1.0, -0.45), 1)
+	ball := &geom.Geom{Shape: geom.Sphere{R: 0.4}, Pos: m3.V(0, 0.4, 0), Rot: m3.Ident, Body: -1}
+	ball.UpdateAABB()
+	for i := 0; i < 300; i++ {
+		step(c, 0.01, ball)
+	}
+	// No particle inside the sphere.
+	for i, p := range c.Particles {
+		if p.Pos.Dist(ball.Pos) < 0.4-1e-6 {
+			t.Fatalf("particle %d inside sphere: dist %v", i, p.Pos.Dist(ball.Pos))
+		}
+	}
+	// The center of the cloth should rest near the top of the sphere.
+	top := c.Particles[4*10+4].Pos
+	if top.Y < 0.6 {
+		t.Errorf("cloth center fell off the sphere: %v", top)
+	}
+}
+
+func TestClothCollidesBox(t *testing.T) {
+	c := NewGrid(8, 8, 0.1, m3.V(-0.35, 1.0, -0.35), 1)
+	box := &geom.Geom{Shape: geom.Box{Half: m3.V(0.3, 0.3, 0.3)}, Pos: m3.V(0, 0.3, 0), Rot: m3.Ident, Body: -1}
+	box.UpdateAABB()
+	for i := 0; i < 300; i++ {
+		step(c, 0.01, box)
+	}
+	for i, p := range c.Particles {
+		l := p.Pos.Sub(box.Pos).Abs()
+		if l.X < 0.3-1e-6 && l.Y < 0.3-1e-6 && l.Z < 0.3-1e-6 {
+			t.Fatalf("particle %d inside box: %v", i, p.Pos)
+		}
+	}
+}
+
+func TestPinToBodyFollows(t *testing.T) {
+	c := NewGrid(4, 4, 0.1, m3.Zero, 1)
+	c.PinToBody(0, 3, m3.V(0, 0.5, 0))
+	pose := func(int32) (m3.Vec, m3.Quat) {
+		return m3.V(1, 2, 3), m3.QIdent
+	}
+	c.SatisfyPins(pose)
+	want := m3.V(1, 2.5, 3)
+	if c.Particles[0].Pos.Dist(want) > 1e-12 {
+		t.Errorf("pinned particle at %v, want %v", c.Particles[0].Pos, want)
+	}
+}
+
+func TestRayCatchTunneling(t *testing.T) {
+	// A particle moving very fast toward a thin box should be stopped by
+	// the ray cast, not pass through.
+	c := NewGrid(2, 2, 0.05, m3.V(0, 1, 0), 0.1)
+	c.Thickness = 0.01
+	wall := &geom.Geom{Shape: geom.Box{Half: m3.V(1, 0.05, 1)}, Pos: m3.V(0, 0.5, 0), Rot: m3.Ident, Body: -1}
+	wall.UpdateAABB()
+	for i := range c.Particles {
+		p := &c.Particles[i]
+		p.Prev = p.Pos.Add(m3.V(0, 5, 0).Scale(0.01)) // downward velocity 5 m/s
+	}
+	rayCasts := 0
+	for i := 0; i < 30; i++ {
+		step(c, 0.01, wall)
+		rayCasts += c.LastStats.RayCasts
+	}
+	for i, p := range c.Particles {
+		if p.Pos.Y < 0.45 {
+			t.Fatalf("particle %d tunneled through the wall: %v", i, p.Pos.Y)
+		}
+	}
+	if rayCasts == 0 {
+		t.Error("fast particles should trigger ray casts")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	c := NewGrid(4, 4, 0.1, m3.V(0, 1, 0), 1)
+	ground := &geom.Geom{Shape: geom.Plane{Normal: m3.V(0, 1, 0)}, Rot: m3.Ident, Body: -1}
+	ground.UpdateAABB()
+	step(c, 0.01, ground)
+	st := c.LastStats
+	if st.VertexUpdates != 16 {
+		t.Errorf("vertex updates = %d, want 16", st.VertexUpdates)
+	}
+	if st.ConstraintUpdates == 0 || st.CollisionTests == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMaxStretchDetectsStretch(t *testing.T) {
+	c := NewGrid(2, 2, 1, m3.Zero, 1)
+	c.Particles[1].Pos = c.Particles[1].Pos.Add(m3.V(1, 0, 0)) // double an edge
+	if s := c.MaxStretch(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("MaxStretch = %v, want 1", s)
+	}
+}

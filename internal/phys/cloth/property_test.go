@@ -1,0 +1,118 @@
+package cloth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// totalStrain sums |len - rest| over all constraints.
+func totalStrain(c *Cloth) float64 {
+	s := 0.0
+	for _, con := range c.Constraints {
+		d := c.Particles[con.I].Pos.Dist(c.Particles[con.J].Pos)
+		if d > con.Rest {
+			s += d - con.Rest
+		} else {
+			s += con.Rest - d
+		}
+	}
+	return s
+}
+
+func TestRelaxNeverIncreasesStrain(t *testing.T) {
+	// Property: starting from a randomly perturbed grid, a relaxation
+	// pass reduces (or preserves) the total constraint violation.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewGrid(6, 6, 0.1, m3.Zero, 1)
+		for i := range c.Particles {
+			c.Particles[i].Pos = c.Particles[i].Pos.Add(m3.V(
+				(r.Float64()-0.5)*0.05,
+				(r.Float64()-0.5)*0.05,
+				(r.Float64()-0.5)*0.05,
+			))
+		}
+		before := totalStrain(c)
+		c.Relax()
+		after := totalStrain(c)
+		return after <= before*1.01
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(5)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPinnedParticlesImmobileUnderRelax(t *testing.T) {
+	// Property: pinned particles never move during relaxation, however
+	// the rest of the mesh is distorted.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewGrid(5, 5, 0.1, m3.Zero, 1)
+		c.PinParticle(0)
+		c.PinParticle(4)
+		p0 := c.Particles[0].Pos
+		p4 := c.Particles[4].Pos
+		for i := range c.Particles {
+			if c.Particles[i].InvMass == 0 {
+				continue
+			}
+			c.Particles[i].Pos = c.Particles[i].Pos.Add(m3.V(
+				(r.Float64()-0.5)*0.2, (r.Float64()-0.5)*0.2, (r.Float64()-0.5)*0.2))
+		}
+		c.Relax()
+		return c.Particles[0].Pos == p0 && c.Particles[4].Pos == p4
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(6)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrateMomentum(t *testing.T) {
+	// Verlet with no damping and uniform velocity translates the cloth
+	// rigidly: relative geometry is exactly preserved.
+	c := NewGrid(4, 4, 0.1, m3.Zero, 1)
+	c.Damping = 0
+	vel := m3.V(0.3, 0.1, -0.2)
+	for i := range c.Particles {
+		c.Particles[i].Prev = c.Particles[i].Pos.Sub(vel.Scale(0.01))
+	}
+	rel0 := c.Particles[5].Pos.Sub(c.Particles[0].Pos)
+	for i := 0; i < 10; i++ {
+		c.Integrate(0.01, m3.Zero)
+	}
+	rel1 := c.Particles[5].Pos.Sub(c.Particles[0].Pos)
+	if rel0.Sub(rel1).Len() > 1e-12 {
+		t.Errorf("uniform motion distorted the mesh: %v vs %v", rel0, rel1)
+	}
+	moved := c.Particles[0].Pos.Len()
+	if moved < 0.02 {
+		t.Errorf("cloth did not translate: %v", moved)
+	}
+}
+
+func TestDampingBleedsVelocity(t *testing.T) {
+	c := NewGrid(2, 2, 0.1, m3.Zero, 1)
+	c.Damping = 0.1
+	for i := range c.Particles {
+		c.Particles[i].Prev = c.Particles[i].Pos.Sub(m3.V(0.01, 0, 0))
+	}
+	for i := 0; i < 100; i++ {
+		c.Integrate(0.01, m3.Zero)
+	}
+	v := c.Particles[0].Pos.Sub(c.Particles[0].Prev).Len() / 0.01
+	if v > 0.05 {
+		t.Errorf("damped cloth still moving at %v m/s", v)
+	}
+}

@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// Flag is a set of per-geom behaviour flags used by the engine's
+// game-physics extensions (explosions, prefracture, cloth interaction).
+type Flag uint16
+
+// Geom behaviour flags.
+const (
+	// FlagStatic marks immobile geometry that participates in collision
+	// detection but not in forward stepping.
+	FlagStatic Flag = 1 << iota
+	// FlagExplosive marks objects that detonate on contact: the object
+	// is replaced by a blast-radius sphere.
+	FlagExplosive
+	// FlagBlast marks an active blast-radius sphere. Blast spheres break
+	// prefractured objects they touch and apply impulses, but generate
+	// no contact constraints.
+	FlagBlast
+	// FlagPrefractured marks breakable objects that shatter into their
+	// pre-created debris when touched by a blast volume.
+	FlagPrefractured
+	// FlagDebris marks the pre-created debris pieces of a prefractured
+	// object. Debris geoms start disabled.
+	FlagDebris
+	// FlagDisabled removes the geom from collision detection entirely.
+	FlagDisabled
+	// FlagCloth marks a cloth bounding volume proxy: bodies contacting
+	// it are put on the cloth's contact list instead of producing rigid
+	// contacts.
+	FlagCloth
+)
+
+// Has reports whether all bits in q are set in f.
+func (f Flag) Has(q Flag) bool { return f&q == q }
+
+// Geom places a Shape in the world and links it to a rigid body.
+type Geom struct {
+	// ID is the geom's index in the world's geom list.
+	ID int
+	// Shape is the collision shape.
+	Shape Shape
+	// Pos and Rot place the shape in world space. For geoms attached to
+	// a body they are refreshed from the body each step.
+	Pos m3.Vec
+	Rot m3.Mat
+	// Body is the owning body's index, or -1 for static geometry.
+	Body int
+	// OffsetPos and OffsetRot place the shape relative to its body.
+	OffsetPos m3.Vec
+	OffsetRot m3.Quat
+	// Flags select engine extensions.
+	Flags Flag
+	// Box caches the world AABB, refreshed by the broad phase.
+	Box m3.AABB
+	// Group: geoms in the same non-zero group never collide with each
+	// other (used for articulated figures and debris clusters).
+	Group int32
+	// Aux links extension data: for FlagBlast the blast definition index,
+	// for FlagPrefractured/FlagDebris the fracture group index, for
+	// FlagCloth the cloth index.
+	Aux int32
+}
+
+// Enabled reports whether the geom currently participates in collision
+// detection.
+func (g *Geom) Enabled() bool { return !g.Flags.Has(FlagDisabled) }
+
+// UpdateAABB recomputes the cached world bounding box.
+func (g *Geom) UpdateAABB() { g.Box = g.Shape.AABB(g.Pos, g.Rot) }
+
+// ShouldCollide reports whether the pair (g, h) should be considered by
+// the narrow phase at all.
+func ShouldCollide(g, h *Geom) bool {
+	if !g.Enabled() || !h.Enabled() {
+		return false
+	}
+	// Two statics never collide.
+	gs, hs := g.Flags.Has(FlagStatic), h.Flags.Has(FlagStatic)
+	if gs && hs {
+		return false
+	}
+	// Same non-zero group: self-collision suppressed.
+	if g.Group != 0 && g.Group == h.Group {
+		return false
+	}
+	// Blast volumes interact with everything (handled specially), cloth
+	// proxies likewise; both pass through here.
+	return true
+}

@@ -1,0 +1,84 @@
+package geom
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// HeightField is a static terrain shape: a regular grid of heights over
+// the local X/Z plane, with the up direction along +Y. The field covers
+// [0, (NX-1)*CellX] x [0, (NZ-1)*CellZ] in its local frame; placement is
+// by translation only (rotation is ignored, as in ODE's common use).
+type HeightField struct {
+	NX, NZ       int
+	CellX, CellZ float64
+	Heights      []float64 // row-major: Heights[z*NX + x]
+	minH, maxH   float64
+}
+
+// NewHeightField builds a heightfield from a row-major height grid.
+// heights must have nx*nz entries.
+func NewHeightField(nx, nz int, cellX, cellZ float64, heights []float64) *HeightField {
+	hf := &HeightField{NX: nx, NZ: nz, CellX: cellX, CellZ: cellZ, Heights: heights}
+	hf.minH, hf.maxH = math.Inf(1), math.Inf(-1)
+	for _, h := range heights {
+		hf.minH = math.Min(hf.minH, h)
+		hf.maxH = math.Max(hf.maxH, h)
+	}
+	return hf
+}
+
+// Kind implements Shape.
+func (h *HeightField) Kind() Kind { return KindHeightField }
+
+// AABB implements Shape.
+func (h *HeightField) AABB(pos m3.Vec, _ m3.Mat) m3.AABB {
+	return m3.AABB{
+		Min: pos.Add(m3.V(0, h.minH, 0)),
+		Max: pos.Add(m3.V(float64(h.NX-1)*h.CellX, h.maxH, float64(h.NZ-1)*h.CellZ)),
+	}
+}
+
+// Volume implements Shape.
+func (h *HeightField) Volume() float64 { return 0 }
+
+// Inertia implements Shape.
+func (h *HeightField) Inertia(float64) m3.Mat { return m3.Mat{} }
+
+// HeightAt returns the interpolated terrain height at local coordinates
+// (x, z), clamped to the field's domain.
+func (h *HeightField) HeightAt(x, z float64) float64 {
+	fx := x / h.CellX
+	fz := z / h.CellZ
+	ix := int(math.Floor(fx))
+	iz := int(math.Floor(fz))
+	if ix < 0 {
+		ix, fx = 0, 0
+	} else if ix >= h.NX-1 {
+		ix, fx = h.NX-2, float64(h.NX-1)
+	}
+	if iz < 0 {
+		iz, fz = 0, 0
+	} else if iz >= h.NZ-1 {
+		iz, fz = h.NZ-2, float64(h.NZ-1)
+	}
+	tx := fx - float64(ix)
+	tz := fz - float64(iz)
+	tx = math.Min(math.Max(tx, 0), 1)
+	tz = math.Min(math.Max(tz, 0), 1)
+	h00 := h.Heights[iz*h.NX+ix]
+	h10 := h.Heights[iz*h.NX+ix+1]
+	h01 := h.Heights[(iz+1)*h.NX+ix]
+	h11 := h.Heights[(iz+1)*h.NX+ix+1]
+	return h00*(1-tx)*(1-tz) + h10*tx*(1-tz) + h01*(1-tx)*tz + h11*tx*tz
+}
+
+// NormalAt returns the outward (up-facing) terrain normal at local
+// coordinates (x, z), from central differences of the height function.
+func (h *HeightField) NormalAt(x, z float64) m3.Vec {
+	d := math.Min(h.CellX, h.CellZ) * 0.5
+	dhdx := (h.HeightAt(x+d, z) - h.HeightAt(x-d, z)) / (2 * d)
+	dhdz := (h.HeightAt(x, z+d) - h.HeightAt(x, z-d)) / (2 * d)
+	return m3.V(-dhdx, 1, -dhdz).Norm()
+}

@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func flatField(nx, nz int, h float64) *HeightField {
+	hs := make([]float64, nx*nz)
+	for i := range hs {
+		hs[i] = h
+	}
+	return NewHeightField(nx, nz, 1, 1, hs)
+}
+
+func TestHeightFieldFlat(t *testing.T) {
+	hf := flatField(4, 4, 2.5)
+	for _, p := range [][2]float64{{0, 0}, {1.5, 2.5}, {3, 3}, {-1, 10}} {
+		if got := hf.HeightAt(p[0], p[1]); !approx(got, 2.5, 1e-12) {
+			t.Errorf("HeightAt(%v) = %v, want 2.5", p, got)
+		}
+	}
+	n := hf.NormalAt(1.5, 1.5)
+	if !approx(n.Y, 1, 1e-9) {
+		t.Errorf("flat normal = %v", n)
+	}
+}
+
+func TestHeightFieldInterpolation(t *testing.T) {
+	// A ramp rising along X: h = x.
+	hs := []float64{0, 1, 2, 0, 1, 2}
+	hf := NewHeightField(3, 2, 1, 1, hs)
+	if got := hf.HeightAt(0.5, 0.5); !approx(got, 0.5, 1e-12) {
+		t.Errorf("ramp height = %v, want 0.5", got)
+	}
+	if got := hf.HeightAt(1.75, 0.25); !approx(got, 1.75, 1e-12) {
+		t.Errorf("ramp height = %v, want 1.75", got)
+	}
+	n := hf.NormalAt(1, 0.5)
+	if n.X >= 0 || n.Y <= 0 {
+		t.Errorf("ramp normal should tilt back along -X: %v", n)
+	}
+}
+
+func TestHeightFieldAABB(t *testing.T) {
+	hs := []float64{0, 3, -1, 2}
+	hf := NewHeightField(2, 2, 2, 2, hs)
+	box := hf.AABB(m3.V(10, 0, 10), m3.Ident)
+	if !approx(box.Min.Y, -1, 1e-12) || !approx(box.Max.Y, 3, 1e-12) {
+		t.Errorf("AABB heights = %v..%v", box.Min.Y, box.Max.Y)
+	}
+	if !approx(box.Min.X, 10, 1e-12) || !approx(box.Max.X, 12, 1e-12) {
+		t.Errorf("AABB X = %v..%v", box.Min.X, box.Max.X)
+	}
+}
+
+func TestHeightFieldInterpolationBounds(t *testing.T) {
+	// Interpolated heights never exceed the min/max of the samples.
+	r := rand.New(rand.NewSource(42))
+	hs := make([]float64, 8*8)
+	lo, hi := 1e300, -1e300
+	for i := range hs {
+		hs[i] = r.Float64()*10 - 5
+		if hs[i] < lo {
+			lo = hs[i]
+		}
+		if hs[i] > hi {
+			hi = hs[i]
+		}
+	}
+	hf := NewHeightField(8, 8, 0.5, 0.5, hs)
+	for i := 0; i < 500; i++ {
+		x := r.Float64()*5 - 1
+		z := r.Float64()*5 - 1
+		h := hf.HeightAt(x, z)
+		if h < lo-1e-9 || h > hi+1e-9 {
+			t.Fatalf("HeightAt(%v,%v) = %v outside [%v,%v]", x, z, h, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package geom
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// Hull is a convex polyhedron given by its vertices and a triangulated
+// surface (counter-clockwise winding seen from outside). Hulls collide
+// through GJK/EPA in the narrow phase; mass properties are computed
+// exactly from the surface triangulation via the divergence theorem.
+type Hull struct {
+	Verts []m3.Vec
+	Faces []Tri
+	// Derived at construction.
+	volume   float64
+	centroid m3.Vec
+	// unitInertia is the inertia tensor for unit mass about the
+	// centroid.
+	unitInertia m3.Mat
+	radius      float64 // bounding radius about the centroid
+}
+
+// NewHull builds a convex hull shape from vertices and a consistently
+// wound triangulated surface (either orientation; it is normalized so
+// the enclosed volume is positive). Vertices are re-centered on the
+// volume centroid so the shape's local origin is its center of mass
+// (bodies rotate about their center of mass).
+func NewHull(verts []m3.Vec, faces []Tri) *Hull {
+	h := &Hull{Verts: append([]m3.Vec(nil), verts...), Faces: append([]Tri(nil), faces...)}
+	if h.signedVolume() < 0 {
+		for i := range h.Faces {
+			h.Faces[i][1], h.Faces[i][2] = h.Faces[i][2], h.Faces[i][1]
+		}
+	}
+	h.computeMass()
+	// Re-center on the centroid.
+	for i := range h.Verts {
+		h.Verts[i] = h.Verts[i].Sub(h.centroid)
+	}
+	h.centroid = m3.Zero
+	h.radius = 0
+	for _, v := range h.Verts {
+		if r := v.Len(); r > h.radius {
+			h.radius = r
+		}
+	}
+	return h
+}
+
+// signedVolume returns the raw signed volume under the current winding.
+func (h *Hull) signedVolume() float64 {
+	vol := 0.0
+	for _, f := range h.Faces {
+		a, b, c := h.Verts[f[0]], h.Verts[f[1]], h.Verts[f[2]]
+		vol += a.Dot(b.Cross(c)) / 6
+	}
+	return vol
+}
+
+// computeMass integrates volume, centroid and inertia over the signed
+// tetrahedra (origin, a, b, c) of the triangulated surface.
+func (h *Hull) computeMass() {
+	var vol float64
+	var ctr m3.Vec
+	// Inertia integrals.
+	var ixx, iyy, izz, ixy, iyz, izx float64
+	for _, f := range h.Faces {
+		a, b, c := h.Verts[f[0]], h.Verts[f[1]], h.Verts[f[2]]
+		d := a.Dot(b.Cross(c)) // 6 x signed tet volume
+		vol += d / 6
+		ctr = ctr.Add(a.Add(b).Add(c).Scale(d / 24))
+		// Covariance-style integrals over the tetrahedron.
+		f2 := func(w func(m3.Vec) float64) float64 {
+			wa, wb, wc := w(a), w(b), w(c)
+			return d / 60 * (wa*wa + wb*wb + wc*wc + wa*wb + wb*wc + wc*wa)
+		}
+		fxy := func(u, v func(m3.Vec) float64) float64 {
+			ua, ub, uc := u(a), u(b), u(c)
+			va, vb, vc := v(a), v(b), v(c)
+			return d / 120 * (2*(ua*va+ub*vb+uc*vc) +
+				ua*vb + ua*vc + ub*va + ub*vc + uc*va + uc*vb)
+		}
+		gx := func(p m3.Vec) float64 { return p.X }
+		gy := func(p m3.Vec) float64 { return p.Y }
+		gz := func(p m3.Vec) float64 { return p.Z }
+		ixx += f2(gy) + f2(gz)
+		iyy += f2(gx) + f2(gz)
+		izz += f2(gx) + f2(gy)
+		ixy += fxy(gx, gy)
+		iyz += fxy(gy, gz)
+		izx += fxy(gz, gx)
+	}
+	if vol <= m3.Eps {
+		// Degenerate hull: fall back to a point mass.
+		h.volume = 0
+		h.unitInertia = m3.Ident
+		return
+	}
+	h.volume = vol
+	h.centroid = ctr.Scale(1 / vol)
+	// Shift inertia to the centroid (parallel axis) and normalize to
+	// unit mass (density = 1/vol).
+	cx, cy, cz := h.centroid.X, h.centroid.Y, h.centroid.Z
+	ixx = ixx/vol - (cy*cy + cz*cz)
+	iyy = iyy/vol - (cx*cx + cz*cz)
+	izz = izz/vol - (cx*cx + cy*cy)
+	ixy = ixy/vol - cx*cy
+	iyz = iyz/vol - cy*cz
+	izx = izx/vol - cz*cx
+	h.unitInertia = m3.Mat{M: [3][3]float64{
+		{ixx, -ixy, -izx},
+		{-ixy, iyy, -iyz},
+		{-izx, -iyz, izz},
+	}}
+}
+
+// Kind implements Shape.
+func (h *Hull) Kind() Kind { return KindHull }
+
+// AABB implements Shape.
+func (h *Hull) AABB(pos m3.Vec, rot m3.Mat) m3.AABB {
+	box := m3.EmptyAABB()
+	for _, v := range h.Verts {
+		w := rot.MulVec(v).Add(pos)
+		box = box.Union(m3.AABB{Min: w, Max: w})
+	}
+	return box
+}
+
+// Volume implements Shape.
+func (h *Hull) Volume() float64 { return h.volume }
+
+// Inertia implements Shape.
+func (h *Hull) Inertia(mass float64) m3.Mat {
+	return h.unitInertia.Scale(mass)
+}
+
+// SupportLocal returns the hull vertex most extreme along local
+// direction d.
+func (h *Hull) SupportLocal(d m3.Vec) m3.Vec {
+	best := math.Inf(-1)
+	var out m3.Vec
+	for _, v := range h.Verts {
+		if dot := v.Dot(d); dot > best {
+			best = dot
+			out = v
+		}
+	}
+	return out
+}
+
+// Radius returns the bounding radius about the center of mass.
+func (h *Hull) Radius() float64 { return h.radius }
+
+// BoxHull builds the hull of an axis-aligned box (used by tests to
+// cross-validate GJK/EPA against the analytic box paths).
+func BoxHull(half m3.Vec) *Hull {
+	var verts []m3.Vec
+	for i := 0; i < 8; i++ {
+		verts = append(verts, m3.V(
+			half.X*float64(1-2*(i&1)),
+			half.Y*float64(1-2*((i>>1)&1)),
+			half.Z*float64(1-2*((i>>2)&1)),
+		))
+	}
+	// 12 triangles, outward winding.
+	faces := []Tri{
+		{0, 2, 3}, {0, 3, 1}, // -z? (indices per bit layout below)
+		{4, 5, 7}, {4, 7, 6},
+		{0, 1, 5}, {0, 5, 4},
+		{2, 6, 7}, {2, 7, 3},
+		{0, 4, 6}, {0, 6, 2},
+		{1, 3, 7}, {1, 7, 5},
+	}
+	return NewHull(verts, faces)
+}

@@ -1,0 +1,183 @@
+// Package geom defines the collision shapes used by the physics engine
+// (sphere, box, capsule, plane, heightfield, triangle mesh), their mass
+// properties, and the Geom placement type that positions a shape in the
+// world and links it to a rigid body.
+package geom
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// Kind identifies a shape type.
+type Kind int
+
+// Shape kinds, ordered so that the narrow phase can dispatch on the pair
+// (min(kind), max(kind)).
+const (
+	KindSphere Kind = iota
+	KindBox
+	KindCapsule
+	KindPlane
+	KindHeightField
+	KindTriMesh
+	KindHull
+	numKinds
+)
+
+var kindNames = [...]string{"sphere", "box", "capsule", "plane", "heightfield", "trimesh", "hull"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// Shape is a collision shape in its local frame.
+type Shape interface {
+	// Kind returns the shape type for narrow-phase dispatch.
+	Kind() Kind
+	// AABB returns the world-space bounding box of the shape placed at
+	// pos with rotation rot.
+	AABB(pos m3.Vec, rot m3.Mat) m3.AABB
+	// Volume returns the shape volume. Zero for shapes that cannot be
+	// attached to dynamic bodies (plane, heightfield, trimesh).
+	Volume() float64
+	// Inertia returns the body-frame inertia tensor for the given mass,
+	// about the shape's center of mass.
+	Inertia(mass float64) m3.Mat
+}
+
+// Sphere is a sphere of radius R centered at the local origin.
+type Sphere struct {
+	R float64
+}
+
+// Kind implements Shape.
+func (s Sphere) Kind() Kind { return KindSphere }
+
+// AABB implements Shape.
+func (s Sphere) AABB(pos m3.Vec, _ m3.Mat) m3.AABB {
+	return m3.AABBAt(pos, m3.V(s.R, s.R, s.R))
+}
+
+// Volume implements Shape.
+func (s Sphere) Volume() float64 { return 4.0 / 3.0 * math.Pi * s.R * s.R * s.R }
+
+// Inertia implements Shape.
+func (s Sphere) Inertia(mass float64) m3.Mat {
+	i := 2.0 / 5.0 * mass * s.R * s.R
+	return m3.Diag(m3.V(i, i, i))
+}
+
+// Box is an axis-aligned box in its local frame with half-extents Half.
+type Box struct {
+	Half m3.Vec
+}
+
+// Kind implements Shape.
+func (b Box) Kind() Kind { return KindBox }
+
+// AABB implements Shape.
+func (b Box) AABB(pos m3.Vec, rot m3.Mat) m3.AABB {
+	// World half extents are |R| * half.
+	var h m3.Vec
+	for i := 0; i < 3; i++ {
+		e := math.Abs(rot.M[i][0])*b.Half.X +
+			math.Abs(rot.M[i][1])*b.Half.Y +
+			math.Abs(rot.M[i][2])*b.Half.Z
+		h = h.SetComp(i, e)
+	}
+	return m3.AABBAt(pos, h)
+}
+
+// Volume implements Shape.
+func (b Box) Volume() float64 { return 8 * b.Half.X * b.Half.Y * b.Half.Z }
+
+// Inertia implements Shape.
+func (b Box) Inertia(mass float64) m3.Mat {
+	x2 := 4 * b.Half.X * b.Half.X
+	y2 := 4 * b.Half.Y * b.Half.Y
+	z2 := 4 * b.Half.Z * b.Half.Z
+	k := mass / 12
+	return m3.Diag(m3.V(k*(y2+z2), k*(x2+z2), k*(x2+y2)))
+}
+
+// Capsule is a capsule of radius R whose axis spans the local Z axis
+// from -HalfLen to +HalfLen (the cylinder part; the hemispherical caps
+// extend beyond).
+type Capsule struct {
+	R       float64
+	HalfLen float64
+}
+
+// Kind implements Shape.
+func (c Capsule) Kind() Kind { return KindCapsule }
+
+// Axis returns the world-space unit axis of the capsule under rot.
+func (c Capsule) Axis(rot m3.Mat) m3.Vec { return rot.Col(2) }
+
+// Ends returns the world-space centers of the two cap hemispheres.
+func (c Capsule) Ends(pos m3.Vec, rot m3.Mat) (m3.Vec, m3.Vec) {
+	a := c.Axis(rot).Scale(c.HalfLen)
+	return pos.Sub(a), pos.Add(a)
+}
+
+// AABB implements Shape.
+func (c Capsule) AABB(pos m3.Vec, rot m3.Mat) m3.AABB {
+	p0, p1 := c.Ends(pos, rot)
+	box := m3.AABB{Min: p0.Min(p1), Max: p0.Max(p1)}
+	return box.Expand(c.R)
+}
+
+// Volume implements Shape.
+func (c Capsule) Volume() float64 {
+	cyl := math.Pi * c.R * c.R * (2 * c.HalfLen)
+	sph := 4.0 / 3.0 * math.Pi * c.R * c.R * c.R
+	return cyl + sph
+}
+
+// Inertia implements Shape.
+func (c Capsule) Inertia(mass float64) m3.Mat {
+	// Split mass between cylinder and the two hemispherical caps by
+	// volume, then combine standard formulas (caps offset by half-length).
+	vc := math.Pi * c.R * c.R * (2 * c.HalfLen)
+	vs := 4.0 / 3.0 * math.Pi * c.R * c.R * c.R
+	mc := mass * vc / (vc + vs)
+	ms := mass - mc
+	h := 2 * c.HalfLen
+	r2 := c.R * c.R
+	// Cylinder about Z (its axis) and transverse.
+	izz := 0.5*mc*r2 + 0.4*ms*r2
+	it := mc*(3*r2+h*h)/12 +
+		ms*(0.4*r2+0.5*h*c.R+0.25*h*h)
+	return m3.Diag(m3.V(it, it, izz))
+}
+
+// Plane is the infinite static half-space with outward unit Normal and
+// plane equation Normal . p = Offset. Bodies stay on the positive side.
+type Plane struct {
+	Normal m3.Vec
+	Offset float64
+}
+
+// Kind implements Shape.
+func (p Plane) Kind() Kind { return KindPlane }
+
+// AABB implements Shape. Planes are unbounded; broad phase treats them
+// specially, so a huge box is returned.
+func (p Plane) AABB(m3.Vec, m3.Mat) m3.AABB {
+	const big = 1e12
+	return m3.AABB{Min: m3.V(-big, -big, -big), Max: m3.V(big, big, big)}
+}
+
+// Volume implements Shape.
+func (p Plane) Volume() float64 { return 0 }
+
+// Inertia implements Shape.
+func (p Plane) Inertia(float64) m3.Mat { return m3.Mat{} }
+
+// Depth returns the signed distance of point q above the plane.
+func (p Plane) Depth(q m3.Vec) float64 { return p.Normal.Dot(q) - p.Offset }

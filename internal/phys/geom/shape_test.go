@@ -1,0 +1,127 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSphereProperties(t *testing.T) {
+	s := Sphere{R: 2}
+	if got, want := s.Volume(), 4.0/3.0*math.Pi*8; !approx(got, want, 1e-12) {
+		t.Errorf("Volume = %v, want %v", got, want)
+	}
+	in := s.Inertia(5)
+	want := 2.0 / 5.0 * 5 * 4
+	if !approx(in.M[0][0], want, 1e-12) || !approx(in.M[1][1], want, 1e-12) {
+		t.Errorf("Inertia = %v", in)
+	}
+	box := s.AABB(m3.V(1, 2, 3), m3.Ident)
+	if box.Min != (m3.Vec{X: -1, Y: 0, Z: 1}) || box.Max != (m3.Vec{X: 3, Y: 4, Z: 5}) {
+		t.Errorf("AABB = %+v", box)
+	}
+}
+
+func TestBoxAABBRotated(t *testing.T) {
+	b := Box{Half: m3.V(1, 2, 3)}
+	// Rotate 90 degrees about X: Y and Z extents swap.
+	rot := m3.QFromAxisAngle(m3.V(1, 0, 0), math.Pi/2).Mat()
+	box := b.AABB(m3.Zero, rot)
+	e := box.Extent()
+	if !approx(e.X, 2, 1e-9) || !approx(e.Y, 6, 1e-9) || !approx(e.Z, 4, 1e-9) {
+		t.Errorf("rotated box extent = %v", e)
+	}
+}
+
+func TestBoxAABBAlwaysContainsCorners(t *testing.T) {
+	f := func(hx, hy, hz, ax, ay, az, angle float64) bool {
+		b := Box{Half: m3.V(math.Abs(hx)+0.1, math.Abs(hy)+0.1, math.Abs(hz)+0.1)}
+		q := m3.QFromAxisAngle(m3.V(ax, ay, az).Add(m3.V(0.01, 0, 0)), angle)
+		rot := q.Mat()
+		pos := m3.V(ax, ay, az)
+		box := b.AABB(pos, rot)
+		for i := 0; i < 8; i++ {
+			c := m3.V(
+				b.Half.X*float64(1-2*(i&1)),
+				b.Half.Y*float64(1-2*((i>>1)&1)),
+				b.Half.Z*float64(1-2*((i>>2)&1)),
+			)
+			w := rot.MulVec(c).Add(pos)
+			if !box.Expand(1e-9).Contains(w) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(r.Float64()*4 - 2)
+			}
+		}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapsuleVolumeMatchesLimits(t *testing.T) {
+	// A capsule with zero half-length is a sphere.
+	c := Capsule{R: 1.5, HalfLen: 0}
+	s := Sphere{R: 1.5}
+	if !approx(c.Volume(), s.Volume(), 1e-12) {
+		t.Errorf("degenerate capsule volume = %v, want %v", c.Volume(), s.Volume())
+	}
+}
+
+func TestCapsuleEnds(t *testing.T) {
+	c := Capsule{R: 0.5, HalfLen: 2}
+	p0, p1 := c.Ends(m3.V(1, 1, 1), m3.Ident)
+	if p0 != (m3.Vec{X: 1, Y: 1, Z: -1}) || p1 != (m3.Vec{X: 1, Y: 1, Z: 3}) {
+		t.Errorf("ends = %v %v", p0, p1)
+	}
+	box := c.AABB(m3.Zero, m3.Ident)
+	if box.Min != (m3.Vec{X: -0.5, Y: -0.5, Z: -2.5}) {
+		t.Errorf("capsule AABB min = %v", box.Min)
+	}
+}
+
+func TestInertiaPositiveDefinite(t *testing.T) {
+	shapes := []Shape{
+		Sphere{R: 0.5},
+		Box{Half: m3.V(0.2, 0.6, 1.0)},
+		Capsule{R: 0.3, HalfLen: 0.8},
+	}
+	for _, s := range shapes {
+		in := s.Inertia(3)
+		for i := 0; i < 3; i++ {
+			if in.M[i][i] <= 0 {
+				t.Errorf("%v inertia diagonal %d = %v, want > 0", s.Kind(), i, in.M[i][i])
+			}
+		}
+	}
+}
+
+func TestPlaneDepth(t *testing.T) {
+	p := Plane{Normal: m3.V(0, 1, 0), Offset: 2}
+	if got := p.Depth(m3.V(0, 5, 0)); got != 3 {
+		t.Errorf("Depth = %v, want 3", got)
+	}
+	if got := p.Depth(m3.V(0, 0, 0)); got != -2 {
+		t.Errorf("Depth = %v, want -2", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSphere.String() != "sphere" || KindTriMesh.String() != "trimesh" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("out-of-range kind should be unknown")
+	}
+}

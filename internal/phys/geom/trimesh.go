@@ -1,0 +1,119 @@
+package geom
+
+import (
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// Tri indexes the three vertices of a triangle.
+type Tri [3]int32
+
+// TriMesh is a static triangle-mesh shape with a flat BVH (a grid of
+// triangle buckets over the mesh AABB) to accelerate queries. Vertices
+// are in the local frame; placement is by translation only.
+type TriMesh struct {
+	Verts []m3.Vec
+	Tris  []Tri
+	box   m3.AABB
+	// bucketed acceleration structure over local X/Z.
+	nbx, nbz int
+	cellX    float64
+	cellZ    float64
+	buckets  [][]int32 // triangle indices per bucket
+}
+
+// NewTriMesh builds a triangle mesh and its acceleration grid.
+func NewTriMesh(verts []m3.Vec, tris []Tri) *TriMesh {
+	m := &TriMesh{Verts: verts, Tris: tris, box: m3.EmptyAABB()}
+	for _, v := range verts {
+		m.box = m.box.Union(m3.AABB{Min: v, Max: v})
+	}
+	if len(tris) == 0 {
+		return m
+	}
+	// Aim for a handful of triangles per bucket.
+	n := len(tris)
+	m.nbx = intSqrt(n) + 1
+	m.nbz = m.nbx
+	ext := m.box.Extent()
+	m.cellX = ext.X/float64(m.nbx) + m3.Eps
+	m.cellZ = ext.Z/float64(m.nbz) + m3.Eps
+	m.buckets = make([][]int32, m.nbx*m.nbz)
+	for ti, t := range tris {
+		tb := m3.EmptyAABB()
+		for _, vi := range t {
+			v := verts[vi]
+			tb = tb.Union(m3.AABB{Min: v, Max: v})
+		}
+		x0, z0 := m.bucketOf(tb.Min)
+		x1, z1 := m.bucketOf(tb.Max)
+		for z := z0; z <= z1; z++ {
+			for x := x0; x <= x1; x++ {
+				i := z*m.nbx + x
+				m.buckets[i] = append(m.buckets[i], int32(ti))
+			}
+		}
+	}
+	return m
+}
+
+func intSqrt(n int) int {
+	i := 0
+	for i*i < n {
+		i++
+	}
+	return i
+}
+
+func (m *TriMesh) bucketOf(p m3.Vec) (int, int) {
+	x := int((p.X - m.box.Min.X) / m.cellX)
+	z := int((p.Z - m.box.Min.Z) / m.cellZ)
+	if x < 0 {
+		x = 0
+	} else if x >= m.nbx {
+		x = m.nbx - 1
+	}
+	if z < 0 {
+		z = 0
+	} else if z >= m.nbz {
+		z = m.nbz - 1
+	}
+	return x, z
+}
+
+// Kind implements Shape.
+func (m *TriMesh) Kind() Kind { return KindTriMesh }
+
+// AABB implements Shape.
+func (m *TriMesh) AABB(pos m3.Vec, _ m3.Mat) m3.AABB {
+	return m3.AABB{Min: m.box.Min.Add(pos), Max: m.box.Max.Add(pos)}
+}
+
+// Volume implements Shape.
+func (m *TriMesh) Volume() float64 { return 0 }
+
+// Inertia implements Shape.
+func (m *TriMesh) Inertia(float64) m3.Mat { return m3.Mat{} }
+
+// TrianglesIn appends to dst the indices of triangles whose buckets
+// intersect the local-frame box query, and returns dst. Callers must
+// still test individual triangles; duplicates are possible for
+// triangles spanning several buckets.
+func (m *TriMesh) TrianglesIn(query m3.AABB, dst []int32) []int32 {
+	if len(m.Tris) == 0 || !m.box.Overlaps(query) {
+		return dst
+	}
+	x0, z0 := m.bucketOf(query.Min)
+	x1, z1 := m.bucketOf(query.Max)
+	for z := z0; z <= z1; z++ {
+		for x := x0; x <= x1; x++ {
+			dst = append(dst, m.buckets[z*m.nbx+x]...)
+		}
+	}
+	return dst
+}
+
+// TriVerts returns the three vertices of triangle i in the local frame.
+func (m *TriMesh) TriVerts(i int32) (m3.Vec, m3.Vec, m3.Vec) {
+	t := m.Tris[i]
+	return m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+}

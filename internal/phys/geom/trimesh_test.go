@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// quadMesh builds a unit quad in the XZ plane out of two triangles.
+func quadMesh() *TriMesh {
+	verts := []m3.Vec{
+		m3.V(0, 0, 0), m3.V(1, 0, 0), m3.V(1, 0, 1), m3.V(0, 0, 1),
+	}
+	tris := []Tri{{0, 1, 2}, {0, 2, 3}}
+	return NewTriMesh(verts, tris)
+}
+
+func TestTriMeshAABB(t *testing.T) {
+	m := quadMesh()
+	box := m.AABB(m3.V(5, 5, 5), m3.Ident)
+	if box.Min != (m3.Vec{X: 5, Y: 5, Z: 5}) || box.Max != (m3.Vec{X: 6, Y: 5, Z: 6}) {
+		t.Errorf("AABB = %+v", box)
+	}
+}
+
+func TestTriMeshQuery(t *testing.T) {
+	m := quadMesh()
+	got := m.TrianglesIn(m3.AABB{Min: m3.V(-1, -1, -1), Max: m3.V(2, 2, 2)}, nil)
+	seen := map[int32]bool{}
+	for _, i := range got {
+		seen[i] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("full query should return both triangles, got %v", got)
+	}
+	// A query far away returns nothing.
+	if got := m.TrianglesIn(m3.AABB{Min: m3.V(50, 0, 50), Max: m3.V(51, 1, 51)}, nil); len(got) != 0 {
+		t.Errorf("far query returned %v", got)
+	}
+}
+
+func TestTriMeshLocalizedQuery(t *testing.T) {
+	// A larger grid mesh: queries near one corner should not return
+	// every triangle.
+	const n = 16
+	var verts []m3.Vec
+	var tris []Tri
+	for z := 0; z <= n; z++ {
+		for x := 0; x <= n; x++ {
+			verts = append(verts, m3.V(float64(x), 0, float64(z)))
+		}
+	}
+	idx := func(x, z int) int32 { return int32(z*(n+1) + x) }
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			tris = append(tris, Tri{idx(x, z), idx(x+1, z), idx(x+1, z+1)})
+			tris = append(tris, Tri{idx(x, z), idx(x+1, z+1), idx(x, z+1)})
+		}
+	}
+	m := NewTriMesh(verts, tris)
+	got := m.TrianglesIn(m3.AABB{Min: m3.V(0, -1, 0), Max: m3.V(1.5, 1, 1.5)}, nil)
+	if len(got) == 0 {
+		t.Fatal("corner query returned no triangles")
+	}
+	if len(got) >= len(tris)/2 {
+		t.Errorf("corner query returned %d of %d triangles; acceleration grid not localizing", len(got), len(tris))
+	}
+	// Triangle under the corner must be present.
+	seen := map[int32]bool{}
+	for _, i := range got {
+		seen[i] = true
+	}
+	if !seen[0] {
+		t.Error("corner query missed triangle 0")
+	}
+}
+
+func TestTriVerts(t *testing.T) {
+	m := quadMesh()
+	a, b, c := m.TriVerts(1)
+	if a != m.Verts[0] || b != m.Verts[2] || c != m.Verts[3] {
+		t.Errorf("TriVerts = %v %v %v", a, b, c)
+	}
+}
+
+func TestGeomFlags(t *testing.T) {
+	g := &Geom{Flags: FlagStatic | FlagExplosive}
+	if !g.Flags.Has(FlagStatic) || !g.Flags.Has(FlagExplosive) {
+		t.Error("flag Has failed")
+	}
+	if g.Flags.Has(FlagBlast) {
+		t.Error("unset flag reported present")
+	}
+	if !g.Enabled() {
+		t.Error("geom without FlagDisabled should be enabled")
+	}
+	g.Flags |= FlagDisabled
+	if g.Enabled() {
+		t.Error("disabled geom reported enabled")
+	}
+}
+
+func TestShouldCollide(t *testing.T) {
+	s1 := &Geom{Shape: Sphere{R: 1}, Flags: FlagStatic}
+	s2 := &Geom{Shape: Sphere{R: 1}, Flags: FlagStatic}
+	d1 := &Geom{Shape: Sphere{R: 1}, Body: 0}
+	d2 := &Geom{Shape: Sphere{R: 1}, Body: 1}
+	if ShouldCollide(s1, s2) {
+		t.Error("two statics should not collide")
+	}
+	if !ShouldCollide(s1, d1) {
+		t.Error("static vs dynamic should collide")
+	}
+	if !ShouldCollide(d1, d2) {
+		t.Error("dynamic vs dynamic should collide")
+	}
+	d1.Group, d2.Group = 7, 7
+	if ShouldCollide(d1, d2) {
+		t.Error("same group should not collide")
+	}
+	d2.Group = 8
+	if !ShouldCollide(d1, d2) {
+		t.Error("different groups should collide")
+	}
+	d2.Flags |= FlagDisabled
+	if ShouldCollide(d1, d2) {
+		t.Error("disabled geom should not collide")
+	}
+}

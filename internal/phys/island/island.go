@@ -1,0 +1,136 @@
+// Package island implements Island Creation, the engine's serial phase:
+// grouping bodies connected by joints or contacts into independent
+// islands (connected components) using a union-find structure. The full
+// contact topology is only known after the last pair is examined, which
+// is why this phase serializes the pipeline (paper section 3.2).
+package island
+
+// DSU is a union-find (disjoint-set union) structure over body indices.
+type DSU struct {
+	parent []int32
+	rank   []int8
+	// FindSteps counts parent-chain hops, a work measure for the
+	// architecture model.
+	FindSteps int
+}
+
+// NewDSU returns a DSU over n elements, each in its own set.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Find returns the set representative of x, with path compression.
+func (d *DSU) Find(x int32) int32 {
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+		d.FindSteps++
+	}
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing a and b.
+func (d *DSU) Union(a, b int32) {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+}
+
+// Island is one connected component of interacting bodies. Joints and
+// Contacts index into the caller's per-step lists.
+type Island struct {
+	Bodies   []int32
+	Joints   []int32
+	Contacts []int32
+	// DOF is the number of constraint rows (degrees of freedom removed)
+	// in this island — the island's fine-grain task count.
+	DOF int
+}
+
+// Edge connects two bodies through a joint or contact. Either endpoint
+// may be -1 (the static world), which does not merge anything but still
+// assigns the constraint to the island of the dynamic endpoint.
+type Edge struct {
+	A, B int32
+	// Ref is the caller's joint or contact index.
+	Ref int32
+	// IsContact distinguishes the two constraint lists.
+	IsContact bool
+	// DOF is the number of rows this constraint contributes.
+	DOF int
+}
+
+// Build groups the given bodies into islands. active reports whether a
+// body participates (enabled, dynamic, awake); inactive bodies join no
+// island. Constraints whose both endpoints are inactive are dropped.
+// The pass is strictly sequential, mirroring the serial phase.
+func Build(numBodies int, edges []Edge, active func(int32) bool) []Island {
+	islands, _ := BuildCounted(numBodies, edges, active)
+	return islands
+}
+
+// BuildCounted is Build plus the union-find work counter used by the
+// architecture model.
+func BuildCounted(numBodies int, edges []Edge, active func(int32) bool) ([]Island, int) {
+	d := NewDSU(numBodies)
+	act := make([]bool, numBodies)
+	for i := int32(0); i < int32(numBodies); i++ {
+		act[i] = active(i)
+	}
+	on := func(i int32) bool { return i >= 0 && act[i] }
+	for _, e := range edges {
+		if on(e.A) && on(e.B) {
+			d.Union(e.A, e.B)
+		}
+	}
+	// Map roots to island slots.
+	slot := make(map[int32]int)
+	var islands []Island
+	for i := int32(0); i < int32(numBodies); i++ {
+		if !act[i] {
+			continue
+		}
+		r := d.Find(i)
+		s, ok := slot[r]
+		if !ok {
+			s = len(islands)
+			slot[r] = s
+			islands = append(islands, Island{})
+		}
+		islands[s].Bodies = append(islands[s].Bodies, i)
+	}
+	for _, e := range edges {
+		var owner int32 = -1
+		switch {
+		case on(e.A):
+			owner = e.A
+		case on(e.B):
+			owner = e.B
+		default:
+			continue
+		}
+		s := slot[d.Find(owner)]
+		if e.IsContact {
+			islands[s].Contacts = append(islands[s].Contacts, e.Ref)
+		} else {
+			islands[s].Joints = append(islands[s].Joints, e.Ref)
+		}
+		islands[s].DOF += e.DOF
+	}
+	return islands, d.FindSteps
+}

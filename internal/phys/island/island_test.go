@@ -1,0 +1,165 @@
+package island
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func allActive(int32) bool { return true }
+
+func TestDSUBasics(t *testing.T) {
+	d := NewDSU(5)
+	if d.Find(0) == d.Find(1) {
+		t.Fatal("fresh elements should be in distinct sets")
+	}
+	d.Union(0, 1)
+	d.Union(1, 2)
+	if d.Find(0) != d.Find(2) {
+		t.Error("transitive union failed")
+	}
+	if d.Find(3) == d.Find(0) {
+		t.Error("unrelated element merged")
+	}
+	d.Union(0, 0) // self-union is a no-op
+	if d.Find(0) != d.Find(2) {
+		t.Error("self-union corrupted structure")
+	}
+}
+
+func TestDSUMatchesNaive(t *testing.T) {
+	// Property: DSU components match a naive reachability computation.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 40
+		d := NewDSU(n)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for e := 0; e < 50; e++ {
+			a, b := int32(r.Intn(n)), int32(r.Intn(n))
+			d.Union(a, b)
+			adj[a][b], adj[b][a] = true, true
+		}
+		// Floyd-Warshall style closure.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if !adj[i][k] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if adj[k][j] {
+						adj[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				reach := i == j || adj[i][j]
+				same := d.Find(int32(i)) == d.Find(int32(j))
+				if reach != same {
+					t.Fatalf("trial %d: dsu(%d,%d)=%v reach=%v", trial, i, j, same, reach)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSimple(t *testing.T) {
+	// 0-1 joined, 2 alone, 3-4 joined through a contact.
+	edges := []Edge{
+		{A: 0, B: 1, Ref: 0, DOF: 3},
+		{A: 3, B: 4, Ref: 0, IsContact: true, DOF: 3},
+	}
+	islands := Build(5, edges, allActive)
+	if len(islands) != 3 {
+		t.Fatalf("want 3 islands, got %d", len(islands))
+	}
+	sizes := map[int]int{}
+	for _, is := range islands {
+		sizes[len(is.Bodies)]++
+	}
+	if sizes[2] != 2 || sizes[1] != 1 {
+		t.Errorf("island sizes wrong: %+v", islands)
+	}
+}
+
+func TestBuildWorldEdges(t *testing.T) {
+	// Contacts with the static world (-1) do not merge bodies but do
+	// attach to the dynamic body's island.
+	edges := []Edge{
+		{A: 0, B: -1, Ref: 7, IsContact: true, DOF: 3},
+		{A: 1, B: -1, Ref: 8, IsContact: true, DOF: 3},
+	}
+	islands := Build(2, edges, allActive)
+	if len(islands) != 2 {
+		t.Fatalf("want 2 islands, got %d", len(islands))
+	}
+	for _, is := range islands {
+		if len(is.Contacts) != 1 || is.DOF != 3 {
+			t.Errorf("island missing its world contact: %+v", is)
+		}
+	}
+}
+
+func TestBuildInactiveBodies(t *testing.T) {
+	edges := []Edge{
+		{A: 0, B: 1, Ref: 0, DOF: 3},
+		{A: 1, B: 2, Ref: 1, DOF: 3},
+	}
+	// Body 1 inactive: 0 and 2 should stay separate; edges touching only
+	// inactive endpoints keep their active side.
+	islands := Build(3, edges, func(i int32) bool { return i != 1 })
+	if len(islands) != 2 {
+		t.Fatalf("want 2 islands, got %d", len(islands))
+	}
+	// Edge {0,1}: active endpoint 0 -> island of 0 gets joint 0.
+	for _, is := range islands {
+		if len(is.Bodies) != 1 {
+			t.Errorf("island should contain exactly one body: %+v", is)
+		}
+		if len(is.Joints) != 1 {
+			t.Errorf("each island should inherit one dangling joint: %+v", is)
+		}
+	}
+}
+
+func TestBuildDOFAccumulation(t *testing.T) {
+	edges := []Edge{
+		{A: 0, B: 1, Ref: 0, DOF: 5},
+		{A: 1, B: 2, Ref: 1, DOF: 3},
+		{A: 2, B: 0, Ref: 0, IsContact: true, DOF: 9},
+	}
+	islands := Build(3, edges, allActive)
+	if len(islands) != 1 {
+		t.Fatalf("want 1 island, got %d", len(islands))
+	}
+	if islands[0].DOF != 17 {
+		t.Errorf("DOF = %d, want 17", islands[0].DOF)
+	}
+	if len(islands[0].Joints) != 2 || len(islands[0].Contacts) != 1 {
+		t.Errorf("constraint partition wrong: %+v", islands[0])
+	}
+}
+
+func TestBuildChainIsOneIsland(t *testing.T) {
+	const n = 100
+	var edges []Edge
+	for i := int32(0); i < n-1; i++ {
+		edges = append(edges, Edge{A: i, B: i + 1, Ref: i, DOF: 3})
+	}
+	islands := Build(n, edges, allActive)
+	if len(islands) != 1 {
+		t.Fatalf("chain should form one island, got %d", len(islands))
+	}
+	if len(islands[0].Bodies) != n {
+		t.Errorf("island has %d bodies, want %d", len(islands[0].Bodies), n)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if islands := Build(0, nil, allActive); len(islands) != 0 {
+		t.Errorf("empty world produced islands: %v", islands)
+	}
+}

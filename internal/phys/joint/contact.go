@@ -1,0 +1,86 @@
+package joint
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/body"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// ContactMaterial sets the surface response for contact rows.
+type ContactMaterial struct {
+	// Mu is the Coulomb friction coefficient.
+	Mu float64
+	// Restitution is the bounce coefficient in [0, 1].
+	Restitution float64
+	// RestitutionThreshold is the minimum approach speed below which no
+	// bounce is applied (prevents jitter).
+	RestitutionThreshold float64
+}
+
+// DefaultMaterial is the engine-wide surface response.
+var DefaultMaterial = ContactMaterial{
+	Mu:                   0.7,
+	Restitution:          0.1,
+	RestitutionThreshold: 0.5,
+}
+
+// ContactRows appends the 3 constraint rows (1 normal, 2 friction) for a
+// contact between bodies a and b (either may be -1 for static). pos is
+// the world contact point, n the unit normal pushing body B along +n,
+// depth the penetration. rowBase is the absolute index in the island's
+// row list where these rows will land, so friction rows can reference
+// their normal row.
+func ContactRows(bs []*body.Body, a, b int32, pos, n m3.Vec, depth float64,
+	mat ContactMaterial, p Params, rowBase int32, dst []Row) []Row {
+
+	ra, rb := anchorOffsets(bs, a, b, pos)
+
+	// Relative approach velocity along the normal (B relative to A).
+	var va, vb m3.Vec
+	if a >= 0 {
+		va = bs[a].VelocityAt(pos)
+	}
+	if b >= 0 {
+		vb = bs[b].VelocityAt(pos)
+	}
+	vn := vb.Sub(va).Dot(n)
+
+	// Baumgarte bias pushes the pair apart; restitution adds bounce for
+	// fast approaches.
+	rhs := p.ERP / p.Dt * depth
+	if vn < -mat.RestitutionThreshold {
+		if bounce := -mat.Restitution * vn; bounce > rhs {
+			rhs = bounce
+		}
+	}
+
+	normal := Row{
+		BodyA: a, BodyB: b,
+		JLinA: n.Neg(), JAngA: ra.Cross(n).Neg(),
+		JLinB: n, JAngB: rb.Cross(n),
+		RHS: rhs, CFM: p.CFM,
+		Lo: 0, Hi: math.Inf(1),
+		FrictionOf: -1, Joint: -1,
+	}
+	dst = append(dst, normal)
+
+	// Two friction rows spanning the tangent plane, bounded by
+	// mu * (normal impulse).
+	u, w := n.Basis()
+	for _, d := range [2]m3.Vec{u, w} {
+		dst = append(dst, Row{
+			BodyA: a, BodyB: b,
+			JLinA: d.Neg(), JAngA: ra.Cross(d).Neg(),
+			JLinB: d, JAngB: rb.Cross(d),
+			RHS: 0, CFM: p.CFM,
+			Lo: -1, Hi: 1, // scaled by Mu * lambda(normal)
+			FrictionOf: rowBase, Mu: mat.Mu, Joint: -1,
+		})
+	}
+	return dst
+}
+
+// RowsPerContact is the number of solver rows generated per contact
+// point.
+const RowsPerContact = 3

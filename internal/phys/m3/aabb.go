@@ -1,0 +1,90 @@
+package m3
+
+// AABB is an axis-aligned bounding box described by its two corners.
+type AABB struct {
+	Min, Max Vec
+}
+
+// AABBAt returns the box of half-extents h centered at c.
+func AABBAt(c, h Vec) AABB { return AABB{Min: c.Sub(h), Max: c.Add(h)} }
+
+// EmptyAABB returns a box that contains nothing and acts as the identity
+// for Union.
+func EmptyAABB() AABB {
+	const big = 1e300
+	return AABB{Min: Vec{big, big, big}, Max: Vec{-big, -big, -big}}
+}
+
+// Overlaps reports whether a and b intersect (touching counts).
+func (a AABB) Overlaps(b AABB) bool {
+	return a.Min.X <= b.Max.X && a.Max.X >= b.Min.X &&
+		a.Min.Y <= b.Max.Y && a.Max.Y >= b.Min.Y &&
+		a.Min.Z <= b.Max.Z && a.Max.Z >= b.Min.Z
+}
+
+// Contains reports whether point p lies inside a (inclusive).
+func (a AABB) Contains(p Vec) bool {
+	return p.X >= a.Min.X && p.X <= a.Max.X &&
+		p.Y >= a.Min.Y && p.Y <= a.Max.Y &&
+		p.Z >= a.Min.Z && p.Z <= a.Max.Z
+}
+
+// Union returns the smallest box containing both a and b.
+func (a AABB) Union(b AABB) AABB {
+	return AABB{Min: a.Min.Min(b.Min), Max: a.Max.Max(b.Max)}
+}
+
+// Expand returns a grown by margin r on every side.
+func (a AABB) Expand(r float64) AABB {
+	d := Vec{r, r, r}
+	return AABB{Min: a.Min.Sub(d), Max: a.Max.Add(d)}
+}
+
+// Center returns the center point of a.
+func (a AABB) Center() Vec { return a.Min.Add(a.Max).Scale(0.5) }
+
+// Extent returns the full size of a along each axis.
+func (a AABB) Extent() Vec { return a.Max.Sub(a.Min) }
+
+// SurfaceArea returns the total surface area of a. Empty boxes report 0.
+func (a AABB) SurfaceArea() float64 {
+	e := a.Extent()
+	if e.X < 0 || e.Y < 0 || e.Z < 0 {
+		return 0
+	}
+	return 2 * (e.X*e.Y + e.Y*e.Z + e.Z*e.X)
+}
+
+// ClosestPoint returns the point inside a closest to p.
+func (a AABB) ClosestPoint(p Vec) Vec { return p.Max(a.Min).Min(a.Max) }
+
+// RayHits reports whether the segment from o along d*[0,tmax] intersects
+// the box, and if so the entry parameter.
+func (a AABB) RayHits(o, d Vec, tmax float64) (float64, bool) {
+	t0, t1 := 0.0, tmax
+	for i := 0; i < 3; i++ {
+		oi, di := o.Comp(i), d.Comp(i)
+		lo, hi := a.Min.Comp(i), a.Max.Comp(i)
+		if di > -Eps && di < Eps {
+			if oi < lo || oi > hi {
+				return 0, false
+			}
+			continue
+		}
+		inv := 1 / di
+		ta, tb := (lo-oi)*inv, (hi-oi)*inv
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		if t0 > t1 {
+			return 0, false
+		}
+	}
+	return t0, true
+}

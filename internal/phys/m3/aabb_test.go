@@ -1,0 +1,116 @@
+package m3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genAABB(r *rand.Rand) AABB {
+	a, b := genVec(r), genVec(r)
+	return AABB{Min: a.Min(b), Max: a.Max(b)}
+}
+
+func TestAABBOverlapsSymmetric(t *testing.T) {
+	f := func(a, b AABB) bool { return a.Overlaps(b) == b.Overlaps(a) }
+	cfg := quickCfg(30)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genAABB(r))
+		vals[1] = valueOf(genAABB(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABBUnionContainsBoth(t *testing.T) {
+	f := func(a, b AABB) bool {
+		u := a.Union(b)
+		return u.Contains(a.Min) && u.Contains(a.Max) && u.Contains(b.Min) && u.Contains(b.Max)
+	}
+	cfg := quickCfg(31)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genAABB(r))
+		vals[1] = valueOf(genAABB(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABBSelfOverlap(t *testing.T) {
+	f := func(a AABB) bool { return a.Overlaps(a) }
+	cfg := quickCfg(32)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genAABB(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABBClosestPointInside(t *testing.T) {
+	f := func(a AABB, p Vec) bool {
+		return a.Contains(a.ClosestPoint(p))
+	}
+	cfg := quickCfg(33)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genAABB(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABBBasics(t *testing.T) {
+	a := AABB{Min: V(0, 0, 0), Max: V(2, 4, 6)}
+	if got := a.Center(); got != (Vec{1, 2, 3}) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := a.Extent(); got != (Vec{2, 4, 6}) {
+		t.Errorf("Extent = %v", got)
+	}
+	if got := a.SurfaceArea(); got != 2*(8+24+12) {
+		t.Errorf("SurfaceArea = %v", got)
+	}
+	b := a.Expand(1)
+	if b.Min != (Vec{-1, -1, -1}) || b.Max != (Vec{3, 5, 7}) {
+		t.Errorf("Expand = %+v", b)
+	}
+}
+
+func TestAABBAt(t *testing.T) {
+	a := AABBAt(V(1, 1, 1), V(0.5, 0.5, 0.5))
+	if a.Min != (Vec{0.5, 0.5, 0.5}) || a.Max != (Vec{1.5, 1.5, 1.5}) {
+		t.Errorf("AABBAt = %+v", a)
+	}
+}
+
+func TestEmptyAABBUnionIdentity(t *testing.T) {
+	f := func(a AABB) bool { return EmptyAABB().Union(a) == a }
+	cfg := quickCfg(34)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genAABB(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABBRayHits(t *testing.T) {
+	a := AABB{Min: V(-1, -1, -1), Max: V(1, 1, 1)}
+	if tt, ok := a.RayHits(V(-5, 0, 0), V(1, 0, 0), 100); !ok || !approx(tt, 4, 1e-12) {
+		t.Errorf("ray x: t=%v ok=%v", tt, ok)
+	}
+	if _, ok := a.RayHits(V(-5, 3, 0), V(1, 0, 0), 100); ok {
+		t.Error("ray should miss above the box")
+	}
+	if _, ok := a.RayHits(V(-5, 0, 0), V(1, 0, 0), 2); ok {
+		t.Error("ray should stop before reaching the box")
+	}
+	// Ray starting inside hits at t=0.
+	if tt, ok := a.RayHits(V(0, 0, 0), V(0, 1, 0), 10); !ok || tt != 0 {
+		t.Errorf("inside ray: t=%v ok=%v", tt, ok)
+	}
+}

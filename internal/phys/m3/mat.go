@@ -1,0 +1,139 @@
+package m3
+
+import "math"
+
+// Mat is a 3x3 matrix in row-major order.
+type Mat struct {
+	M [3][3]float64
+}
+
+// Ident is the identity matrix.
+var Ident = Mat{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+
+// MatFromRows builds a matrix whose rows are a, b, c.
+func MatFromRows(a, b, c Vec) Mat {
+	return Mat{M: [3][3]float64{
+		{a.X, a.Y, a.Z},
+		{b.X, b.Y, b.Z},
+		{c.X, c.Y, c.Z},
+	}}
+}
+
+// MatFromCols builds a matrix whose columns are a, b, c.
+func MatFromCols(a, b, c Vec) Mat {
+	return Mat{M: [3][3]float64{
+		{a.X, b.X, c.X},
+		{a.Y, b.Y, c.Y},
+		{a.Z, b.Z, c.Z},
+	}}
+}
+
+// Diag builds a diagonal matrix with entries d.
+func Diag(d Vec) Mat {
+	return Mat{M: [3][3]float64{{d.X, 0, 0}, {0, d.Y, 0}, {0, 0, d.Z}}}
+}
+
+// Row returns row i of m.
+func (m Mat) Row(i int) Vec { return Vec{m.M[i][0], m.M[i][1], m.M[i][2]} }
+
+// Col returns column j of m.
+func (m Mat) Col(j int) Vec { return Vec{m.M[0][j], m.M[1][j], m.M[2][j]} }
+
+// MulVec returns m * v.
+func (m Mat) MulVec(v Vec) Vec {
+	return Vec{
+		m.M[0][0]*v.X + m.M[0][1]*v.Y + m.M[0][2]*v.Z,
+		m.M[1][0]*v.X + m.M[1][1]*v.Y + m.M[1][2]*v.Z,
+		m.M[2][0]*v.X + m.M[2][1]*v.Y + m.M[2][2]*v.Z,
+	}
+}
+
+// TMulVec returns transpose(m) * v.
+func (m Mat) TMulVec(v Vec) Vec {
+	return Vec{
+		m.M[0][0]*v.X + m.M[1][0]*v.Y + m.M[2][0]*v.Z,
+		m.M[0][1]*v.X + m.M[1][1]*v.Y + m.M[2][1]*v.Z,
+		m.M[0][2]*v.X + m.M[1][2]*v.Y + m.M[2][2]*v.Z,
+	}
+}
+
+// Mul returns m * n.
+func (m Mat) Mul(n Mat) Mat {
+	var r Mat
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.M[i][j] = m.M[i][0]*n.M[0][j] + m.M[i][1]*n.M[1][j] + m.M[i][2]*n.M[2][j]
+		}
+	}
+	return r
+}
+
+// Add returns m + n.
+func (m Mat) Add(n Mat) Mat {
+	var r Mat
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.M[i][j] = m.M[i][j] + n.M[i][j]
+		}
+	}
+	return r
+}
+
+// Scale returns m with every entry scaled by s.
+func (m Mat) Scale(s float64) Mat {
+	var r Mat
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.M[i][j] = m.M[i][j] * s
+		}
+	}
+	return r
+}
+
+// Transpose returns the transpose of m.
+func (m Mat) Transpose() Mat {
+	var r Mat
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.M[i][j] = m.M[j][i]
+		}
+	}
+	return r
+}
+
+// Det returns the determinant of m.
+func (m Mat) Det() float64 {
+	return m.M[0][0]*(m.M[1][1]*m.M[2][2]-m.M[1][2]*m.M[2][1]) -
+		m.M[0][1]*(m.M[1][0]*m.M[2][2]-m.M[1][2]*m.M[2][0]) +
+		m.M[0][2]*(m.M[1][0]*m.M[2][1]-m.M[1][1]*m.M[2][0])
+}
+
+// Inverse returns the inverse of m. Singular matrices (|det| < Eps)
+// invert to the zero matrix.
+func (m Mat) Inverse() Mat {
+	d := m.Det()
+	if math.Abs(d) < Eps {
+		return Mat{}
+	}
+	inv := 1 / d
+	var r Mat
+	r.M[0][0] = (m.M[1][1]*m.M[2][2] - m.M[1][2]*m.M[2][1]) * inv
+	r.M[0][1] = (m.M[0][2]*m.M[2][1] - m.M[0][1]*m.M[2][2]) * inv
+	r.M[0][2] = (m.M[0][1]*m.M[1][2] - m.M[0][2]*m.M[1][1]) * inv
+	r.M[1][0] = (m.M[1][2]*m.M[2][0] - m.M[1][0]*m.M[2][2]) * inv
+	r.M[1][1] = (m.M[0][0]*m.M[2][2] - m.M[0][2]*m.M[2][0]) * inv
+	r.M[1][2] = (m.M[0][2]*m.M[1][0] - m.M[0][0]*m.M[1][2]) * inv
+	r.M[2][0] = (m.M[1][0]*m.M[2][1] - m.M[1][1]*m.M[2][0]) * inv
+	r.M[2][1] = (m.M[0][1]*m.M[2][0] - m.M[0][0]*m.M[2][1]) * inv
+	r.M[2][2] = (m.M[0][0]*m.M[1][1] - m.M[0][1]*m.M[1][0]) * inv
+	return r
+}
+
+// Skew returns the cross-product matrix of v, so Skew(v).MulVec(w) == v x w.
+func Skew(v Vec) Mat {
+	return Mat{M: [3][3]float64{
+		{0, -v.Z, v.Y},
+		{v.Z, 0, -v.X},
+		{-v.Y, v.X, 0},
+	}}
+}

@@ -1,0 +1,143 @@
+package m3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genMat(r *rand.Rand) Mat {
+	var m Mat
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.M[i][j] = r.Float64()*4 - 2
+		}
+	}
+	return m
+}
+
+func matApprox(a, b Mat, tol float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !approx(a.M[i][j], b.M[i][j], tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMatIdentity(t *testing.T) {
+	f := func(m Mat) bool {
+		return matApprox(m.Mul(Ident), m, 0) && matApprox(Ident.Mul(m), m, 0)
+	}
+	cfg := quickCfg(10)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genMat(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatInverse(t *testing.T) {
+	f := func(m Mat) bool {
+		if d := m.Det(); d > -1e-3 && d < 1e-3 {
+			return true // skip near-singular draws
+		}
+		return matApprox(m.Mul(m.Inverse()), Ident, 1e-6)
+	}
+	cfg := quickCfg(11)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genMat(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatTransposeInvolution(t *testing.T) {
+	f := func(m Mat) bool { return m.Transpose().Transpose() == m }
+	cfg := quickCfg(12)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genMat(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatTMulVecMatchesTranspose(t *testing.T) {
+	f := func(m Mat, v Vec) bool {
+		return vecApprox(m.TMulVec(v), m.Transpose().MulVec(v), 1e-12)
+	}
+	cfg := quickCfg(13)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genMat(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewMatchesCross(t *testing.T) {
+	f := func(a, b Vec) bool {
+		return vecApprox(Skew(a).MulVec(b), a.Cross(b), 1e-12)
+	}
+	cfg := quickCfg(14)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genVec(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatRowsCols(t *testing.T) {
+	m := MatFromRows(V(1, 2, 3), V(4, 5, 6), V(7, 8, 9))
+	if m.Row(1) != (Vec{4, 5, 6}) {
+		t.Errorf("Row(1) = %v", m.Row(1))
+	}
+	if m.Col(2) != (Vec{3, 6, 9}) {
+		t.Errorf("Col(2) = %v", m.Col(2))
+	}
+	n := MatFromCols(V(1, 4, 7), V(2, 5, 8), V(3, 6, 9))
+	if m != n {
+		t.Errorf("rows/cols construction mismatch:\n%v\n%v", m, n)
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag(V(2, 3, 4))
+	if got := d.MulVec(V(1, 1, 1)); got != (Vec{2, 3, 4}) {
+		t.Errorf("Diag mul = %v", got)
+	}
+	if d.Det() != 24 {
+		t.Errorf("Diag det = %v", d.Det())
+	}
+}
+
+func TestMatDetProduct(t *testing.T) {
+	f := func(a, b Mat) bool {
+		lhs := a.Mul(b).Det()
+		rhs := a.Det() * b.Det()
+		scale := 1.0
+		if rhs > 1 || rhs < -1 {
+			scale = rhs
+			if scale < 0 {
+				scale = -scale
+			}
+		}
+		return approx(lhs, rhs, 1e-8*scale+1e-8)
+	}
+	cfg := quickCfg(15)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genMat(r))
+		vals[1] = valueOf(genMat(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

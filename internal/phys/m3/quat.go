@@ -1,0 +1,101 @@
+package m3
+
+import "math"
+
+// Quat is a rotation quaternion (W + Xi + Yj + Zk).
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QIdent is the identity rotation.
+var QIdent = Quat{W: 1}
+
+// QFromAxisAngle returns the quaternion rotating by angle radians about
+// the given axis. The axis need not be unit length.
+func QFromAxisAngle(axis Vec, angle float64) Quat {
+	a := axis.Norm()
+	s, c := math.Sincos(angle / 2)
+	return Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
+}
+
+// QFromEuler returns the quaternion for the given yaw (about Y), pitch
+// (about X) and roll (about Z), applied in roll-pitch-yaw order.
+func QFromEuler(yaw, pitch, roll float64) Quat {
+	qy := QFromAxisAngle(Vec{0, 1, 0}, yaw)
+	qp := QFromAxisAngle(Vec{1, 0, 0}, pitch)
+	qr := QFromAxisAngle(Vec{0, 0, 1}, roll)
+	return qy.Mul(qp).Mul(qr)
+}
+
+// Mul returns the composition q * p (apply p first, then q).
+func (q Quat) Mul(p Quat) Quat {
+	return Quat{
+		W: q.W*p.W - q.X*p.X - q.Y*p.Y - q.Z*p.Z,
+		X: q.W*p.X + q.X*p.W + q.Y*p.Z - q.Z*p.Y,
+		Y: q.W*p.Y - q.X*p.Z + q.Y*p.W + q.Z*p.X,
+		Z: q.W*p.Z + q.X*p.Y - q.Y*p.X + q.Z*p.W,
+	}
+}
+
+// Conj returns the conjugate of q (the inverse rotation for unit q).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Len returns the quaternion magnitude.
+func (q Quat) Len() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Norm returns q normalized to unit length; a degenerate quaternion
+// normalizes to the identity.
+func (q Quat) Norm() Quat {
+	l := q.Len()
+	if l < Eps {
+		return QIdent
+	}
+	inv := 1 / l
+	return Quat{W: q.W * inv, X: q.X * inv, Y: q.Y * inv, Z: q.Z * inv}
+}
+
+// Rotate applies the rotation q to vector v.
+func (q Quat) Rotate(v Vec) Vec {
+	// v' = v + 2*u x (u x v + w*v), u = (X,Y,Z)
+	u := Vec{q.X, q.Y, q.Z}
+	t := u.Cross(v).Add(v.Scale(q.W))
+	return v.Add(u.Cross(t).Scale(2))
+}
+
+// Mat returns the rotation matrix equivalent to q (assumed unit).
+func (q Quat) Mat() Mat {
+	x2, y2, z2 := q.X*q.X, q.Y*q.Y, q.Z*q.Z
+	xy, xz, yz := q.X*q.Y, q.X*q.Z, q.Y*q.Z
+	wx, wy, wz := q.W*q.X, q.W*q.Y, q.W*q.Z
+	return Mat{M: [3][3]float64{
+		{1 - 2*(y2+z2), 2 * (xy - wz), 2 * (xz + wy)},
+		{2 * (xy + wz), 1 - 2*(x2+z2), 2 * (yz - wx)},
+		{2 * (xz - wy), 2 * (yz + wx), 1 - 2*(x2+y2)},
+	}}
+}
+
+// Integrate advances orientation q by angular velocity w over dt seconds
+// using the standard first-order quaternion derivative, renormalizing
+// the result.
+func (q Quat) Integrate(w Vec, dt float64) Quat {
+	dq := Quat{W: 0, X: w.X, Y: w.Y, Z: w.Z}.Mul(q)
+	h := dt / 2
+	return Quat{
+		W: q.W + dq.W*h,
+		X: q.X + dq.X*h,
+		Y: q.Y + dq.Y*h,
+		Z: q.Z + dq.Z*h,
+	}.Norm()
+}
+
+// IsFinite reports whether every component of q is finite.
+func (q Quat) IsFinite() bool {
+	for _, c := range [4]float64{q.W, q.X, q.Y, q.Z} {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package m3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genQuat(r *rand.Rand) Quat {
+	return QFromAxisAngle(genVec(r).Add(Vec{0.01, 0.01, 0.01}), r.Float64()*2*math.Pi)
+}
+
+func TestQuatIdentityRotation(t *testing.T) {
+	f := func(v Vec) bool { return vecApprox(QIdent.Rotate(v), v, 1e-12) }
+	cfg := quickCfg(20)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatRotatePreservesLength(t *testing.T) {
+	f := func(q Quat, v Vec) bool {
+		return approx(q.Rotate(v).Len(), v.Len(), 1e-8)
+	}
+	cfg := quickCfg(21)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genQuat(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	f := func(q Quat, v Vec) bool {
+		return vecApprox(q.Conj().Rotate(q.Rotate(v)), v, 1e-8)
+	}
+	cfg := quickCfg(22)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genQuat(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatMatMatchesRotate(t *testing.T) {
+	f := func(q Quat, v Vec) bool {
+		return vecApprox(q.Mat().MulVec(v), q.Rotate(v), 1e-8)
+	}
+	cfg := quickCfg(23)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genQuat(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	f := func(q, p Quat, v Vec) bool {
+		return vecApprox(q.Mul(p).Rotate(v), q.Rotate(p.Rotate(v)), 1e-7)
+	}
+	cfg := quickCfg(24)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genQuat(r))
+		vals[1] = valueOf(genQuat(r))
+		vals[2] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatAxisAngle(t *testing.T) {
+	q := QFromAxisAngle(V(0, 0, 1), math.Pi/2)
+	got := q.Rotate(V(1, 0, 0))
+	if !vecApprox(got, V(0, 1, 0), 1e-12) {
+		t.Errorf("90 deg about z: got %v, want (0,1,0)", got)
+	}
+}
+
+func TestQuatIntegrateStaysUnit(t *testing.T) {
+	q := QIdent
+	w := V(3, -2, 5)
+	for i := 0; i < 1000; i++ {
+		q = q.Integrate(w, 0.01)
+	}
+	if !approx(q.Len(), 1, 1e-9) {
+		t.Errorf("integrated quaternion drifted from unit: |q| = %v", q.Len())
+	}
+}
+
+func TestQuatIntegrateMatchesAxisAngle(t *testing.T) {
+	// Integrating a constant angular velocity in many small steps should
+	// approximate the closed-form axis-angle rotation.
+	w := V(0, 1, 0)
+	q := QIdent
+	const steps = 10000
+	const total = 1.0 // radians
+	for i := 0; i < steps; i++ {
+		q = q.Integrate(w, total/steps)
+	}
+	want := QFromAxisAngle(w, total)
+	v := V(1, 0, 0)
+	if !vecApprox(q.Rotate(v), want.Rotate(v), 1e-4) {
+		t.Errorf("integrated rotation %v, want %v", q.Rotate(v), want.Rotate(v))
+	}
+}
+
+func TestQuatNormDegenerate(t *testing.T) {
+	if got := (Quat{}).Norm(); got != QIdent {
+		t.Errorf("zero quat norm = %v, want identity", got)
+	}
+}
+
+func TestQuatEuler(t *testing.T) {
+	q := QFromEuler(math.Pi/2, 0, 0) // yaw 90 about Y
+	got := q.Rotate(V(1, 0, 0))
+	if !vecApprox(got, V(0, 0, -1), 1e-12) {
+		t.Errorf("yaw rotate = %v, want (0,0,-1)", got)
+	}
+}

@@ -1,0 +1,8 @@
+package m3
+
+import "reflect"
+
+// reflectValue and valueOf keep the property-test value generators terse.
+type reflectValue = reflect.Value
+
+func valueOf(x interface{}) reflect.Value { return reflect.ValueOf(x) }

@@ -1,0 +1,128 @@
+// Package m3 provides the small fixed-size linear algebra used by the
+// physics engine: 3-vectors, 3x3 matrices, quaternions and axis-aligned
+// bounding boxes. All types are values; operations return new values and
+// never mutate their receivers.
+package m3
+
+import "math"
+
+// Eps is the tolerance used by the geometric routines when comparing
+// lengths and penetration depths.
+const Eps = 1e-9
+
+// Vec is a 3-component vector.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for Vec{x, y, z}.
+func V(x, y, z float64) Vec { return Vec{x, y, z} }
+
+// Zero is the zero vector.
+var Zero = Vec{}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec) Neg() Vec { return Vec{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v . w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec) Cross(w Vec) Vec {
+	return Vec{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns |v|.
+func (v Vec) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns |v|^2.
+func (v Vec) Len2() float64 { return v.Dot(v) }
+
+// Dist returns |v - w|.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
+
+// Norm returns v normalized to unit length. The zero vector normalizes
+// to the zero vector.
+func (v Vec) Norm() Vec {
+	l := v.Len()
+	if l < Eps {
+		return Vec{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Mul returns the component-wise product of v and w.
+func (v Vec) Mul(w Vec) Vec { return Vec{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Abs returns the component-wise absolute value of v.
+func (v Vec) Abs() Vec { return Vec{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)} }
+
+// Min returns the component-wise minimum of v and w.
+func (v Vec) Min(w Vec) Vec {
+	return Vec{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vec) Max(w Vec) Vec {
+	return Vec{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// Comp returns component i of v (0 = X, 1 = Y, 2 = Z).
+func (v Vec) Comp(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// SetComp returns v with component i replaced by x.
+func (v Vec) SetComp(i int, x float64) Vec {
+	switch i {
+	case 0:
+		v.X = x
+	case 1:
+		v.Y = x
+	default:
+		v.Z = x
+	}
+	return v
+}
+
+// Lerp returns the linear interpolation between v and w at parameter t.
+func (v Vec) Lerp(w Vec, t float64) Vec { return v.Add(w.Sub(v).Scale(t)) }
+
+// IsFinite reports whether every component of v is finite.
+func (v Vec) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// Basis returns two unit vectors u, w such that {n, u, w} form an
+// orthonormal basis. n must be unit length.
+func (n Vec) Basis() (u, w Vec) {
+	if math.Abs(n.X) > 0.7 {
+		u = Vec{n.Y, -n.X, 0}.Norm()
+	} else {
+		u = Vec{0, n.Z, -n.Y}.Norm()
+	}
+	w = n.Cross(u)
+	return u, w
+}

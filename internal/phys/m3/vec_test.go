@@ -1,0 +1,182 @@
+package m3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genVec draws a bounded random vector so products stay finite.
+func genVec(r *rand.Rand) Vec {
+	return Vec{r.Float64()*20 - 10, r.Float64()*20 - 10, r.Float64()*20 - 10}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecApprox(a, b Vec, tol float64) bool {
+	return approx(a.X, b.X, tol) && approx(a.Y, b.Y, tol) && approx(a.Z, b.Z, tol)
+}
+
+func quickCfg(seed int64) *quick.Config {
+	r := rand.New(rand.NewSource(seed))
+	return &quick.Config{MaxCount: 300, Rand: r}
+}
+
+func TestVecAddSub(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, -5, 6)
+	if got := v.Add(w); got != (Vec{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestVecDotCross(t *testing.T) {
+	x, y, z := V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y cross z = %v, want x", got)
+	}
+	if got := x.Dot(y); got != 0 {
+		t.Errorf("x.y = %v, want 0", got)
+	}
+}
+
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(a, b Vec) bool {
+		c := a.Cross(b)
+		return approx(c.Dot(a), 0, 1e-8) && approx(c.Dot(b), 0, 1e-8)
+	}
+	cfg := quickCfg(1)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genVec(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossAnticommutative(t *testing.T) {
+	f := func(a, b Vec) bool {
+		return vecApprox(a.Cross(b), b.Cross(a).Neg(), 1e-12)
+	}
+	cfg := quickCfg(2)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genVec(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLagrangeIdentity(t *testing.T) {
+	// |a x b|^2 = |a|^2 |b|^2 - (a.b)^2
+	f := func(a, b Vec) bool {
+		lhs := a.Cross(b).Len2()
+		rhs := a.Len2()*b.Len2() - a.Dot(b)*a.Dot(b)
+		return approx(lhs, rhs, 1e-6*(1+math.Abs(rhs)))
+	}
+	cfg := quickCfg(3)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genVec(r))
+		vals[1] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormUnitLength(t *testing.T) {
+	f := func(a Vec) bool {
+		n := a.Norm()
+		if a.Len() < Eps {
+			return n == Zero
+		}
+		return approx(n.Len(), 1, 1e-9)
+	}
+	cfg := quickCfg(4)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBasisOrthonormal(t *testing.T) {
+	f := func(a Vec) bool {
+		if a.Len() < 1e-3 {
+			return true
+		}
+		n := a.Norm()
+		u, w := n.Basis()
+		return approx(u.Len(), 1, 1e-9) && approx(w.Len(), 1, 1e-9) &&
+			approx(n.Dot(u), 0, 1e-9) && approx(n.Dot(w), 0, 1e-9) &&
+			approx(u.Dot(w), 0, 1e-9)
+	}
+	cfg := quickCfg(5)
+	cfg.Values = func(vals []reflectValue, r *rand.Rand) {
+		vals[0] = valueOf(genVec(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompRoundTrip(t *testing.T) {
+	v := V(1, 2, 3)
+	for i := 0; i < 3; i++ {
+		v = v.SetComp(i, float64(10+i))
+	}
+	if v != (Vec{10, 11, 12}) {
+		t.Errorf("SetComp round trip = %v", v)
+	}
+	if v.Comp(0) != 10 || v.Comp(1) != 11 || v.Comp(2) != 12 {
+		t.Errorf("Comp readback failed: %v", v)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	a, b := V(1, -2, 3), V(-4, 5, -6)
+	if got := a.Min(b); got != (Vec{-4, -2, -6}) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Vec{1, 5, 3}) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := b.Abs(); got != (Vec{4, 5, 6}) {
+		t.Errorf("Abs = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, 20, 30)
+	if got := a.Lerp(b, 0.5); got != (Vec{5, 10, 15}) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec{math.NaN(), 0, 0}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vec{0, math.Inf(1), 0}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}

@@ -1,0 +1,266 @@
+package narrowphase
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// boxBox generates the contact manifold between two oriented boxes using
+// the separating-axis test over the 15 candidate axes, followed by
+// reference-face clipping (for face axes) or edge-edge closest points
+// (for edge axes).
+func boxBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	ba := a.Shape.(geom.Box)
+	bb := b.Shape.(geom.Box)
+	ra, rb := a.Rot, b.Rot
+	d := b.Pos.Sub(a.Pos)
+
+	type axisInfo struct {
+		n     m3.Vec // world axis, unit, oriented from A toward B
+		depth float64
+		kind  int // 0..5 face of A/B, 6.. edge pair
+		ea    int // edge axis index on A (for edge case)
+		eb    int // edge axis index on B
+	}
+	best := axisInfo{depth: math.Inf(1), kind: -1}
+
+	// overlap computes penetration along axis n (unit).
+	overlap := func(n m3.Vec) (float64, bool) {
+		proj := func(rot m3.Mat, half m3.Vec) float64 {
+			return math.Abs(n.Dot(rot.Col(0)))*half.X +
+				math.Abs(n.Dot(rot.Col(1)))*half.Y +
+				math.Abs(n.Dot(rot.Col(2)))*half.Z
+		}
+		dist := math.Abs(n.Dot(d))
+		pen := proj(ra, ba.Half) + proj(rb, bb.Half) - dist
+		return pen, pen > 0
+	}
+
+	consider := func(n m3.Vec, kind, ea, eb int, bias float64) bool {
+		if n.Len2() < 1e-12 {
+			return true // degenerate (parallel edges); skip
+		}
+		n = n.Norm()
+		pen, ok := overlap(n)
+		if !ok {
+			return false
+		}
+		// Small bias prefers face axes over edge axes at equal depth,
+		// which yields more stable manifolds.
+		if pen*bias < best.depth {
+			if n.Dot(d) < 0 {
+				n = n.Neg()
+			}
+			best = axisInfo{n: n, depth: pen, kind: kind, ea: ea, eb: eb}
+		}
+		return true
+	}
+
+	for i := 0; i < 3; i++ {
+		if !consider(ra.Col(i), i, 0, 0, 1.0) {
+			return dst
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !consider(rb.Col(i), 3+i, 0, 0, 1.0) {
+			return dst
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !consider(ra.Col(i).Cross(rb.Col(j)), 6, i, j, 1.05) {
+				return dst
+			}
+		}
+	}
+	if best.kind < 0 {
+		return dst
+	}
+
+	if best.kind >= 6 {
+		// Edge-edge contact: find the closest points of the two edges
+		// most aligned with the contact.
+		pa := supportEdge(a.Pos, ra, ba.Half, best.n, best.ea)
+		pb2 := supportEdge(b.Pos, rb, bb.Half, best.n.Neg(), best.eb)
+		c1, c2, _, _ := closestPtSegSeg(pa[0], pa[1], pb2[0], pb2[1])
+		return append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos:    c1.Add(c2).Scale(0.5),
+			Normal: best.n,
+			Depth:  best.depth,
+		})
+	}
+
+	// Face contact: clip the incident face of the other box against the
+	// side planes of the reference face.
+	var refPos, incPos m3.Vec
+	var refRot, incRot m3.Mat
+	var refHalf, incHalf m3.Vec
+	var n m3.Vec // outward reference-face normal
+	flip := false
+	if best.kind < 3 {
+		refPos, refRot, refHalf = a.Pos, ra, ba.Half
+		incPos, incRot, incHalf = b.Pos, rb, bb.Half
+		n = best.n // points from A to B = outward from reference box A
+	} else {
+		refPos, refRot, refHalf = b.Pos, rb, bb.Half
+		incPos, incRot, incHalf = a.Pos, ra, ba.Half
+		n = best.n.Neg() // outward from reference box B
+		flip = true
+	}
+	pts := clipFaceContacts(refPos, refRot, refHalf, incPos, incRot, incHalf, n)
+	start := len(dst)
+	for _, p := range pts {
+		if p.depth <= 0 {
+			continue
+		}
+		nrm := best.n
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos: p.pos, Normal: nrm, Depth: p.depth,
+		})
+	}
+	_ = flip
+	if len(dst) == start {
+		// Clipping produced nothing (deep skew case): fall back to a
+		// single central contact so the solver still separates the pair.
+		mid := a.Pos.Add(d.Scale(0.5))
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos: mid, Normal: best.n, Depth: best.depth,
+		})
+	}
+	return capManifold(dst, start)
+}
+
+// supportEdge returns the edge of the box (pos,rot,half) along local
+// axis idx that is extremal in direction dir.
+func supportEdge(pos m3.Vec, rot m3.Mat, half m3.Vec, dir m3.Vec, idx int) [2]m3.Vec {
+	// Pick corner signs for the two non-edge axes that maximize dot(dir).
+	var signs [3]float64
+	for i := 0; i < 3; i++ {
+		if i == idx {
+			continue
+		}
+		if dir.Dot(rot.Col(i)) >= 0 {
+			signs[i] = 1
+		} else {
+			signs[i] = -1
+		}
+	}
+	center := pos
+	for i := 0; i < 3; i++ {
+		if i == idx {
+			continue
+		}
+		center = center.Add(rot.Col(i).Scale(signs[i] * half.Comp(i)))
+	}
+	e := rot.Col(idx).Scale(half.Comp(idx))
+	return [2]m3.Vec{center.Sub(e), center.Add(e)}
+}
+
+type clipPoint struct {
+	pos   m3.Vec
+	depth float64
+}
+
+// clipFaceContacts clips the incident face of the incident box against
+// the reference face's side planes and returns points penetrating the
+// reference face. n is the outward reference face normal (world).
+func clipFaceContacts(refPos m3.Vec, refRot m3.Mat, refHalf m3.Vec,
+	incPos m3.Vec, incRot m3.Mat, incHalf m3.Vec, n m3.Vec) []clipPoint {
+
+	// Reference face: the face of the reference box whose normal is most
+	// aligned with n.
+	refAxis, refSign := mostAligned(refRot, n)
+	// Incident face: the face of the incident box most anti-aligned.
+	incAxis, incSign := mostAligned(incRot, n.Neg())
+
+	// Incident face corners (world).
+	u, v := other2(incAxis)
+	fc := incPos.Add(incRot.Col(incAxis).Scale(incSign * incHalf.Comp(incAxis)))
+	du := incRot.Col(u).Scale(incHalf.Comp(u))
+	dv := incRot.Col(v).Scale(incHalf.Comp(v))
+	poly := []m3.Vec{
+		fc.Add(du).Add(dv),
+		fc.Add(du).Sub(dv),
+		fc.Sub(du).Sub(dv),
+		fc.Sub(du).Add(dv),
+	}
+
+	// Clip against the 4 side planes of the reference face.
+	ru, rv := other2(refAxis)
+	for _, side := range [4]struct {
+		axis int
+		sign float64
+	}{{ru, 1}, {ru, -1}, {rv, 1}, {rv, -1}} {
+		pn := refRot.Col(side.axis).Scale(side.sign)
+		off := pn.Dot(refPos) + refHalf.Comp(side.axis)
+		poly = clipPoly(poly, pn, off)
+		if len(poly) == 0 {
+			return nil
+		}
+	}
+
+	// Keep points below the reference face; depth measured against it.
+	fn := refRot.Col(refAxis).Scale(refSign)
+	faceOff := fn.Dot(refPos) + refHalf.Comp(refAxis)
+	var out []clipPoint
+	for _, p := range poly {
+		depth := faceOff - fn.Dot(p)
+		if depth > 0 {
+			out = append(out, clipPoint{pos: p, depth: depth})
+		}
+	}
+	return out
+}
+
+// mostAligned returns the local axis index of rot most aligned with dir
+// and the sign of the alignment.
+func mostAligned(rot m3.Mat, dir m3.Vec) (int, float64) {
+	bi, bd, bs := 0, -1.0, 1.0
+	for i := 0; i < 3; i++ {
+		d := dir.Dot(rot.Col(i))
+		s := 1.0
+		if d < 0 {
+			d, s = -d, -1.0
+		}
+		if d > bd {
+			bi, bd, bs = i, d, s
+		}
+	}
+	return bi, bs
+}
+
+func other2(i int) (int, int) {
+	switch i {
+	case 0:
+		return 1, 2
+	case 1:
+		return 0, 2
+	default:
+		return 0, 1
+	}
+}
+
+// clipPoly clips a convex polygon against the half-space n.p <= off.
+func clipPoly(poly []m3.Vec, n m3.Vec, off float64) []m3.Vec {
+	var out []m3.Vec
+	for i := 0; i < len(poly); i++ {
+		p := poly[i]
+		q := poly[(i+1)%len(poly)]
+		dp := n.Dot(p) - off
+		dq := n.Dot(q) - off
+		if dp <= 0 {
+			out = append(out, p)
+		}
+		if (dp < 0 && dq > 0) || (dp > 0 && dq < 0) {
+			t := dp / (dp - dq)
+			out = append(out, p.Lerp(q, t))
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package narrowphase implements the second stage of collision
+// detection: computing contact points, normals and penetration depths
+// for each candidate geom pair produced by the broad phase. Every pair
+// is independent of every other, which is the source of the massive
+// fine-grain parallelism the ParallAX architecture exploits.
+package narrowphase
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// clamp01 clamps t to [0, 1].
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// closestPtSegSeg returns the closest points between segments [p1,q1]
+// and [p2,q2] and the segment parameters at which they occur.
+func closestPtSegSeg(p1, q1, p2, q2 m3.Vec) (c1, c2 m3.Vec, s, t float64) {
+	d1 := q1.Sub(p1)
+	d2 := q2.Sub(p2)
+	r := p1.Sub(p2)
+	a := d1.Len2()
+	e := d2.Len2()
+	f := d2.Dot(r)
+
+	switch {
+	case a <= m3.Eps && e <= m3.Eps:
+		return p1, p2, 0, 0
+	case a <= m3.Eps:
+		t = clamp01(f / e)
+		return p1, p2.Add(d2.Scale(t)), 0, t
+	}
+	c := d1.Dot(r)
+	if e <= m3.Eps {
+		s = clamp01(-c / a)
+		return p1.Add(d1.Scale(s)), p2, s, 0
+	}
+	b := d1.Dot(d2)
+	den := a*e - b*b
+	if den > m3.Eps {
+		s = clamp01((b*f - c*e) / den)
+	}
+	t = (b*s + f) / e
+	if t < 0 {
+		t = 0
+		s = clamp01(-c / a)
+	} else if t > 1 {
+		t = 1
+		s = clamp01((b - c) / a)
+	}
+	c1 = p1.Add(d1.Scale(s))
+	c2 = p2.Add(d2.Scale(t))
+	return c1, c2, s, t
+}
+
+// closestPtPointTriangle returns the point on triangle (a,b,c) closest
+// to p.
+func closestPtPointTriangle(p, a, b, c m3.Vec) m3.Vec {
+	ab := b.Sub(a)
+	ac := c.Sub(a)
+	ap := p.Sub(a)
+	d1 := ab.Dot(ap)
+	d2 := ac.Dot(ap)
+	if d1 <= 0 && d2 <= 0 {
+		return a
+	}
+	bp := p.Sub(b)
+	d3 := ab.Dot(bp)
+	d4 := ac.Dot(bp)
+	if d3 >= 0 && d4 <= d3 {
+		return b
+	}
+	vc := d1*d4 - d3*d2
+	if vc <= 0 && d1 >= 0 && d3 <= 0 {
+		v := d1 / (d1 - d3)
+		return a.Add(ab.Scale(v))
+	}
+	cp := p.Sub(c)
+	d5 := ab.Dot(cp)
+	d6 := ac.Dot(cp)
+	if d6 >= 0 && d5 <= d6 {
+		return c
+	}
+	vb := d5*d2 - d1*d6
+	if vb <= 0 && d2 >= 0 && d6 <= 0 {
+		w := d2 / (d2 - d6)
+		return a.Add(ac.Scale(w))
+	}
+	va := d3*d6 - d5*d4
+	if va <= 0 && (d4-d3) >= 0 && (d5-d6) >= 0 {
+		w := (d4 - d3) / ((d4 - d3) + (d5 - d6))
+		return b.Add(c.Sub(b).Scale(w))
+	}
+	den := 1 / (va + vb + vc)
+	v := vb * den
+	w := vc * den
+	return a.Add(ab.Scale(v)).Add(ac.Scale(w))
+}
+
+// closestPtSegTriangle returns closest points between segment [p,q] and
+// triangle (a,b,c).
+func closestPtSegTriangle(p, q, a, b, c m3.Vec) (onSeg, onTri m3.Vec) {
+	// Candidate 1..3: segment vs each triangle edge.
+	best := math.Inf(1)
+	check := func(s, t m3.Vec) {
+		if d := s.Sub(t).Len2(); d < best {
+			best = d
+			onSeg, onTri = s, t
+		}
+	}
+	for _, e := range [3][2]m3.Vec{{a, b}, {b, c}, {c, a}} {
+		s1, s2, _, _ := closestPtSegSeg(p, q, e[0], e[1])
+		check(s1, s2)
+	}
+	// Candidate 4..5: endpoints vs triangle interior.
+	check(p, closestPtPointTriangle(p, a, b, c))
+	check(q, closestPtPointTriangle(q, a, b, c))
+	// Candidate 6: segment crossing the triangle plane inside the face.
+	n := b.Sub(a).Cross(c.Sub(a))
+	if n.Len2() > m3.Eps {
+		dp := n.Dot(p.Sub(a))
+		dq := n.Dot(q.Sub(a))
+		if dp*dq < 0 { // endpoints straddle the plane
+			t := dp / (dp - dq)
+			x := p.Lerp(q, t)
+			if closestPtPointTriangle(x, a, b, c).Sub(x).Len2() < m3.Eps {
+				onSeg, onTri = x, x
+			}
+		}
+	}
+	return onSeg, onTri
+}
+
+// closestPtPointBox returns the point on (or in) an oriented box closest
+// to p, plus whether p is inside. The box has half-extents half, center
+// pos, rotation rot.
+func closestPtPointBox(p, pos m3.Vec, rot m3.Mat, half m3.Vec) (m3.Vec, bool) {
+	l := rot.TMulVec(p.Sub(pos)) // into box frame
+	inside := true
+	var cl m3.Vec
+	for i := 0; i < 3; i++ {
+		v := l.Comp(i)
+		h := half.Comp(i)
+		if v < -h {
+			v = -h
+			inside = false
+		} else if v > h {
+			v = h
+			inside = false
+		}
+		cl = cl.SetComp(i, v)
+	}
+	return rot.MulVec(cl).Add(pos), inside
+}
+
+// deepestInteriorAxis returns, for a point strictly inside a box (local
+// coordinates l), the face normal (local) and penetration depth to the
+// nearest face.
+func deepestInteriorAxis(l, half m3.Vec) (m3.Vec, float64) {
+	bestDepth := math.Inf(1)
+	var n m3.Vec
+	for i := 0; i < 3; i++ {
+		h := half.Comp(i)
+		v := l.Comp(i)
+		if d := h - v; d < bestDepth { // +face
+			bestDepth = d
+			n = m3.Zero.SetComp(i, 1)
+		}
+		if d := h + v; d < bestDepth { // -face
+			bestDepth = d
+			n = m3.Zero.SetComp(i, -1)
+		}
+	}
+	return n, bestDepth
+}

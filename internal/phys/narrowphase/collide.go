@@ -1,0 +1,390 @@
+package narrowphase
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// Contact is a single contact point between two geoms.
+type Contact struct {
+	// A and B are the geom IDs; Normal points from A's surface into B,
+	// so separating the pair pushes B along +Normal and A along -Normal.
+	A, B   int32
+	Pos    m3.Vec
+	Normal m3.Vec
+	// Depth is the penetration depth (>= 0 at generation time).
+	Depth float64
+}
+
+// MaxContactsPerPair caps the manifold size for one geom pair.
+const MaxContactsPerPair = 4
+
+// Stats counts the work done by narrow-phase calls; the architecture
+// model converts these counts into kernel iterations.
+type Stats struct {
+	PairsTested  int
+	ContactsOut  int
+	TriTests     int // triangle-level primitive tests (heightfield/trimesh)
+	PrimTests    int // convex primitive pair tests
+	DeepestDepth float64
+}
+
+// Collide computes the contact manifold for the pair (a, b) and appends
+// it to dst. Pairs involving blast volumes or cloth proxies produce no
+// rigid contacts here; the engine handles them separately.
+func Collide(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	if st != nil {
+		st.PairsTested++
+	}
+	// Canonicalize so that kind(a) <= kind(b); flip results if swapped.
+	flipped := false
+	if a.Shape.Kind() > b.Shape.Kind() {
+		a, b = b, a
+		flipped = true
+	}
+	start := len(dst)
+	dst = collideOrdered(a, b, dst, st)
+	if flipped {
+		for i := start; i < len(dst); i++ {
+			dst[i].A, dst[i].B = dst[i].B, dst[i].A
+			dst[i].Normal = dst[i].Normal.Neg()
+		}
+	}
+	if st != nil {
+		st.ContactsOut += len(dst) - start
+		for i := start; i < len(dst); i++ {
+			if dst[i].Depth > st.DeepestDepth {
+				st.DeepestDepth = dst[i].Depth
+			}
+		}
+	}
+	return dst
+}
+
+func collideOrdered(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	switch a.Shape.Kind() {
+	case geom.KindSphere:
+		switch b.Shape.Kind() {
+		case geom.KindSphere:
+			return sphereSphere(a, b, dst, st)
+		case geom.KindBox:
+			return sphereBox(a, b, dst, st)
+		case geom.KindCapsule:
+			return sphereCapsule(a, b, dst, st)
+		case geom.KindPlane:
+			return spherePlane(a, b, dst, st)
+		case geom.KindHeightField:
+			return sphereHeightField(a, b, dst, st)
+		case geom.KindTriMesh:
+			return sphereTriMesh(a, b, dst, st)
+		case geom.KindHull:
+			return convexConvex(a, b, dst, st)
+		}
+	case geom.KindBox:
+		switch b.Shape.Kind() {
+		case geom.KindBox:
+			return boxBox(a, b, dst, st)
+		case geom.KindCapsule:
+			return boxCapsule(a, b, dst, st)
+		case geom.KindPlane:
+			return boxPlane(a, b, dst, st)
+		case geom.KindHeightField:
+			return boxHeightField(a, b, dst, st)
+		case geom.KindTriMesh:
+			return boxTriMesh(a, b, dst, st)
+		case geom.KindHull:
+			return convexConvex(a, b, dst, st)
+		}
+	case geom.KindCapsule:
+		switch b.Shape.Kind() {
+		case geom.KindCapsule:
+			return capsuleCapsule(a, b, dst, st)
+		case geom.KindPlane:
+			return capsulePlane(a, b, dst, st)
+		case geom.KindHeightField:
+			return capsuleHeightField(a, b, dst, st)
+		case geom.KindTriMesh:
+			return capsuleTriMesh(a, b, dst, st)
+		case geom.KindHull:
+			return convexConvex(a, b, dst, st)
+		}
+	case geom.KindPlane:
+		if b.Shape.Kind() == geom.KindHull {
+			return flipped(hullPlane)(a, b, dst, st)
+		}
+	case geom.KindHeightField:
+		if b.Shape.Kind() == geom.KindHull {
+			return flipped(hullHeightField)(a, b, dst, st)
+		}
+	case geom.KindHull:
+		if b.Shape.Kind() == geom.KindHull {
+			return convexConvex(a, b, dst, st)
+		}
+	}
+	// Remaining combinations (plane-plane, static-static meshes,
+	// trimesh-hull, ...) produce no contacts.
+	return dst
+}
+
+// flipped adapts a contact function written for (hull, surface) order to
+// the canonical (surface, hull) dispatch order, swapping ids and
+// normals in its output.
+func flipped(fn func(a, b *geom.Geom, dst []Contact, st *Stats) []Contact) func(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	return func(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+		start := len(dst)
+		dst = fn(b, a, dst, st)
+		for i := start; i < len(dst); i++ {
+			dst[i].A, dst[i].B = dst[i].B, dst[i].A
+			dst[i].Normal = dst[i].Normal.Neg()
+		}
+		return dst
+	}
+}
+
+func primTest(st *Stats) {
+	if st != nil {
+		st.PrimTests++
+	}
+}
+
+func triTest(st *Stats) {
+	if st != nil {
+		st.TriTests++
+	}
+}
+
+// ---- sphere pairs ----
+
+func sphereSphere(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	sa := a.Shape.(geom.Sphere)
+	sb := b.Shape.(geom.Sphere)
+	d := b.Pos.Sub(a.Pos)
+	dist := d.Len()
+	pen := sa.R + sb.R - dist
+	if pen <= 0 {
+		return dst
+	}
+	var n m3.Vec
+	if dist > m3.Eps {
+		n = d.Scale(1 / dist)
+	} else {
+		n = m3.V(0, 1, 0)
+	}
+	pos := a.Pos.Add(n.Scale(sa.R - pen/2))
+	return append(dst, Contact{
+		A: int32(a.ID), B: int32(b.ID), Pos: pos, Normal: n, Depth: pen,
+	})
+}
+
+func sphereBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	sa := a.Shape.(geom.Sphere)
+	bb := b.Shape.(geom.Box)
+	cl, inside := closestPtPointBox(a.Pos, b.Pos, b.Rot, bb.Half)
+	if inside {
+		// Sphere center inside the box: push out through nearest face.
+		l := b.Rot.TMulVec(a.Pos.Sub(b.Pos))
+		nLocal, depth := deepestInteriorAxis(l, bb.Half)
+		n := b.Rot.MulVec(nLocal).Neg() // from sphere into box
+		return append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos: a.Pos, Normal: n, Depth: depth + sa.R,
+		})
+	}
+	d := cl.Sub(a.Pos)
+	dist := d.Len()
+	pen := sa.R - dist
+	if pen <= 0 {
+		return dst
+	}
+	n := d.Scale(1 / math.Max(dist, m3.Eps))
+	return append(dst, Contact{
+		A: int32(a.ID), B: int32(b.ID), Pos: cl, Normal: n, Depth: pen,
+	})
+}
+
+func sphereCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	sa := a.Shape.(geom.Sphere)
+	cb := b.Shape.(geom.Capsule)
+	p0, p1 := cb.Ends(b.Pos, b.Rot)
+	// Closest point on the capsule axis segment to the sphere center.
+	seg := p1.Sub(p0)
+	t := clamp01(a.Pos.Sub(p0).Dot(seg) / math.Max(seg.Len2(), m3.Eps))
+	cl := p0.Add(seg.Scale(t))
+	d := cl.Sub(a.Pos)
+	dist := d.Len()
+	pen := sa.R + cb.R - dist
+	if pen <= 0 {
+		return dst
+	}
+	var n m3.Vec
+	if dist > m3.Eps {
+		n = d.Scale(1 / dist)
+	} else {
+		n = m3.V(0, 1, 0)
+	}
+	pos := a.Pos.Add(n.Scale(sa.R - pen/2))
+	return append(dst, Contact{
+		A: int32(a.ID), B: int32(b.ID), Pos: pos, Normal: n, Depth: pen,
+	})
+}
+
+func spherePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	sa := a.Shape.(geom.Sphere)
+	pb := b.Shape.(geom.Plane)
+	depth := sa.R - pb.Depth(a.Pos)
+	if depth <= 0 {
+		return dst
+	}
+	// Plane pushes the sphere along +plane normal, so the contact normal
+	// (from sphere A into plane B) is -plane normal.
+	return append(dst, Contact{
+		A: int32(a.ID), B: int32(b.ID),
+		Pos:    a.Pos.Sub(pb.Normal.Scale(sa.R - depth/2)),
+		Normal: pb.Normal.Neg(),
+		Depth:  depth,
+	})
+}
+
+// ---- capsule pairs ----
+
+func capsuleCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	ca := a.Shape.(geom.Capsule)
+	cb := b.Shape.(geom.Capsule)
+	a0, a1 := ca.Ends(a.Pos, a.Rot)
+	b0, b1 := cb.Ends(b.Pos, b.Rot)
+	p, q, _, _ := closestPtSegSeg(a0, a1, b0, b1)
+	d := q.Sub(p)
+	dist := d.Len()
+	pen := ca.R + cb.R - dist
+	if pen <= 0 {
+		return dst
+	}
+	var n m3.Vec
+	if dist > m3.Eps {
+		n = d.Scale(1 / dist)
+	} else {
+		n = m3.V(0, 1, 0)
+	}
+	pos := p.Add(n.Scale(ca.R - pen/2))
+	return append(dst, Contact{
+		A: int32(a.ID), B: int32(b.ID), Pos: pos, Normal: n, Depth: pen,
+	})
+}
+
+func capsulePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	ca := a.Shape.(geom.Capsule)
+	pb := b.Shape.(geom.Plane)
+	p0, p1 := ca.Ends(a.Pos, a.Rot)
+	for _, p := range [2]m3.Vec{p0, p1} {
+		depth := ca.R - pb.Depth(p)
+		if depth <= 0 {
+			continue
+		}
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos:    p.Sub(pb.Normal.Scale(ca.R - depth/2)),
+			Normal: pb.Normal.Neg(),
+			Depth:  depth,
+		})
+	}
+	return dst
+}
+
+func boxCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	ba := a.Shape.(geom.Box)
+	cb := b.Shape.(geom.Capsule)
+	c0, c1 := cb.Ends(b.Pos, b.Rot)
+	// Iterative closest-point refinement between the capsule axis and the
+	// box: start from the segment point closest to the box center, then
+	// alternate projections. A few iterations converge well in practice.
+	seg := c1.Sub(c0)
+	t := clamp01(a.Pos.Sub(c0).Dot(seg) / math.Max(seg.Len2(), m3.Eps))
+	var onBox m3.Vec
+	inside := false
+	for it := 0; it < 4; it++ {
+		p := c0.Add(seg.Scale(t))
+		onBox, inside = closestPtPointBox(p, a.Pos, a.Rot, ba.Half)
+		if inside {
+			break
+		}
+		t = clamp01(onBox.Sub(c0).Dot(seg) / math.Max(seg.Len2(), m3.Eps))
+	}
+	p := c0.Add(seg.Scale(t))
+	if inside {
+		l := a.Rot.TMulVec(p.Sub(a.Pos))
+		nLocal, depth := deepestInteriorAxis(l, ba.Half)
+		// Normal from box A into capsule B = outward face normal.
+		n := a.Rot.MulVec(nLocal)
+		return append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos: p, Normal: n, Depth: depth + cb.R,
+		})
+	}
+	d := p.Sub(onBox)
+	dist := d.Len()
+	pen := cb.R - dist
+	if pen <= 0 {
+		return dst
+	}
+	n := d.Scale(1 / math.Max(dist, m3.Eps))
+	return append(dst, Contact{
+		A: int32(a.ID), B: int32(b.ID), Pos: onBox, Normal: n, Depth: pen,
+	})
+}
+
+// ---- box pairs ----
+
+func boxPlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	primTest(st)
+	ba := a.Shape.(geom.Box)
+	pb := b.Shape.(geom.Plane)
+	// Test all 8 corners; keep the deepest MaxContactsPerPair.
+	start := len(dst)
+	for i := 0; i < 8; i++ {
+		c := m3.V(
+			ba.Half.X*float64(1-2*(i&1)),
+			ba.Half.Y*float64(1-2*((i>>1)&1)),
+			ba.Half.Z*float64(1-2*((i>>2)&1)),
+		)
+		w := a.Rot.MulVec(c).Add(a.Pos)
+		depth := -pb.Depth(w)
+		if depth <= 0 {
+			continue
+		}
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos: w, Normal: pb.Normal.Neg(), Depth: depth,
+		})
+	}
+	return capManifold(dst, start)
+}
+
+// capManifold keeps at most MaxContactsPerPair deepest contacts among
+// dst[start:].
+func capManifold(dst []Contact, start int) []Contact {
+	n := len(dst) - start
+	if n <= MaxContactsPerPair {
+		return dst
+	}
+	sub := dst[start:]
+	// Selection of the deepest MaxContactsPerPair (n is tiny).
+	for i := 0; i < MaxContactsPerPair; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if sub[j].Depth > sub[best].Depth {
+				best = j
+			}
+		}
+		sub[i], sub[best] = sub[best], sub[i]
+	}
+	return dst[:start+MaxContactsPerPair]
+}

@@ -1,0 +1,383 @@
+package narrowphase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func mk(id int, s geom.Shape, pos m3.Vec) *geom.Geom {
+	g := &geom.Geom{ID: id, Shape: s, Pos: pos, Rot: m3.Ident, Body: id}
+	g.UpdateAABB()
+	return g
+}
+
+func mkRot(id int, s geom.Shape, pos m3.Vec, q m3.Quat) *geom.Geom {
+	g := &geom.Geom{ID: id, Shape: s, Pos: pos, Rot: q.Mat(), Body: id}
+	g.UpdateAABB()
+	return g
+}
+
+// checkManifold verifies the generic contact invariants: unit normals,
+// non-negative depth, ids matching the input pair.
+func checkManifold(t *testing.T, cs []Contact, a, b *geom.Geom) {
+	t.Helper()
+	for i, c := range cs {
+		if math.Abs(c.Normal.Len()-1) > 1e-6 {
+			t.Errorf("contact %d: normal not unit: %v", i, c.Normal)
+		}
+		if c.Depth < 0 {
+			t.Errorf("contact %d: negative depth %v", i, c.Depth)
+		}
+		if !c.Pos.IsFinite() {
+			t.Errorf("contact %d: non-finite position", i)
+		}
+		ok := (c.A == int32(a.ID) && c.B == int32(b.ID)) ||
+			(c.A == int32(b.ID) && c.B == int32(a.ID))
+		if !ok {
+			t.Errorf("contact %d: ids %d,%d do not match pair %d,%d", i, c.A, c.B, a.ID, b.ID)
+		}
+	}
+}
+
+func TestSphereSphere(t *testing.T) {
+	a := mk(0, geom.Sphere{R: 1}, m3.V(0, 0, 0))
+	b := mk(1, geom.Sphere{R: 1}, m3.V(1.5, 0, 0))
+	cs := Collide(a, b, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, a, b)
+	c := cs[0]
+	if math.Abs(c.Depth-0.5) > 1e-9 {
+		t.Errorf("depth = %v, want 0.5", c.Depth)
+	}
+	if c.Normal.Sub(m3.V(1, 0, 0)).Len() > 1e-9 {
+		t.Errorf("normal = %v, want +x", c.Normal)
+	}
+	// Separated spheres: no contact.
+	b.Pos = m3.V(3, 0, 0)
+	b.UpdateAABB()
+	if cs := Collide(a, b, nil, nil); len(cs) != 0 {
+		t.Errorf("separated spheres produced %d contacts", len(cs))
+	}
+}
+
+func TestSphereSphereCoincident(t *testing.T) {
+	a := mk(0, geom.Sphere{R: 1}, m3.Zero)
+	b := mk(1, geom.Sphere{R: 1}, m3.Zero)
+	cs := Collide(a, b, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("coincident spheres should contact")
+	}
+	checkManifold(t, cs, a, b)
+	if math.Abs(cs[0].Depth-2) > 1e-9 {
+		t.Errorf("depth = %v, want 2", cs[0].Depth)
+	}
+}
+
+func TestSpherePlane(t *testing.T) {
+	s := mk(0, geom.Sphere{R: 1}, m3.V(0, 0.5, 0))
+	p := mk(1, geom.Plane{Normal: m3.V(0, 1, 0), Offset: 0}, m3.Zero)
+	p.Flags = geom.FlagStatic
+	cs := Collide(s, p, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, s, p)
+	if math.Abs(cs[0].Depth-0.5) > 1e-9 {
+		t.Errorf("depth = %v, want 0.5", cs[0].Depth)
+	}
+	// Normal from sphere into plane: -y.
+	if cs[0].Normal.Sub(m3.V(0, -1, 0)).Len() > 1e-9 {
+		t.Errorf("normal = %v, want -y", cs[0].Normal)
+	}
+	// Flipped argument order must flip the normal.
+	cs2 := Collide(p, s, nil, nil)
+	if len(cs2) != 1 {
+		t.Fatalf("flipped: want 1 contact")
+	}
+	if cs2[0].Normal.Sub(m3.V(0, 1, 0)).Len() > 1e-9 {
+		t.Errorf("flipped normal = %v, want +y", cs2[0].Normal)
+	}
+	if cs2[0].A != int32(p.ID) || cs2[0].B != int32(s.ID) {
+		t.Errorf("flipped ids = %d,%d", cs2[0].A, cs2[0].B)
+	}
+}
+
+func TestSphereBoxFace(t *testing.T) {
+	b := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.Zero)
+	s := mk(1, geom.Sphere{R: 0.5}, m3.V(0, 1.25, 0))
+	cs := Collide(s, b, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, s, b)
+	if math.Abs(cs[0].Depth-0.25) > 1e-9 {
+		t.Errorf("depth = %v, want 0.25", cs[0].Depth)
+	}
+	if cs[0].Normal.Sub(m3.V(0, -1, 0)).Len() > 1e-9 {
+		t.Errorf("normal = %v, want -y (sphere pushed up)", cs[0].Normal)
+	}
+}
+
+func TestSphereBoxCenterInside(t *testing.T) {
+	b := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.Zero)
+	s := mk(1, geom.Sphere{R: 0.25}, m3.V(0, 0.9, 0))
+	cs := Collide(s, b, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("want 1 contact for sphere inside box")
+	}
+	checkManifold(t, cs, s, b)
+	if cs[0].Depth < 0.25 {
+		t.Errorf("interior contact depth = %v, want >= sphere radius", cs[0].Depth)
+	}
+}
+
+func TestSphereCapsule(t *testing.T) {
+	c := mk(0, geom.Capsule{R: 0.5, HalfLen: 1}, m3.Zero)
+	s := mk(1, geom.Sphere{R: 0.5}, m3.V(0.75, 0, 0.5))
+	cs := Collide(s, c, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, s, c)
+	if math.Abs(cs[0].Depth-0.25) > 1e-9 {
+		t.Errorf("depth = %v, want 0.25", cs[0].Depth)
+	}
+}
+
+func TestCapsuleCapsuleParallel(t *testing.T) {
+	a := mk(0, geom.Capsule{R: 0.5, HalfLen: 1}, m3.Zero)
+	b := mk(1, geom.Capsule{R: 0.5, HalfLen: 1}, m3.V(0.8, 0, 0))
+	cs := Collide(a, b, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, a, b)
+	if math.Abs(cs[0].Depth-0.2) > 1e-9 {
+		t.Errorf("depth = %v, want 0.2", cs[0].Depth)
+	}
+}
+
+func TestCapsulePlane(t *testing.T) {
+	// Capsule lying along Z, resting 0.3 into the ground.
+	c := mk(0, geom.Capsule{R: 0.5, HalfLen: 1}, m3.V(0, 0.2, 0))
+	p := mk(1, geom.Plane{Normal: m3.V(0, 1, 0)}, m3.Zero)
+	cs := Collide(c, p, nil, nil)
+	if len(cs) != 2 {
+		t.Fatalf("horizontal capsule on plane: want 2 contacts, got %d", len(cs))
+	}
+	checkManifold(t, cs, c, p)
+	for _, ct := range cs {
+		if math.Abs(ct.Depth-0.3) > 1e-9 {
+			t.Errorf("depth = %v, want 0.3", ct.Depth)
+		}
+	}
+}
+
+func TestBoxPlaneResting(t *testing.T) {
+	b := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.V(0, 0.9, 0))
+	p := mk(1, geom.Plane{Normal: m3.V(0, 1, 0)}, m3.Zero)
+	cs := Collide(b, p, nil, nil)
+	if len(cs) != 4 {
+		t.Fatalf("resting box: want 4 contacts, got %d", len(cs))
+	}
+	checkManifold(t, cs, b, p)
+	for _, c := range cs {
+		if math.Abs(c.Depth-0.1) > 1e-9 {
+			t.Errorf("depth = %v, want 0.1", c.Depth)
+		}
+	}
+}
+
+func TestBoxBoxFaceStack(t *testing.T) {
+	a := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.Zero)
+	b := mk(1, geom.Box{Half: m3.V(1, 1, 1)}, m3.V(0, 1.8, 0))
+	cs := Collide(a, b, nil, nil)
+	if len(cs) != 4 {
+		t.Fatalf("stacked boxes: want 4 contacts, got %d", len(cs))
+	}
+	checkManifold(t, cs, a, b)
+	for _, c := range cs {
+		if math.Abs(c.Depth-0.2) > 1e-6 {
+			t.Errorf("depth = %v, want 0.2", c.Depth)
+		}
+		if c.Normal.Sub(m3.V(0, 1, 0)).Len() > 1e-6 {
+			t.Errorf("normal = %v, want +y", c.Normal)
+		}
+	}
+}
+
+func TestBoxBoxSeparated(t *testing.T) {
+	a := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.Zero)
+	b := mk(1, geom.Box{Half: m3.V(1, 1, 1)}, m3.V(0, 2.5, 0))
+	if cs := Collide(a, b, nil, nil); len(cs) != 0 {
+		t.Errorf("separated boxes produced %d contacts", len(cs))
+	}
+	// Rotated 45 degrees: corner gap opens, still separated.
+	c := mkRot(2, geom.Box{Half: m3.V(1, 1, 1)}, m3.V(3.0, 0, 0),
+		m3.QFromAxisAngle(m3.V(0, 0, 1), math.Pi/4))
+	if cs := Collide(a, c, nil, nil); len(cs) != 0 {
+		t.Errorf("diagonal boxes produced %d contacts", len(cs))
+	}
+}
+
+func TestBoxBoxEdgeContact(t *testing.T) {
+	a := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.Zero)
+	// Box rotated 45 about X and Z sits with an edge poking down.
+	q := m3.QFromAxisAngle(m3.V(1, 0, 0), math.Pi/4)
+	b := mkRot(1, geom.Box{Half: m3.V(1, 1, 1)}, m3.V(0, 2.3, 0), q)
+	cs := Collide(a, b, nil, nil)
+	if len(cs) == 0 {
+		t.Fatal("edge-on box should contact")
+	}
+	checkManifold(t, cs, a, b)
+	for _, c := range cs {
+		if c.Normal.Y < 0.7 {
+			t.Errorf("edge contact normal should point mostly +y: %v", c.Normal)
+		}
+	}
+}
+
+func TestBoxCapsuleSide(t *testing.T) {
+	b := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.Zero)
+	c := mk(1, geom.Capsule{R: 0.5, HalfLen: 1}, m3.V(1.3, 0, 0))
+	cs := Collide(b, c, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, b, c)
+	if math.Abs(cs[0].Depth-0.2) > 1e-6 {
+		t.Errorf("depth = %v, want 0.2", cs[0].Depth)
+	}
+	if cs[0].Normal.X < 0.99 {
+		t.Errorf("normal = %v, want +x", cs[0].Normal)
+	}
+}
+
+func TestSphereHeightField(t *testing.T) {
+	hs := make([]float64, 16)
+	hf := geom.NewHeightField(4, 4, 1, 1, hs) // flat at 0
+	f := mk(0, hf, m3.Zero)
+	f.Flags = geom.FlagStatic
+	s := mk(1, geom.Sphere{R: 0.5}, m3.V(1.5, 0.3, 1.5))
+	cs := Collide(s, f, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("sphere on terrain: want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, s, f)
+	if math.Abs(cs[0].Depth-0.2) > 1e-6 {
+		t.Errorf("depth = %v, want 0.2", cs[0].Depth)
+	}
+}
+
+func TestBoxHeightField(t *testing.T) {
+	hs := make([]float64, 16)
+	hf := geom.NewHeightField(4, 4, 1, 1, hs)
+	f := mk(0, hf, m3.Zero)
+	b := mk(1, geom.Box{Half: m3.V(0.4, 0.4, 0.4)}, m3.V(1.5, 0.3, 1.5))
+	cs := Collide(b, f, nil, nil)
+	if len(cs) != 4 {
+		t.Fatalf("box on flat terrain: want 4 contacts, got %d", len(cs))
+	}
+	checkManifold(t, cs, b, f)
+}
+
+func TestSphereTriMesh(t *testing.T) {
+	verts := []m3.Vec{m3.V(-2, 0, -2), m3.V(2, 0, -2), m3.V(2, 0, 2), m3.V(-2, 0, 2)}
+	tm := geom.NewTriMesh(verts, []geom.Tri{{0, 1, 2}, {0, 2, 3}})
+	f := mk(0, tm, m3.Zero)
+	s := mk(1, geom.Sphere{R: 0.5}, m3.V(0.5, 0.3, 0.5))
+	cs := Collide(s, f, nil, nil)
+	if len(cs) == 0 {
+		t.Fatal("sphere on mesh: want contact")
+	}
+	checkManifold(t, cs, s, f)
+	if math.Abs(cs[0].Depth-0.2) > 1e-6 {
+		t.Errorf("depth = %v, want 0.2", cs[0].Depth)
+	}
+}
+
+func TestCapsuleTriMesh(t *testing.T) {
+	verts := []m3.Vec{m3.V(-2, 0, -2), m3.V(2, 0, -2), m3.V(2, 0, 2), m3.V(-2, 0, 2)}
+	tm := geom.NewTriMesh(verts, []geom.Tri{{0, 1, 2}, {0, 2, 3}})
+	f := mk(0, tm, m3.Zero)
+	c := mk(1, geom.Capsule{R: 0.3, HalfLen: 0.8}, m3.V(0, 0.2, 0))
+	cs := Collide(c, f, nil, nil)
+	if len(cs) == 0 {
+		t.Fatal("capsule on mesh: want contact")
+	}
+	checkManifold(t, cs, c, f)
+}
+
+func TestStatsCounting(t *testing.T) {
+	var st Stats
+	a := mk(0, geom.Sphere{R: 1}, m3.Zero)
+	b := mk(1, geom.Sphere{R: 1}, m3.V(1, 0, 0))
+	Collide(a, b, nil, &st)
+	if st.PairsTested != 1 || st.ContactsOut != 1 || st.PrimTests != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DeepestDepth <= 0 {
+		t.Errorf("deepest depth not recorded: %v", st.DeepestDepth)
+	}
+}
+
+// Property test: random convex pairs near each other either produce no
+// contacts or contacts satisfying the manifold invariants, and moving
+// the shapes apart along the first contact normal eventually separates
+// them.
+func TestRandomPairsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	shapes := func(i int) geom.Shape {
+		switch i % 3 {
+		case 0:
+			return geom.Sphere{R: 0.3 + r.Float64()*0.5}
+		case 1:
+			return geom.Box{Half: m3.V(0.2+r.Float64()*0.5, 0.2+r.Float64()*0.5, 0.2+r.Float64()*0.5)}
+		default:
+			return geom.Capsule{R: 0.2 + r.Float64()*0.3, HalfLen: 0.3 + r.Float64()*0.5}
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		a := mkRot(0, shapes(trial), m3.Zero,
+			m3.QFromAxisAngle(m3.V(r.Float64(), r.Float64(), r.Float64()+0.01), r.Float64()*6))
+		b := mkRot(1, shapes(trial+1),
+			m3.V(r.Float64()*2-1, r.Float64()*2-1, r.Float64()*2-1),
+			m3.QFromAxisAngle(m3.V(r.Float64(), r.Float64()+0.01, r.Float64()), r.Float64()*6))
+		cs := Collide(a, b, nil, nil)
+		checkManifold(t, cs, a, b)
+		if len(cs) > MaxContactsPerPair {
+			t.Fatalf("manifold exceeded cap: %d", len(cs))
+		}
+		if len(cs) > 0 {
+			// Push B away along the normal by depth + margin: the pair must
+			// then separate or at least reduce max depth substantially.
+			deepest := cs[0]
+			for _, c := range cs {
+				if c.Depth > deepest.Depth {
+					deepest = c
+				}
+			}
+			b.Pos = b.Pos.Add(deepest.Normal.Scale(deepest.Depth + 2.1))
+			b.UpdateAABB()
+			cs2 := Collide(a, b, nil, nil)
+			if len(cs2) > 0 {
+				max2 := 0.0
+				for _, c := range cs2 {
+					if c.Depth > max2 {
+						max2 = c.Depth
+					}
+				}
+				if max2 > deepest.Depth {
+					t.Fatalf("trial %d: separation along normal increased depth: %v -> %v",
+						trial, deepest.Depth, max2)
+				}
+			}
+		}
+	}
+}

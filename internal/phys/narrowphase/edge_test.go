@@ -1,0 +1,180 @@
+package narrowphase
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func TestManifoldCapKeepsDeepest(t *testing.T) {
+	// Build 6 synthetic contacts and cap them: the 4 deepest survive.
+	var cs []Contact
+	for i := 0; i < 6; i++ {
+		cs = append(cs, Contact{Depth: float64(i)})
+	}
+	out := capManifold(cs, 0)
+	if len(out) != MaxContactsPerPair {
+		t.Fatalf("cap left %d contacts", len(out))
+	}
+	seen := map[float64]bool{}
+	for _, c := range out {
+		seen[c.Depth] = true
+	}
+	for _, want := range []float64{5, 4, 3, 2} {
+		if !seen[want] {
+			t.Errorf("deepest contact %v dropped by cap", want)
+		}
+	}
+}
+
+func TestManifoldCapRespectsStart(t *testing.T) {
+	// Contacts before start must be untouched.
+	var cs []Contact
+	for i := 0; i < 3; i++ {
+		cs = append(cs, Contact{Depth: 100 + float64(i)})
+	}
+	for i := 0; i < 6; i++ {
+		cs = append(cs, Contact{Depth: float64(i)})
+	}
+	out := capManifold(cs, 3)
+	if len(out) != 3+MaxContactsPerPair {
+		t.Fatalf("cap produced %d contacts", len(out))
+	}
+	for i := 0; i < 3; i++ {
+		if out[i].Depth != 100+float64(i) {
+			t.Errorf("prefix contact %d disturbed", i)
+		}
+	}
+}
+
+func TestBoxBoxRotatedStack(t *testing.T) {
+	// A 45-degree-twisted box resting on another still yields a stable
+	// multi-point manifold with upward normals.
+	a := mk(0, geom.Box{Half: m3.V(1, 0.5, 1)}, m3.Zero)
+	b := mkRot(1, geom.Box{Half: m3.V(1, 0.5, 1)}, m3.V(0, 0.95, 0),
+		m3.QFromAxisAngle(m3.V(0, 1, 0), math.Pi/4))
+	cs := Collide(a, b, nil, nil)
+	if len(cs) < 3 {
+		t.Fatalf("twisted stack: want >= 3 contacts, got %d", len(cs))
+	}
+	checkManifold(t, cs, a, b)
+	for _, c := range cs {
+		if c.Normal.Y < 0.99 {
+			t.Errorf("contact normal not vertical: %v", c.Normal)
+		}
+	}
+}
+
+func TestBoxBoxDeepOverlapStillSeparates(t *testing.T) {
+	// Nearly coincident boxes must produce a contact (the fallback path)
+	// rather than silently nothing.
+	a := mk(0, geom.Box{Half: m3.V(0.5, 0.5, 0.5)}, m3.Zero)
+	b := mk(1, geom.Box{Half: m3.V(0.5, 0.5, 0.5)}, m3.V(0.05, 0.02, -0.03))
+	cs := Collide(a, b, nil, nil)
+	if len(cs) == 0 {
+		t.Fatal("deeply overlapping boxes produced no contacts")
+	}
+	checkManifold(t, cs, a, b)
+}
+
+func TestSmallVsHugeBox(t *testing.T) {
+	// Extreme size ratios (pebble on a building slab) stay well-behaved.
+	slab := mk(0, geom.Box{Half: m3.V(50, 1, 50)}, m3.Zero)
+	pebble := mk(1, geom.Box{Half: m3.V(0.05, 0.05, 0.05)}, m3.V(13.7, 1.04, -22.1))
+	cs := Collide(pebble, slab, nil, nil)
+	if len(cs) == 0 {
+		t.Fatal("pebble not in contact with slab")
+	}
+	checkManifold(t, cs, pebble, slab)
+	for _, c := range cs {
+		if c.Depth > 0.011 {
+			t.Errorf("tiny overlap reported huge depth %v", c.Depth)
+		}
+	}
+}
+
+func TestCapsuleEndCapContact(t *testing.T) {
+	// A vertical capsule standing on a plane touches through its lower
+	// hemisphere only: exactly one contact. (Capsule axes run along
+	// local Z, so standing upright takes a 90-degree rotation about X.)
+	c := mkRot(0, geom.Capsule{R: 0.3, HalfLen: 0.5}, m3.V(0, 0.75, 0),
+		m3.QFromAxisAngle(m3.V(1, 0, 0), math.Pi/2))
+	p := mk(1, geom.Plane{Normal: m3.V(0, 1, 0)}, m3.Zero)
+	cs := Collide(c, p, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("standing capsule: want 1 contact, got %d", len(cs))
+	}
+	if math.Abs(cs[0].Depth-0.05) > 1e-9 {
+		t.Errorf("depth = %v, want 0.05", cs[0].Depth)
+	}
+}
+
+func TestCrossedCapsules(t *testing.T) {
+	// Perpendicular capsules crossing at a skew distance.
+	a := mk(0, geom.Capsule{R: 0.2, HalfLen: 1}, m3.Zero) // along z
+	b := mkRot(1, geom.Capsule{R: 0.2, HalfLen: 1}, m3.V(0, 0.35, 0),
+		m3.QFromAxisAngle(m3.V(0, 1, 0), math.Pi/2)) // along x
+	cs := Collide(a, b, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("crossed capsules: want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, a, b)
+	if math.Abs(cs[0].Depth-0.05) > 1e-9 {
+		t.Errorf("depth = %v, want 0.05", cs[0].Depth)
+	}
+	if math.Abs(cs[0].Normal.Y) < 0.99 {
+		t.Errorf("normal should be vertical: %v", cs[0].Normal)
+	}
+}
+
+func TestHeightFieldSlopeNormal(t *testing.T) {
+	// A sphere resting on a 45-degree ramp gets a tilted normal.
+	n := 8
+	hs := make([]float64, n*n)
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			hs[z*n+x] = float64(x) // rise 1 per cell
+		}
+	}
+	hf := geom.NewHeightField(n, n, 1, 1, hs)
+	f := mk(0, hf, m3.Zero)
+	s := mk(1, geom.Sphere{R: 0.5}, m3.V(3, 3.2, 3))
+	cs := Collide(s, f, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("sphere on ramp: want 1 contact, got %d", len(cs))
+	}
+	// Terrain normal tilts against the slope: -x and +y components.
+	nrm := cs[0].Normal.Neg() // contact normal points into the field
+	if nrm.X >= 0 || nrm.Y <= 0.5 {
+		t.Errorf("ramp surface normal = %v, want tilted (-x, +y)", nrm)
+	}
+}
+
+func TestDeepestDepthTracksWorstPair(t *testing.T) {
+	var st Stats
+	a := mk(0, geom.Sphere{R: 1}, m3.Zero)
+	b := mk(1, geom.Sphere{R: 1}, m3.V(1.9, 0, 0)) // depth 0.1
+	c := mk(2, geom.Sphere{R: 1}, m3.V(0, 1.2, 0)) // depth 0.8
+	Collide(a, b, nil, &st)
+	Collide(a, c, nil, &st)
+	if math.Abs(st.DeepestDepth-0.8) > 1e-9 {
+		t.Errorf("DeepestDepth = %v, want 0.8", st.DeepestDepth)
+	}
+	if st.PairsTested != 2 || st.ContactsOut != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStaticMeshPairsProduceNothing(t *testing.T) {
+	// Plane vs trimesh (two statics that slipped through filtering) must
+	// not panic and must produce no contacts.
+	verts := []m3.Vec{m3.V(0, 0, 0), m3.V(1, 0, 0), m3.V(0, 0, 1)}
+	tm := geom.NewTriMesh(verts, []geom.Tri{{0, 1, 2}})
+	a := mk(0, geom.Plane{Normal: m3.V(0, 1, 0)}, m3.Zero)
+	b := mk(1, tm, m3.Zero)
+	if cs := Collide(a, b, nil, nil); len(cs) != 0 {
+		t.Errorf("plane-trimesh produced %d contacts", len(cs))
+	}
+}

@@ -1,0 +1,193 @@
+package narrowphase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func TestGJKSeparatedSpheres(t *testing.T) {
+	a := mk(0, geom.Sphere{R: 1}, m3.Zero)
+	b := mk(1, geom.Sphere{R: 1}, m3.V(3, 0, 0))
+	if _, _, hit := gjk(supportOf(a), supportOf(b)); hit {
+		t.Error("separated spheres reported overlapping")
+	}
+	b.Pos = m3.V(1.5, 0, 0)
+	if _, _, hit := gjk(supportOf(a), supportOf(b)); !hit {
+		t.Error("overlapping spheres reported separate")
+	}
+}
+
+func TestEPASphereSphereMatchesAnalytic(t *testing.T) {
+	// GJK/EPA on two spheres must reproduce the analytic sphere-sphere
+	// depth and normal.
+	a := mk(0, geom.Sphere{R: 1}, m3.Zero)
+	b := mk(1, geom.Sphere{R: 1}, m3.V(1.4, 0.3, -0.2))
+	want := Collide(a, b, nil, nil)
+	got := convexConvex(a, b, nil, nil)
+	if len(want) != 1 || len(got) != 1 {
+		t.Fatalf("contacts: analytic %d, gjk %d", len(want), len(got))
+	}
+	if math.Abs(got[0].Depth-want[0].Depth) > 0.01 {
+		t.Errorf("depth: gjk %v vs analytic %v", got[0].Depth, want[0].Depth)
+	}
+	if got[0].Normal.Sub(want[0].Normal).Len() > 0.05 {
+		t.Errorf("normal: gjk %v vs analytic %v", got[0].Normal, want[0].Normal)
+	}
+}
+
+func TestHullCubeMatchesBox(t *testing.T) {
+	// A hull-shaped cube colliding with a sphere must agree with the
+	// analytic sphere-box path.
+	half := m3.V(0.5, 0.5, 0.5)
+	hull := mk(0, geom.BoxHull(half), m3.Zero)
+	box := mk(1, geom.Box{Half: half}, m3.Zero)
+	s := mk(2, geom.Sphere{R: 0.4}, m3.V(0.8, 0, 0))
+
+	want := Collide(s, box, nil, nil)
+	got := Collide(s, hull, nil, nil)
+	if len(want) != 1 || len(got) != 1 {
+		t.Fatalf("contacts: box %d, hull %d", len(want), len(got))
+	}
+	if math.Abs(got[0].Depth-want[0].Depth) > 0.01 {
+		t.Errorf("depth: hull %v vs box %v", got[0].Depth, want[0].Depth)
+	}
+	if got[0].Normal.Sub(want[0].Normal).Len() > 0.05 {
+		t.Errorf("normal: hull %v vs box %v", got[0].Normal, want[0].Normal)
+	}
+}
+
+func TestHullMassPropertiesMatchBox(t *testing.T) {
+	half := m3.V(0.3, 0.5, 0.7)
+	h := geom.BoxHull(half)
+	b := geom.Box{Half: half}
+	if math.Abs(h.Volume()-b.Volume())/b.Volume() > 1e-9 {
+		t.Errorf("volume: hull %v vs box %v", h.Volume(), b.Volume())
+	}
+	hi := h.Inertia(5)
+	bi := b.Inertia(5)
+	for i := 0; i < 3; i++ {
+		if math.Abs(hi.M[i][i]-bi.M[i][i])/bi.M[i][i] > 1e-6 {
+			t.Errorf("inertia[%d][%d]: hull %v vs box %v", i, i, hi.M[i][i], bi.M[i][i])
+		}
+	}
+	// Off-diagonals vanish for a symmetric solid.
+	if math.Abs(hi.M[0][1]) > 1e-9 || math.Abs(hi.M[1][2]) > 1e-9 {
+		t.Errorf("hull inertia has spurious products: %v", hi)
+	}
+}
+
+func TestHullCentroidRecentered(t *testing.T) {
+	// A hull built from an off-center cloud re-centers onto its volume
+	// centroid.
+	off := m3.V(3, -2, 5)
+	var verts []m3.Vec
+	for i := 0; i < 8; i++ {
+		verts = append(verts, m3.V(
+			0.5*float64(1-2*(i&1))+off.X,
+			0.5*float64(1-2*((i>>1)&1))+off.Y,
+			0.5*float64(1-2*((i>>2)&1))+off.Z,
+		))
+	}
+	h := geom.NewHull(verts, geom.BoxHull(m3.V(0.5, 0.5, 0.5)).Faces)
+	sum := m3.Zero
+	for _, v := range h.Verts {
+		sum = sum.Add(v)
+	}
+	if sum.Len() > 1e-9 {
+		t.Errorf("re-centered hull vertices do not average to zero: %v", sum)
+	}
+}
+
+func TestHullOnPlaneRests(t *testing.T) {
+	h := mk(0, geom.BoxHull(m3.V(0.5, 0.5, 0.5)), m3.V(0, 0.4, 0))
+	p := mk(1, geom.Plane{Normal: m3.V(0, 1, 0)}, m3.Zero)
+	cs := Collide(h, p, nil, nil)
+	if len(cs) != 4 {
+		t.Fatalf("resting hull cube: want 4 contacts, got %d", len(cs))
+	}
+	checkManifold(t, cs, h, p)
+	for _, c := range cs {
+		if math.Abs(c.Depth-0.1) > 1e-9 {
+			t.Errorf("depth = %v, want 0.1", c.Depth)
+		}
+		if c.Normal.Sub(m3.V(0, -1, 0)).Len() > 1e-9 {
+			t.Errorf("normal = %v, want -y (push hull up)", c.Normal)
+		}
+	}
+	// And with the arguments flipped.
+	cs2 := Collide(p, h, nil, nil)
+	if len(cs2) != 4 || cs2[0].Normal.Y < 0.99 {
+		t.Fatalf("flipped plane-hull manifold wrong: %+v", cs2)
+	}
+}
+
+func TestTetrahedronHull(t *testing.T) {
+	// A non-box hull: a regular-ish tetrahedron dropped point-down onto
+	// a sphere still produces sane contacts via EPA.
+	verts := []m3.Vec{
+		m3.V(0, -0.5, 0), m3.V(0.5, 0.5, 0.5), m3.V(-0.5, 0.5, 0.5), m3.V(0, 0.5, -0.5),
+	}
+	faces := []geom.Tri{{0, 1, 2}, {0, 2, 3}, {0, 3, 1}, {1, 3, 2}}
+	tet := geom.NewHull(verts, faces)
+	if tet.Volume() <= 0 {
+		t.Fatalf("tetrahedron volume = %v", tet.Volume())
+	}
+	a := mk(0, tet, m3.V(0, 0.9, 0))
+	s := mk(1, geom.Sphere{R: 0.5}, m3.Zero)
+	cs := Collide(a, s, nil, nil)
+	if len(cs) != 1 {
+		t.Fatalf("tet vs sphere: want 1 contact, got %d", len(cs))
+	}
+	checkManifold(t, cs, a, s)
+	// The tet is above the sphere: pushing the sphere (B) away means a
+	// downward-ish normal.
+	if cs[0].Normal.Y > -0.5 {
+		t.Errorf("normal = %v, want mostly -y", cs[0].Normal)
+	}
+}
+
+func TestGJKRandomAgainstSphereAnalytic(t *testing.T) {
+	// Property: for random sphere pairs, GJK/EPA and the analytic path
+	// agree on hit/miss and (when hitting) on depth within tolerance.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		ra := 0.3 + r.Float64()
+		rb := 0.3 + r.Float64()
+		a := mk(0, geom.Sphere{R: ra}, m3.Zero)
+		b := mk(1, geom.Sphere{R: rb},
+			m3.V(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2))
+		dist := b.Pos.Len()
+		if math.Abs(dist-(ra+rb)) < 0.02 {
+			continue // skip grazing cases
+		}
+		wantHit := dist < ra+rb
+		got := convexConvex(a, b, nil, nil)
+		if (len(got) > 0) != wantHit {
+			t.Fatalf("trial %d: gjk hit=%v, want %v (dist %v vs %v)",
+				trial, len(got) > 0, wantHit, dist, ra+rb)
+		}
+		if wantHit {
+			wantDepth := ra + rb - dist
+			if math.Abs(got[0].Depth-wantDepth) > 0.02+wantDepth*0.05 {
+				t.Fatalf("trial %d: depth %v, want %v", trial, got[0].Depth, wantDepth)
+			}
+		}
+	}
+}
+
+func TestHullInWorld(t *testing.T) {
+	// End to end: a hull-shaped rock dropped onto the ground settles.
+	// (Uses the narrowphase only via the world package in world tests;
+	// here just confirm repeated collide calls stay stable.)
+	rock := geom.BoxHull(m3.V(0.4, 0.3, 0.5))
+	g := mk(0, rock, m3.V(0, 0.25, 0))
+	p := mk(1, geom.Plane{Normal: m3.V(0, 1, 0)}, m3.Zero)
+	for i := 0; i < 100; i++ {
+		cs := Collide(g, p, nil, nil)
+		checkManifold(t, cs, g, p)
+	}
+}

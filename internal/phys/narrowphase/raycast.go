@@ -1,0 +1,215 @@
+package narrowphase
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// RayHit describes a ray-geom intersection.
+type RayHit struct {
+	Geom   int32
+	T      float64 // distance along the (unit) ray direction
+	Pos    m3.Vec
+	Normal m3.Vec // surface normal at the hit, facing the ray origin
+}
+
+// RayCast intersects the ray from origin o along unit direction dir,
+// limited to maxT, with a single geom. It reports the nearest hit.
+// Ray casting is used by cloth collision (per the paper's cloth phase)
+// and by gameplay queries.
+func RayCast(g *geom.Geom, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	switch s := g.Shape.(type) {
+	case geom.Sphere:
+		return raySphere(g, s, o, dir, maxT)
+	case geom.Box:
+		return rayBox(g, s, o, dir, maxT)
+	case geom.Capsule:
+		return rayCapsule(g, s, o, dir, maxT)
+	case geom.Plane:
+		return rayPlane(g, s, o, dir, maxT)
+	case *geom.HeightField:
+		return rayHeightField(g, s, o, dir, maxT)
+	case *geom.TriMesh:
+		return rayTriMesh(g, s, o, dir, maxT)
+	}
+	return RayHit{}, false
+}
+
+func raySphere(g *geom.Geom, s geom.Sphere, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	m := o.Sub(g.Pos)
+	b := m.Dot(dir)
+	c := m.Len2() - s.R*s.R
+	if c > 0 && b > 0 {
+		return RayHit{}, false
+	}
+	disc := b*b - c
+	if disc < 0 {
+		return RayHit{}, false
+	}
+	t := -b - math.Sqrt(disc)
+	if t < 0 {
+		t = 0
+	}
+	if t > maxT {
+		return RayHit{}, false
+	}
+	pos := o.Add(dir.Scale(t))
+	return RayHit{Geom: int32(g.ID), T: t, Pos: pos, Normal: pos.Sub(g.Pos).Norm()}, true
+}
+
+func rayBox(g *geom.Geom, b geom.Box, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	// Transform the ray into the box frame.
+	lo := g.Rot.TMulVec(o.Sub(g.Pos))
+	ld := g.Rot.TMulVec(dir)
+	box := m3.AABB{Min: b.Half.Neg(), Max: b.Half}
+	t, ok := box.RayHits(lo, ld, maxT)
+	if !ok {
+		return RayHit{}, false
+	}
+	lp := lo.Add(ld.Scale(t))
+	// Normal: the face whose plane we are on.
+	var ln m3.Vec
+	bestD := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		for _, s := range [2]float64{1, -1} {
+			d := math.Abs(lp.Comp(i)*s - b.Half.Comp(i))
+			if d < bestD {
+				bestD = d
+				ln = m3.Zero.SetComp(i, s)
+			}
+		}
+	}
+	return RayHit{
+		Geom: int32(g.ID), T: t,
+		Pos:    g.Rot.MulVec(lp).Add(g.Pos),
+		Normal: g.Rot.MulVec(ln),
+	}, true
+}
+
+func rayCapsule(g *geom.Geom, c geom.Capsule, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	// Conservative iterative march on the distance field of the segment.
+	p0, p1 := c.Ends(g.Pos, g.Rot)
+	t := 0.0
+	for i := 0; i < 64 && t <= maxT; i++ {
+		p := o.Add(dir.Scale(t))
+		cl, _, _, _ := closestPtSegSeg(p, p, p0, p1)
+		_ = cl
+		// distance from p to the axis segment
+		seg := p1.Sub(p0)
+		u := clamp01(p.Sub(p0).Dot(seg) / math.Max(seg.Len2(), m3.Eps))
+		axis := p0.Add(seg.Scale(u))
+		d := p.Dist(axis) - c.R
+		if d < 1e-6 {
+			return RayHit{
+				Geom: int32(g.ID), T: t, Pos: p,
+				Normal: p.Sub(axis).Norm(),
+			}, true
+		}
+		t += d
+	}
+	return RayHit{}, false
+}
+
+func rayPlane(g *geom.Geom, p geom.Plane, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	denom := p.Normal.Dot(dir)
+	if math.Abs(denom) < m3.Eps {
+		return RayHit{}, false
+	}
+	t := -(p.Normal.Dot(o) - p.Offset) / denom
+	if t < 0 || t > maxT {
+		return RayHit{}, false
+	}
+	n := p.Normal
+	if denom > 0 {
+		n = n.Neg()
+	}
+	return RayHit{Geom: int32(g.ID), T: t, Pos: o.Add(dir.Scale(t)), Normal: n}, true
+}
+
+func rayHeightField(g *geom.Geom, hf *geom.HeightField, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	// Fixed-step march over the surface function.
+	step := math.Min(hf.CellX, hf.CellZ) * 0.5
+	prev := o
+	prevAbove := prev.Y >= hf.HeightAt(prev.X-g.Pos.X, prev.Z-g.Pos.Z)+g.Pos.Y
+	for t := step; t <= maxT; t += step {
+		p := o.Add(dir.Scale(t))
+		h := hf.HeightAt(p.X-g.Pos.X, p.Z-g.Pos.Z) + g.Pos.Y
+		above := p.Y >= h
+		if prevAbove && !above {
+			// Bisect between prev and p.
+			a, b := prev, p
+			for i := 0; i < 16; i++ {
+				mid := a.Lerp(b, 0.5)
+				if mid.Y >= hf.HeightAt(mid.X-g.Pos.X, mid.Z-g.Pos.Z)+g.Pos.Y {
+					a = mid
+				} else {
+					b = mid
+				}
+			}
+			hit := a.Lerp(b, 0.5)
+			return RayHit{
+				Geom: int32(g.ID), T: hit.Sub(o).Len(), Pos: hit,
+				Normal: hf.NormalAt(hit.X-g.Pos.X, hit.Z-g.Pos.Z),
+			}, true
+		}
+		prev, prevAbove = p, above
+	}
+	return RayHit{}, false
+}
+
+func rayTriMesh(g *geom.Geom, tm *geom.TriMesh, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	end := o.Add(dir.Scale(maxT))
+	q := m3.AABB{Min: o.Min(end), Max: o.Max(end)}
+	q.Min = q.Min.Sub(g.Pos)
+	q.Max = q.Max.Sub(g.Pos)
+	tris := tm.TrianglesIn(q, nil)
+	best := RayHit{T: math.Inf(1)}
+	found := false
+	seen := map[int32]bool{}
+	for _, ti := range tris {
+		if seen[ti] {
+			continue
+		}
+		seen[ti] = true
+		v0, v1, v2 := tm.TriVerts(ti)
+		v0, v1, v2 = v0.Add(g.Pos), v1.Add(g.Pos), v2.Add(g.Pos)
+		if t, ok := rayTriangle(o, dir, v0, v1, v2, maxT); ok && t < best.T {
+			n := v1.Sub(v0).Cross(v2.Sub(v0)).Norm()
+			if n.Dot(dir) > 0 {
+				n = n.Neg()
+			}
+			best = RayHit{Geom: int32(g.ID), T: t, Pos: o.Add(dir.Scale(t)), Normal: n}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// rayTriangle is the Möller–Trumbore intersection test.
+func rayTriangle(o, dir, v0, v1, v2 m3.Vec, maxT float64) (float64, bool) {
+	e1 := v1.Sub(v0)
+	e2 := v2.Sub(v0)
+	p := dir.Cross(e2)
+	det := e1.Dot(p)
+	if math.Abs(det) < 1e-12 {
+		return 0, false
+	}
+	inv := 1 / det
+	tv := o.Sub(v0)
+	u := tv.Dot(p) * inv
+	if u < 0 || u > 1 {
+		return 0, false
+	}
+	q := tv.Cross(e1)
+	v := dir.Dot(q) * inv
+	if v < 0 || u+v > 1 {
+		return 0, false
+	}
+	t := e2.Dot(q) * inv
+	if t < 0 || t > maxT {
+		return 0, false
+	}
+	return t, true
+}

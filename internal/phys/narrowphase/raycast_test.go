@@ -1,0 +1,123 @@
+package narrowphase
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func TestRaySphere(t *testing.T) {
+	s := mk(0, geom.Sphere{R: 1}, m3.V(5, 0, 0))
+	hit, ok := RayCast(s, m3.Zero, m3.V(1, 0, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit sphere")
+	}
+	if math.Abs(hit.T-4) > 1e-9 {
+		t.Errorf("T = %v, want 4", hit.T)
+	}
+	if hit.Normal.Sub(m3.V(-1, 0, 0)).Len() > 1e-9 {
+		t.Errorf("normal = %v, want -x", hit.Normal)
+	}
+	if _, ok := RayCast(s, m3.Zero, m3.V(0, 1, 0), 100); ok {
+		t.Error("perpendicular ray should miss")
+	}
+	if _, ok := RayCast(s, m3.Zero, m3.V(1, 0, 0), 3); ok {
+		t.Error("short ray should miss")
+	}
+}
+
+func TestRayBox(t *testing.T) {
+	b := mk(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.V(0, 5, 0))
+	hit, ok := RayCast(b, m3.Zero, m3.V(0, 1, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit box")
+	}
+	if math.Abs(hit.T-4) > 1e-9 {
+		t.Errorf("T = %v, want 4", hit.T)
+	}
+	if hit.Normal.Sub(m3.V(0, -1, 0)).Len() > 1e-9 {
+		t.Errorf("normal = %v, want -y", hit.Normal)
+	}
+}
+
+func TestRayRotatedBox(t *testing.T) {
+	q := m3.QFromAxisAngle(m3.V(0, 0, 1), math.Pi/4)
+	b := mkRot(0, geom.Box{Half: m3.V(1, 1, 1)}, m3.V(0, 5, 0), q)
+	hit, ok := RayCast(b, m3.Zero, m3.V(0, 1, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit rotated box")
+	}
+	// Rotated 45 degrees, corner at distance 5-sqrt(2).
+	if math.Abs(hit.T-(5-math.Sqrt2)) > 1e-6 {
+		t.Errorf("T = %v, want %v", hit.T, 5-math.Sqrt2)
+	}
+}
+
+func TestRayCapsule(t *testing.T) {
+	c := mk(0, geom.Capsule{R: 0.5, HalfLen: 1}, m3.V(3, 0, 0))
+	hit, ok := RayCast(c, m3.Zero, m3.V(1, 0, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit capsule")
+	}
+	if math.Abs(hit.T-2.5) > 1e-3 {
+		t.Errorf("T = %v, want 2.5", hit.T)
+	}
+}
+
+func TestRayPlane(t *testing.T) {
+	p := mk(0, geom.Plane{Normal: m3.V(0, 1, 0), Offset: 0}, m3.Zero)
+	hit, ok := RayCast(p, m3.V(0, 3, 0), m3.V(0, -1, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit plane")
+	}
+	if math.Abs(hit.T-3) > 1e-9 {
+		t.Errorf("T = %v, want 3", hit.T)
+	}
+	if _, ok := RayCast(p, m3.V(0, 3, 0), m3.V(1, 0, 0), 100); ok {
+		t.Error("parallel ray should miss plane")
+	}
+}
+
+func TestRayHeightField(t *testing.T) {
+	hs := make([]float64, 25)
+	hf := geom.NewHeightField(5, 5, 1, 1, hs)
+	f := mk(0, hf, m3.Zero)
+	hit, ok := RayCast(f, m3.V(2, 3, 2), m3.V(0, -1, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit terrain")
+	}
+	if math.Abs(hit.T-3) > 0.01 {
+		t.Errorf("T = %v, want 3", hit.T)
+	}
+}
+
+func TestRayTriMesh(t *testing.T) {
+	verts := []m3.Vec{m3.V(-2, 0, -2), m3.V(2, 0, -2), m3.V(2, 0, 2), m3.V(-2, 0, 2)}
+	tm := geom.NewTriMesh(verts, []geom.Tri{{0, 1, 2}, {0, 2, 3}})
+	f := mk(0, tm, m3.Zero)
+	hit, ok := RayCast(f, m3.V(0.5, 4, 0.5), m3.V(0, -1, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit mesh")
+	}
+	if math.Abs(hit.T-4) > 1e-9 {
+		t.Errorf("T = %v, want 4", hit.T)
+	}
+	if hit.Normal.Y < 0.99 {
+		t.Errorf("normal = %v, want +y (facing ray origin)", hit.Normal)
+	}
+	if _, ok := RayCast(f, m3.V(10, 4, 10), m3.V(0, -1, 0), 100); ok {
+		t.Error("ray outside mesh should miss")
+	}
+}
+
+func TestRayTriangleBarycentricBounds(t *testing.T) {
+	v0, v1, v2 := m3.V(0, 0, 0), m3.V(1, 0, 0), m3.V(0, 0, 1)
+	if _, ok := rayTriangle(m3.V(0.9, 1, 0.9), m3.V(0, -1, 0), v0, v1, v2, 10); ok {
+		t.Error("ray outside the hypotenuse should miss")
+	}
+	if tt, ok := rayTriangle(m3.V(0.25, 1, 0.25), m3.V(0, -1, 0), v0, v1, v2, 10); !ok || math.Abs(tt-1) > 1e-12 {
+		t.Errorf("interior hit t=%v ok=%v", tt, ok)
+	}
+}

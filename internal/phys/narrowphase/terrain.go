@@ -1,0 +1,212 @@
+package narrowphase
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// ---- heightfield pairs (primitive is always geom a; field is geom b) ----
+
+func sphereHeightField(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	triTest(st)
+	sa := a.Shape.(geom.Sphere)
+	hf := b.Shape.(*geom.HeightField)
+	lx := a.Pos.X - b.Pos.X
+	lz := a.Pos.Z - b.Pos.Z
+	h := hf.HeightAt(lx, lz) + b.Pos.Y
+	n := hf.NormalAt(lx, lz)
+	// Signed distance of the sphere center above the local surface plane.
+	depth := sa.R - n.Dot(a.Pos.Sub(m3.V(a.Pos.X, h, a.Pos.Z)))
+	if depth <= 0 {
+		return dst
+	}
+	return append(dst, Contact{
+		A: int32(a.ID), B: int32(b.ID),
+		Pos:    a.Pos.Sub(n.Scale(sa.R - depth/2)),
+		Normal: n.Neg(),
+		Depth:  depth,
+	})
+}
+
+func boxHeightField(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	ba := a.Shape.(geom.Box)
+	hf := b.Shape.(*geom.HeightField)
+	start := len(dst)
+	for i := 0; i < 8; i++ {
+		triTest(st)
+		c := m3.V(
+			ba.Half.X*float64(1-2*(i&1)),
+			ba.Half.Y*float64(1-2*((i>>1)&1)),
+			ba.Half.Z*float64(1-2*((i>>2)&1)),
+		)
+		w := a.Rot.MulVec(c).Add(a.Pos)
+		lx, lz := w.X-b.Pos.X, w.Z-b.Pos.Z
+		h := hf.HeightAt(lx, lz) + b.Pos.Y
+		if w.Y >= h {
+			continue
+		}
+		n := hf.NormalAt(lx, lz)
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos: w, Normal: n.Neg(), Depth: h - w.Y,
+		})
+	}
+	return capManifold(dst, start)
+}
+
+func capsuleHeightField(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	ca := a.Shape.(geom.Capsule)
+	hf := b.Shape.(*geom.HeightField)
+	p0, p1 := ca.Ends(a.Pos, a.Rot)
+	start := len(dst)
+	for _, p := range [3]m3.Vec{p0, a.Pos, p1} {
+		triTest(st)
+		lx, lz := p.X-b.Pos.X, p.Z-b.Pos.Z
+		h := hf.HeightAt(lx, lz) + b.Pos.Y
+		n := hf.NormalAt(lx, lz)
+		depth := ca.R - n.Dot(p.Sub(m3.V(p.X, h, p.Z)))
+		if depth <= 0 {
+			continue
+		}
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID),
+			Pos:    p.Sub(n.Scale(ca.R - depth/2)),
+			Normal: n.Neg(),
+			Depth:  depth,
+		})
+	}
+	return capManifold(dst, start)
+}
+
+// ---- trimesh pairs (primitive is always geom a; mesh is geom b) ----
+
+func sphereTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	sa := a.Shape.(geom.Sphere)
+	tm := b.Shape.(*geom.TriMesh)
+	local := a.Box
+	local.Min = local.Min.Sub(b.Pos)
+	local.Max = local.Max.Sub(b.Pos)
+	tris := tm.TrianglesIn(local, nil)
+	start := len(dst)
+	seen := map[int32]bool{}
+	for _, ti := range tris {
+		if seen[ti] {
+			continue
+		}
+		seen[ti] = true
+		triTest(st)
+		v0, v1, v2 := tm.TriVerts(ti)
+		v0, v1, v2 = v0.Add(b.Pos), v1.Add(b.Pos), v2.Add(b.Pos)
+		cl := closestPtPointTriangle(a.Pos, v0, v1, v2)
+		d := cl.Sub(a.Pos)
+		dist := d.Len()
+		pen := sa.R - dist
+		if pen <= 0 {
+			continue
+		}
+		var n m3.Vec
+		if dist > m3.Eps {
+			n = d.Scale(1 / dist)
+		} else {
+			n = v1.Sub(v0).Cross(v2.Sub(v0)).Norm().Neg()
+		}
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID), Pos: cl, Normal: n, Depth: pen,
+		})
+	}
+	return capManifold(dst, start)
+}
+
+func boxTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	ba := a.Shape.(geom.Box)
+	tm := b.Shape.(*geom.TriMesh)
+	local := a.Box
+	local.Min = local.Min.Sub(b.Pos)
+	local.Max = local.Max.Sub(b.Pos)
+	tris := tm.TrianglesIn(local, nil)
+	start := len(dst)
+	seen := map[int32]bool{}
+	for _, ti := range tris {
+		if seen[ti] {
+			continue
+		}
+		seen[ti] = true
+		triTest(st)
+		v0, v1, v2 := tm.TriVerts(ti)
+		v0, v1, v2 = v0.Add(b.Pos), v1.Add(b.Pos), v2.Add(b.Pos)
+		// Test triangle vertices against the box interior, and box
+		// corners against the triangle plane (two-way vertex test).
+		tn := v1.Sub(v0).Cross(v2.Sub(v0)).Norm()
+		for _, v := range [3]m3.Vec{v0, v1, v2} {
+			if _, inside := closestPtPointBox(v, a.Pos, a.Rot, ba.Half); inside {
+				l := a.Rot.TMulVec(v.Sub(a.Pos))
+				nLocal, depth := deepestInteriorAxis(l, ba.Half)
+				dst = append(dst, Contact{
+					A: int32(a.ID), B: int32(b.ID),
+					Pos: v, Normal: a.Rot.MulVec(nLocal), Depth: depth,
+				})
+			}
+		}
+		for i := 0; i < 8; i++ {
+			c := m3.V(
+				ba.Half.X*float64(1-2*(i&1)),
+				ba.Half.Y*float64(1-2*((i>>1)&1)),
+				ba.Half.Z*float64(1-2*((i>>2)&1)),
+			)
+			w := a.Rot.MulVec(c).Add(a.Pos)
+			d := tn.Dot(w.Sub(v0))
+			if d >= 0 || d < -0.5 {
+				continue // above the face, or too deep to be this triangle
+			}
+			cl := closestPtPointTriangle(w, v0, v1, v2)
+			if cl.Sub(w).Len() > math.Abs(d)+1e-6 {
+				continue // nearest feature is an edge of another triangle
+			}
+			dst = append(dst, Contact{
+				A: int32(a.ID), B: int32(b.ID),
+				Pos: w, Normal: tn.Neg(), Depth: -d,
+			})
+		}
+	}
+	return capManifold(dst, start)
+}
+
+func capsuleTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	ca := a.Shape.(geom.Capsule)
+	tm := b.Shape.(*geom.TriMesh)
+	p0, p1 := ca.Ends(a.Pos, a.Rot)
+	local := a.Box
+	local.Min = local.Min.Sub(b.Pos)
+	local.Max = local.Max.Sub(b.Pos)
+	tris := tm.TrianglesIn(local, nil)
+	start := len(dst)
+	seen := map[int32]bool{}
+	for _, ti := range tris {
+		if seen[ti] {
+			continue
+		}
+		seen[ti] = true
+		triTest(st)
+		v0, v1, v2 := tm.TriVerts(ti)
+		v0, v1, v2 = v0.Add(b.Pos), v1.Add(b.Pos), v2.Add(b.Pos)
+		onSeg, onTri := closestPtSegTriangle(p0, p1, v0, v1, v2)
+		d := onTri.Sub(onSeg)
+		dist := d.Len()
+		pen := ca.R - dist
+		if pen <= 0 {
+			continue
+		}
+		var n m3.Vec
+		if dist > m3.Eps {
+			n = d.Scale(1 / dist)
+		} else {
+			n = v1.Sub(v0).Cross(v2.Sub(v0)).Norm().Neg()
+		}
+		dst = append(dst, Contact{
+			A: int32(a.ID), B: int32(b.ID), Pos: onTri, Normal: n, Depth: pen,
+		})
+	}
+	return capManifold(dst, start)
+}

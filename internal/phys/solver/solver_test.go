@@ -1,0 +1,314 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/body"
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/joint"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func sphereBody(id int, mass float64, pos m3.Vec) *body.Body {
+	b := body.New(mass, geom.Sphere{R: 0.5}.Inertia(mass))
+	b.ID = id
+	b.Pos = pos
+	return b
+}
+
+var testParams = joint.Params{Dt: 0.01, ERP: 0.2, CFM: 1e-9}
+
+func TestContactStopsApproach(t *testing.T) {
+	// A ball falling onto the static ground: after solving, the approach
+	// velocity along the normal must be non-negative (plus bias).
+	b := sphereBody(0, 1, m3.V(0, 0.45, 0))
+	b.LinVel = m3.V(0, -3, 0)
+	bs := []*body.Body{b}
+	n := m3.V(0, 1, 0) // normal pushes body B (the ball) up; A is world
+	rows := joint.ContactRows(bs, -1, 0, m3.V(0, 0, 0), n, 0.05,
+		joint.DefaultMaterial, testParams, 0, nil)
+	s := New()
+	var st Stats
+	s.Solve(bs, rows, testParams.Dt, nil, &st)
+	if b.LinVel.Y < 0 {
+		t.Errorf("ball still approaching ground after solve: vy = %v", b.LinVel.Y)
+	}
+	if st.Rows != 3 || st.RowUpdates != 60 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestContactRestitutionBounces(t *testing.T) {
+	b := sphereBody(0, 1, m3.V(0, 0.45, 0))
+	b.LinVel = m3.V(0, -10, 0) // fast: above restitution threshold
+	bs := []*body.Body{b}
+	mat := joint.ContactMaterial{Mu: 0, Restitution: 0.8, RestitutionThreshold: 0.5}
+	rows := joint.ContactRows(bs, -1, 0, m3.Zero, m3.V(0, 1, 0), 0.01, mat, testParams, 0, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	if b.LinVel.Y < 7.5 || b.LinVel.Y > 8.5 {
+		t.Errorf("bounce velocity = %v, want ~8", b.LinVel.Y)
+	}
+}
+
+func TestFrictionBoundedByNormal(t *testing.T) {
+	// A sliding box on the ground: friction impulse must not exceed
+	// mu * normal impulse.
+	b := sphereBody(0, 1, m3.V(0, 0.5, 0))
+	b.LinVel = m3.V(5, -1, 0)
+	bs := []*body.Body{b}
+	mat := joint.ContactMaterial{Mu: 0.5}
+	rows := joint.ContactRows(bs, -1, 0, m3.V(0, 0, 0), m3.V(0, 1, 0), 0.001, mat, testParams, 0, nil)
+	lam := New().Solve(bs, rows, testParams.Dt, nil, nil)
+	fr := math.Hypot(lam[1], lam[2])
+	if fr > mat.Mu*lam[0]*math.Sqrt2+1e-9 {
+		t.Errorf("friction %v exceeds mu*normal %v", fr, mat.Mu*lam[0])
+	}
+	// Sliding should be slowed, not reversed.
+	if b.LinVel.X < 0 || b.LinVel.X > 5 {
+		t.Errorf("tangential velocity = %v", b.LinVel.X)
+	}
+}
+
+func TestBallJointHoldsBodies(t *testing.T) {
+	// Two spheres connected at their midpoint; pulling them apart should
+	// be resisted: after the solve, relative velocity at the anchor ~ 0.
+	a := sphereBody(0, 1, m3.V(-0.5, 0, 0))
+	b := sphereBody(1, 1, m3.V(0.5, 0, 0))
+	bs := []*body.Body{a, b}
+	j := joint.NewBall(bs, 0, 1, m3.V(0, 0, 0))
+	a.LinVel = m3.V(-1, 0, 0)
+	b.LinVel = m3.V(1, 0, 0)
+	rows := j.Rows(bs, testParams, 0, nil)
+	if len(rows) != 3 {
+		t.Fatalf("ball joint rows = %d, want 3", len(rows))
+	}
+	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	va := a.VelocityAt(m3.Zero)
+	vb := b.VelocityAt(m3.Zero)
+	if va.Sub(vb).Len() > 1e-6 {
+		t.Errorf("anchor velocities differ after solve: %v vs %v", va, vb)
+	}
+}
+
+func TestBallJointConservesMomentum(t *testing.T) {
+	a := sphereBody(0, 2, m3.V(-0.5, 0, 0))
+	b := sphereBody(1, 3, m3.V(0.5, 0, 0))
+	bs := []*body.Body{a, b}
+	a.LinVel = m3.V(4, 1, 0)
+	b.LinVel = m3.V(-2, 0, 1)
+	p0 := a.Momentum().Add(b.Momentum())
+	j := joint.NewBall(bs, 0, 1, m3.Zero)
+	rows := j.Rows(bs, testParams, 0, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	p1 := a.Momentum().Add(b.Momentum())
+	if p1.Sub(p0).Len() > 1e-9 {
+		t.Errorf("internal constraint changed momentum: %v -> %v", p0, p1)
+	}
+}
+
+func TestHingeRemovesOffAxisRotation(t *testing.T) {
+	a := sphereBody(0, 1, m3.V(0, 0, 0))
+	b := sphereBody(1, 1, m3.V(1, 0, 0))
+	bs := []*body.Body{a, b}
+	axis := m3.V(0, 0, 1)
+	j := joint.NewHinge(bs, 0, 1, m3.V(0.5, 0, 0), axis)
+	if j.NumRows() != 5 {
+		t.Fatalf("hinge rows = %d", j.NumRows())
+	}
+	// Give B angular velocity off-axis; hinge should cancel the off-axis
+	// relative part.
+	b.AngVel = m3.V(3, 2, 1)
+	rows := j.Rows(bs, testParams, 0, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	rel := b.AngVel.Sub(a.AngVel)
+	off := rel.Sub(axis.Scale(rel.Dot(axis)))
+	if off.Len() > 1e-4 {
+		t.Errorf("off-axis relative spin remains: %v", off)
+	}
+}
+
+func TestFixedWeldStopsRelativeMotion(t *testing.T) {
+	a := sphereBody(0, 1, m3.V(0, 0, 0))
+	b := sphereBody(1, 1, m3.V(1, 0, 0))
+	bs := []*body.Body{a, b}
+	j := joint.NewFixed(bs, 0, 1, m3.V(0.5, 0, 0))
+	b.LinVel = m3.V(0, 2, 0)
+	b.AngVel = m3.V(1, 1, 1)
+	rows := j.Rows(bs, testParams, 0, nil)
+	if len(rows) != 6 {
+		t.Fatalf("fixed joint rows = %d, want 6", len(rows))
+	}
+	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	if rel := b.AngVel.Sub(a.AngVel); rel.Len() > 1e-4 {
+		t.Errorf("relative spin remains: %v", rel)
+	}
+	va := a.VelocityAt(m3.V(0.5, 0, 0))
+	vb := b.VelocityAt(m3.V(0.5, 0, 0))
+	if va.Sub(vb).Len() > 1e-4 {
+		t.Errorf("anchor velocity mismatch: %v vs %v", va, vb)
+	}
+}
+
+func TestSliderAllowsAxialMotion(t *testing.T) {
+	a := sphereBody(0, 1, m3.V(0, 0, 0))
+	b := sphereBody(1, 1, m3.V(1, 0, 0))
+	bs := []*body.Body{a, b}
+	axis := m3.V(1, 0, 0)
+	j := joint.NewSlider(bs, 0, 1, m3.V(0.5, 0, 0), axis)
+	b.LinVel = m3.V(2, 3, 0) // axial + lateral
+	rows := j.Rows(bs, testParams, 0, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	// A slider locks relative rotation and lateral anchor motion; the
+	// assembly may still rotate jointly, so compare anchor velocities,
+	// not center velocities.
+	if relW := b.AngVel.Sub(a.AngVel); relW.Len() > 1e-4 {
+		t.Errorf("relative spin remains: %v", relW)
+	}
+	anchor := m3.V(0.5, 0, 0)
+	rel := b.VelocityAt(anchor).Sub(a.VelocityAt(anchor))
+	if math.Abs(rel.Y) > 1e-4 || math.Abs(rel.Z) > 1e-4 {
+		t.Errorf("lateral anchor motion remains: %v", rel)
+	}
+	if rel.X < 0.5 {
+		t.Errorf("axial motion should be preserved: %v", rel)
+	}
+}
+
+func TestBreakableJoint(t *testing.T) {
+	a := sphereBody(0, 1, m3.V(0, 0, 0))
+	b := sphereBody(1, 1, m3.V(1, 0, 0))
+	bs := []*body.Body{a, b}
+	inner := joint.NewBall(bs, 0, 1, m3.V(0.5, 0, 0))
+	br := joint.NewBreakable(inner, 10, 0)
+	if br.NumRows() != 3 {
+		t.Fatalf("breakable rows = %d", br.NumRows())
+	}
+	if br.ApplyLoad(5) || br.Broken {
+		t.Error("joint broke below threshold")
+	}
+	if !br.ApplyLoad(15) || !br.Broken {
+		t.Error("joint did not break above threshold")
+	}
+	if rows := br.Rows(bs, testParams, 0, nil); len(rows) != 0 {
+		t.Error("broken joint still produces rows")
+	}
+	if br.NumRows() != 0 {
+		t.Error("broken joint reports rows")
+	}
+}
+
+func TestBreakableFatigue(t *testing.T) {
+	a := sphereBody(0, 1, m3.Zero)
+	bs := []*body.Body{a}
+	_ = bs
+	br := joint.NewBreakable(joint.NewBall(bs, 0, -1, m3.Zero), 0, 100)
+	for i := 0; i < 9; i++ {
+		if br.ApplyLoad(11) && br.Fatigue <= 100 {
+			t.Fatalf("broke early at accumulated load %v", br.Fatigue)
+		}
+	}
+	// 9 * 11 = 99 <= 100: still intact; the 10th application breaks it.
+	if br.Broken {
+		t.Fatal("joint broke before exceeding fatigue limit")
+	}
+	if !br.ApplyLoad(11) || !br.Broken {
+		t.Error("fatigue accumulation did not break joint")
+	}
+}
+
+func TestJointLoadFeedback(t *testing.T) {
+	a := sphereBody(0, 1, m3.V(-0.5, 0, 0))
+	b := sphereBody(1, 1, m3.V(0.5, 0, 0))
+	bs := []*body.Body{a, b}
+	j := joint.NewBall(bs, 0, 1, m3.Zero)
+	a.LinVel = m3.V(-10, 0, 0)
+	b.LinVel = m3.V(10, 0, 0)
+	rows := j.Rows(bs, testParams, 4, nil)
+	load := map[int32]float64{}
+	New().Solve(bs, rows, testParams.Dt, load, nil)
+	if load[4] <= 0 {
+		t.Errorf("joint load not recorded: %v", load)
+	}
+}
+
+func TestSolverEmptyRows(t *testing.T) {
+	if lam := New().Solve(nil, nil, 0.01, nil, nil); lam != nil {
+		t.Error("empty solve should return nil")
+	}
+}
+
+// Property test: the solver never produces non-finite state, whatever
+// random constraint soup it is given.
+func TestSolverRobustToRandomRows(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(6)
+		var bs []*body.Body
+		for i := 0; i < n; i++ {
+			b := sphereBody(i, 0.5+r.Float64()*5, m3.V(r.Float64()*4, r.Float64()*4, r.Float64()*4))
+			b.LinVel = m3.V(r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5)
+			bs = append(bs, b)
+		}
+		var rows []joint.Row
+		for k := 0; k < 3+r.Intn(10); k++ {
+			a := int32(r.Intn(n))
+			bidx := int32(r.Intn(n))
+			d := m3.V(r.Float64()*2-1, r.Float64()*2-1, r.Float64()*2-1).Norm()
+			if d == m3.Zero {
+				d = m3.V(1, 0, 0)
+			}
+			rows = append(rows, joint.Row{
+				BodyA: a, BodyB: bidx,
+				JLinA: d.Neg(), JLinB: d,
+				JAngA: m3.V(r.Float64(), r.Float64(), r.Float64()),
+				JAngB: m3.V(r.Float64(), r.Float64(), r.Float64()),
+				RHS:   r.Float64()*4 - 2,
+				CFM:   1e-9,
+				Lo:    math.Inf(-1), Hi: math.Inf(1),
+				FrictionOf: -1, Joint: -1,
+			})
+		}
+		lam := New().Solve(bs, rows, 0.01, nil, nil)
+		for i, l := range lam {
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("trial %d: lambda[%d] = %v", trial, i, l)
+			}
+		}
+		for i, b := range bs {
+			if !b.Valid() {
+				t.Fatalf("trial %d: body %d invalid after solve", trial, i)
+			}
+		}
+	}
+}
+
+// Warm starting must preserve the solution of an already-converged
+// system: re-solving with the previous impulses yields (nearly) no
+// further velocity change.
+func TestWarmStartIdempotent(t *testing.T) {
+	b := sphereBody(0, 1, m3.V(0, 0.45, 0))
+	b.LinVel = m3.V(0, -3, 0)
+	bs := []*body.Body{b}
+	rows := joint.ContactRows(bs, -1, 0, m3.Zero, m3.V(0, 1, 0), 0.01,
+		joint.DefaultMaterial, testParams, 0, nil)
+	lam := New().Solve(bs, rows, testParams.Dt, nil, nil)
+
+	// Second solve on a fresh body with the same approach velocity, warm
+	// started with the converged impulses: one sweep suffices.
+	b2 := sphereBody(0, 1, m3.V(0, 0.45, 0))
+	b2.LinVel = m3.V(0, -3, 0)
+	bs2 := []*body.Body{b2}
+	rows2 := joint.ContactRows(bs2, -1, 0, m3.Zero, m3.V(0, 1, 0), 0.01,
+		joint.DefaultMaterial, testParams, 0, nil)
+	for i := range rows2 {
+		rows2[i].Warm = lam[i]
+	}
+	one := &Solver{Iterations: 1, SOR: 1}
+	one.Solve(bs2, rows2, testParams.Dt, nil, nil)
+	if math.Abs(b2.LinVel.Y-b.LinVel.Y) > 0.05 {
+		t.Errorf("warm-started single sweep %v differs from converged %v",
+			b2.LinVel.Y, b.LinVel.Y)
+	}
+}

@@ -1,0 +1,346 @@
+// Package workload builds the paper's forward-looking benchmark suite
+// (Tables 2-4): eight parameterized scenes — Periodic, Ragdoll,
+// Continuous, Breakable, Deformable, Explosions, Highspeed, and Mix —
+// covering constrained rigid bodies (virtual humans of 16 segments,
+// cars), terrains, breakable joints, prefractured objects, explosions,
+// static obstacles and cloth simulation.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/parallax-arch/parallax/internal/phys/cloth"
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/joint"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+	"github.com/parallax-arch/parallax/internal/phys/world"
+)
+
+// groupCounter hands out collision groups so articulated figures do not
+// self-collide.
+type builder struct {
+	w         *world.World
+	rng       *rand.Rand
+	nextGroup int32
+	// entity counters for the benchmark spec.
+	humans, cars, bricks, planks, clothsSmall, clothsLarge int
+	permJoints                                             int
+}
+
+func newBuilder(w *world.World, seed int64) *builder {
+	return &builder{w: w, rng: rand.New(rand.NewSource(seed)), nextGroup: 1}
+}
+
+func (b *builder) group() int32 {
+	g := b.nextGroup
+	b.nextGroup++
+	return g
+}
+
+func (b *builder) addJoint(j joint.Joint) int32 {
+	b.permJoints++
+	return b.w.AddJoint(j)
+}
+
+// Humanoid is one 16-segment virtual human: pelvis, torso, chest, head,
+// and per side upper arm, forearm, hand, thigh, shin, foot — joined by
+// ball and hinge joints (paper Table 2: "Virtual humans consist of 16
+// segments of anthropomorphic dimensions").
+type Humanoid struct {
+	Bodies []int32
+	Geoms  []int32
+	Pelvis int32
+}
+
+// humanoid builds a standing figure with feet at base.
+func (b *builder) humanoid(base m3.Vec, breakableJoints bool) *Humanoid {
+	w := b.w
+	grp := b.group()
+	h := &Humanoid{}
+	b.humans++
+
+	add := func(s geom.Shape, mass float64, pos m3.Vec, rot m3.Quat) int32 {
+		bi, gi := w.AddBody(s, mass, pos, rot, 0, grp)
+		h.Bodies = append(h.Bodies, bi)
+		h.Geoms = append(h.Geoms, gi)
+		return bi
+	}
+	join := func(j joint.Joint) {
+		if breakableJoints {
+			b.addJoint(joint.NewBreakable(j, 6000, 0))
+		} else {
+			b.addJoint(j)
+		}
+	}
+	up := func(y float64) m3.Vec { return base.Add(m3.V(0, y, 0)) }
+	sideways := m3.QFromAxisAngle(m3.V(1, 0, 0), math.Pi/2) // capsule Z-axis -> vertical? no: rotates Z to -Y
+
+	// Legs (capsule axes vertical via rotation about X by 90 deg).
+	legRot := sideways
+	pelvis := add(geom.Box{Half: m3.V(0.17, 0.1, 0.12)}, 8, up(0.95), m3.QIdent)
+	h.Pelvis = pelvis
+	torso := add(geom.Box{Half: m3.V(0.16, 0.12, 0.11)}, 10, up(1.18), m3.QIdent)
+	chest := add(geom.Box{Half: m3.V(0.18, 0.12, 0.12)}, 10, up(1.42), m3.QIdent)
+	head := add(geom.Sphere{R: 0.11}, 4, up(1.68), m3.QIdent)
+	join(joint.NewBall(w.Bodies, pelvis, torso, up(1.06)))
+	join(joint.NewBall(w.Bodies, torso, chest, up(1.30)))
+	join(joint.NewBall(w.Bodies, chest, head, up(1.56)))
+
+	for _, side := range [2]float64{-1, 1} {
+		sx := func(x float64) m3.Vec { return base.Add(m3.V(side*x, 0, 0)) }
+		_ = sx
+		// Arm chain.
+		shoulder := base.Add(m3.V(side*0.26, 1.48, 0))
+		uarm := add(geom.Capsule{R: 0.05, HalfLen: 0.12}, 2.5,
+			base.Add(m3.V(side*0.26, 1.31, 0)), legRot)
+		join(joint.NewBall(w.Bodies, chest, uarm, shoulder))
+		elbow := base.Add(m3.V(side*0.26, 1.14, 0))
+		farm := add(geom.Capsule{R: 0.04, HalfLen: 0.11}, 1.8,
+			base.Add(m3.V(side*0.26, 0.99, 0)), legRot)
+		join(joint.NewHinge(w.Bodies, uarm, farm, elbow, m3.V(1, 0, 0)))
+		wrist := base.Add(m3.V(side*0.26, 0.84, 0))
+		hand := add(geom.Box{Half: m3.V(0.04, 0.06, 0.03)}, 0.5,
+			base.Add(m3.V(side*0.26, 0.76, 0)), m3.QIdent)
+		join(joint.NewBall(w.Bodies, farm, hand, wrist))
+
+		// Leg chain.
+		hip := base.Add(m3.V(side*0.1, 0.88, 0))
+		thigh := add(geom.Capsule{R: 0.07, HalfLen: 0.16}, 6,
+			base.Add(m3.V(side*0.1, 0.66, 0)), legRot)
+		join(joint.NewBall(w.Bodies, pelvis, thigh, hip))
+		knee := base.Add(m3.V(side*0.1, 0.44, 0))
+		shin := add(geom.Capsule{R: 0.055, HalfLen: 0.16}, 4,
+			base.Add(m3.V(side*0.1, 0.23, 0)), legRot)
+		join(joint.NewHinge(w.Bodies, thigh, shin, knee, m3.V(1, 0, 0)))
+		ankle := base.Add(m3.V(side*0.1, 0.05, 0))
+		foot := add(geom.Box{Half: m3.V(0.05, 0.03, 0.11)}, 1,
+			base.Add(m3.V(side*0.1, 0.03, 0.04)), m3.QIdent)
+		join(joint.NewHinge(w.Bodies, shin, foot, ankle, m3.V(1, 0, 0)))
+	}
+	return h
+}
+
+// Car is a vehicle: a chassis box with four spherical wheels on softly
+// anchored hinges (the suspension system of slider-like compliance).
+type Car struct {
+	Chassis int32
+	Wheels  [4]int32
+	Geom    int32
+}
+
+func (b *builder) car(pos m3.Vec, breakableJoints bool) *Car {
+	w := b.w
+	grp := b.group()
+	b.cars++
+	c := &Car{}
+	var gi int32
+	c.Chassis, gi = w.AddBody(geom.Box{Half: m3.V(0.9, 0.3, 0.5)}, 400,
+		pos.Add(m3.V(0, 0.55, 0)), m3.QIdent, 0, grp)
+	c.Geom = gi
+	i := 0
+	for _, dx := range [2]float64{-0.7, 0.7} {
+		for _, dz := range [2]float64{-0.55, 0.55} {
+			wp := pos.Add(m3.V(dx, 0.3, dz))
+			wb, _ := w.AddBody(geom.Sphere{R: 0.3}, 12, wp, m3.QIdent, 0, grp)
+			c.Wheels[i] = wb
+			hinge := joint.NewHinge(w.Bodies, c.Chassis, wb, wp, m3.V(0, 0, 1))
+			hinge.SoftAnchor = 2e-4 // suspension compliance
+			if breakableJoints {
+				b.addJoint(joint.NewBreakable(hinge, 30000, 0))
+			} else {
+				b.addJoint(hinge)
+			}
+			i++
+		}
+	}
+	return c
+}
+
+// drive gives a car an initial forward speed and spinning wheels.
+func (b *builder) drive(c *Car, dir m3.Vec, speed float64) {
+	w := b.w
+	w.Bodies[c.Chassis].LinVel = dir.Scale(speed)
+	for _, wi := range c.Wheels {
+		w.Bodies[wi].LinVel = dir.Scale(speed)
+		w.Bodies[wi].AngVel = m3.V(0, 0, 1).Cross(dir).Scale(-speed / 0.3)
+	}
+}
+
+// wall builds a brick wall of nx-by-ny bricks starting at corner,
+// extending along dir (unit, horizontal). If prefracture, each brick
+// carries debris pieces that activate when a blast touches the brick.
+// Bricks start asleep (ODE-style auto-disable): resting masonry costs
+// collision detection but no solver work until something hits it.
+func (b *builder) wall(corner m3.Vec, dir m3.Vec, nx, ny int, prefracture bool) {
+	w := b.w
+	const bw, bh, bd = 0.5, 0.25, 0.25 // brick half-extents
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			offset := 0.0
+			if y%2 == 1 {
+				offset = bw
+			}
+			pos := corner.Add(dir.Scale(float64(x)*2*bw + offset + bw)).
+				Add(m3.V(0, float64(y)*2*bh+bh, 0))
+			bi, gi := w.AddBody(geom.Box{Half: m3.V(bw, bh, bd)}, 6, pos, m3.QIdent, 0, 0)
+			w.Bodies[bi].Asleep = true
+			b.bricks++
+			if prefracture {
+				b.prefractureBrick(gi, pos, m3.V(bw, bh, bd))
+			}
+		}
+	}
+}
+
+// prefractureBrick registers four disabled debris pieces for a brick.
+func (b *builder) prefractureBrick(parent int32, pos, half m3.Vec) {
+	w := b.w
+	grp := b.group()
+	var debris []int32
+	for i := 0; i < 4; i++ {
+		dx := float64(i%2)*half.X - half.X/2
+		dy := float64(i/2)*half.Y - half.Y/2
+		dpos := pos.Add(m3.V(dx, dy, 0))
+		_, dg := w.AddBody(geom.Box{Half: m3.V(half.X/2, half.Y/2, half.Z)},
+			1.5, dpos, m3.QIdent, geom.FlagDebris, grp)
+		w.DisableBodyGeom(dg)
+		debris = append(debris, dg)
+	}
+	w.RegisterFracture(parent, debris)
+}
+
+// bridge spans from a to b with n planks joined by breakable hinges and
+// anchored to the world at both ends.
+func (b *builder) bridge(a, c m3.Vec, n int) {
+	w := b.w
+	grp := b.group()
+	span := c.Sub(a)
+	dir := span.Norm()
+	length := span.Len() / float64(n)
+	half := m3.V(length/2*0.95, 0.05, 0.5)
+	var prev int32 = -1
+	for i := 0; i < n; i++ {
+		center := a.Add(dir.Scale((float64(i) + 0.5) * length))
+		rot := m3.QIdent
+		bi, _ := w.AddBody(geom.Box{Half: half}, 20, center, rot, 0, grp)
+		b.planks++
+		anchor := a.Add(dir.Scale(float64(i) * length))
+		axis := m3.V(0, 1, 0).Cross(dir).Norm()
+		hj := joint.NewHinge(w.Bodies, prev, bi, anchor, axis)
+		b.addJoint(joint.NewBreakable(hj, 25000, 0))
+		prev = bi
+	}
+	// Far end anchored to the world.
+	hj := joint.NewHinge(w.Bodies, prev, -1, c, m3.V(0, 1, 0).Cross(dir).Norm())
+	b.addJoint(joint.NewBreakable(hj, 25000, 0))
+}
+
+// building stacks boxes into a hollow 5x5-footprint tower (16 boxes per
+// floor). Boxes start asleep until disturbed.
+func (b *builder) building(base m3.Vec, floors int, prefracture bool) {
+	w := b.w
+	const hw, hh = 0.5, 0.3
+	for f := 0; f < floors; f++ {
+		y := float64(f)*2*hh + hh
+		for i := -2; i <= 2; i++ {
+			for j := -2; j <= 2; j++ {
+				if i > -2 && i < 2 && j > -2 && j < 2 {
+					continue // hollow interior
+				}
+				pos := base.Add(m3.V(float64(i)*2*hw, y, float64(j)*2*hw))
+				bi, gi := w.AddBody(geom.Box{Half: m3.V(hw, hh, hw)}, 8, pos, m3.QIdent, 0, 0)
+				w.Bodies[bi].Asleep = true
+				b.bricks++
+				if prefracture {
+					b.prefractureBrick(gi, pos, m3.V(hw, hh, hw))
+				}
+			}
+		}
+	}
+}
+
+// projectile launches a sphere toward target at the given speed;
+// explosive projectiles detonate on contact.
+func (b *builder) projectile(from, target m3.Vec, speed float64, spec *world.ExplosiveSpec) int32 {
+	w := b.w
+	dir := target.Sub(from).Norm()
+	bi, gi := w.AddBody(geom.Sphere{R: 0.15}, 5, from, m3.QIdent, 0, 0)
+	w.Bodies[bi].LinVel = dir.Scale(speed)
+	if spec != nil {
+		w.MarkExplosive(gi, *spec)
+	}
+	return gi
+}
+
+// terrain adds a rolling heightfield of n-by-n samples with the given
+// cell size and roughness.
+func (b *builder) terrain(origin m3.Vec, n int, cell, roughness float64) *geom.HeightField {
+	hs := make([]float64, n*n)
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			fx, fz := float64(x)*cell, float64(z)*cell
+			hs[z*n+x] = roughness * (math.Sin(fx*0.35) + math.Cos(fz*0.28) +
+				0.5*math.Sin(fx*0.9+fz*0.7))
+		}
+	}
+	hf := geom.NewHeightField(n, n, cell, cell, hs)
+	b.w.AddStatic(hf, origin, m3.QIdent)
+	return hf
+}
+
+// meshPatch adds a static triangle-mesh ground patch (trimesh terrain).
+func (b *builder) meshPatch(origin m3.Vec, n int, cell float64) {
+	var verts []m3.Vec
+	var tris []geom.Tri
+	for z := 0; z <= n; z++ {
+		for x := 0; x <= n; x++ {
+			h := 0.15 * math.Sin(float64(x)*0.7) * math.Cos(float64(z)*0.6)
+			verts = append(verts, m3.V(float64(x)*cell, h, float64(z)*cell))
+		}
+	}
+	idx := func(x, z int) int32 { return int32(z*(n+1) + x) }
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			tris = append(tris, geom.Tri{idx(x, z), idx(x+1, z), idx(x+1, z+1)})
+			tris = append(tris, geom.Tri{idx(x, z), idx(x+1, z+1), idx(x, z+1)})
+		}
+	}
+	b.w.AddStatic(geom.NewTriMesh(verts, tris), origin, m3.QIdent)
+}
+
+// largeCloth adds a 25x25 (625-vertex) drape; smallCloth a 5x5 (25
+// vertex) uniform attached to a humanoid's chest (paper Table 2).
+func (b *builder) largeCloth(origin m3.Vec, pinCorners bool) *cloth.Cloth {
+	c := cloth.NewGrid(25, 25, 0.08, origin, 2)
+	if pinCorners {
+		c.PinParticle(0)
+		c.PinParticle(24)
+	}
+	b.clothsLarge++
+	b.w.AddCloth(c)
+	return c
+}
+
+func (b *builder) smallClothOn(h *Humanoid) *cloth.Cloth {
+	w := b.w
+	chest := w.Bodies[h.Bodies[2]] // chest segment
+	origin := chest.Pos.Add(m3.V(-0.2, 0.15, 0.14))
+	c := cloth.NewGrid(5, 5, 0.1, origin, 0.2)
+	// Pin the top row to the chest.
+	for i := int32(0); i < 5; i++ {
+		local := c.Particles[i].Pos.Sub(chest.Pos)
+		c.PinToBody(i, h.Bodies[2], local)
+	}
+	b.clothsSmall++
+	w.AddCloth(c)
+	return c
+}
+
+// obstacles scatters immobile boxes.
+func (b *builder) obstacles(n int, area float64, base m3.Vec) {
+	for i := 0; i < n; i++ {
+		pos := base.Add(m3.V(b.rng.Float64()*area, 0.4, b.rng.Float64()*area))
+		b.w.AddStatic(geom.Box{Half: m3.V(0.4, 0.4, 0.4)}, pos, m3.QIdent)
+	}
+}

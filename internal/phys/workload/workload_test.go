@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+	"github.com/parallax-arch/parallax/internal/phys/world"
+)
+
+// testScale keeps unit tests fast; full scale runs in the bench harness.
+const testScale = 0.12
+
+func TestAllBenchmarksBuildAndStep(t *testing.T) {
+	for _, b := range All {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			w := b.Build(testScale)
+			if len(w.Bodies) == 0 {
+				t.Fatal("benchmark has no bodies")
+			}
+			for i := 0; i < 6; i++ { // two frames
+				w.Step()
+			}
+			for bi, bd := range w.Bodies {
+				if !bd.Valid() {
+					t.Fatalf("body %d invalid after stepping", bi)
+				}
+			}
+			if w.Profile.Pairs == 0 {
+				t.Error("benchmark produced no candidate pairs")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Mix"); !ok {
+		t.Error("Mix not found")
+	}
+	if _, ok := ByName("Nope"); ok {
+		t.Error("unknown benchmark found")
+	}
+	if len(All) != 8 {
+		t.Errorf("suite has %d benchmarks, want 8", len(All))
+	}
+}
+
+func TestHumanoidSegmentCount(t *testing.T) {
+	w := world.New()
+	b := newBuilder(w, 1)
+	h := b.humanoid(m3.Zero, false)
+	if len(h.Bodies) != 16 {
+		t.Errorf("humanoid segments = %d, want 16", len(h.Bodies))
+	}
+	if b.permJoints != 15 {
+		t.Errorf("humanoid joints = %d, want 15", b.permJoints)
+	}
+}
+
+func TestPeriodicComposition(t *testing.T) {
+	w := BuildPeriodic(1.0)
+	st := MeasureStats("Periodic", w)
+	if st.DynamicObjs != 480 {
+		t.Errorf("Periodic dynamic objects = %d, want 480 (30 humanoids x 16)", st.DynamicObjs)
+	}
+	if st.StaticJoints != 450 {
+		t.Errorf("Periodic joints = %d, want 450", st.StaticJoints)
+	}
+	if st.ClothObjs != 0 || st.PrefracturedObj != 0 {
+		t.Errorf("Periodic should have no cloth or prefracture: %+v", st)
+	}
+}
+
+func TestDeformableComposition(t *testing.T) {
+	w := BuildDeformable(1.0)
+	st := MeasureStats("Deformable", w)
+	if st.ClothObjs != 32 {
+		t.Errorf("Deformable cloths = %d, want 32 (30 small + 2 large)", st.ClothObjs)
+	}
+	if st.ClothVerts != 30*25+2*625 {
+		t.Errorf("Deformable cloth verts = %d, want %d", st.ClothVerts, 30*25+2*625)
+	}
+}
+
+func TestBreakableHasPrefracture(t *testing.T) {
+	w := BuildBreakable(testScale)
+	st := MeasureStats("Breakable", w)
+	if st.PrefracturedObj == 0 {
+		t.Error("Breakable has no prefractured debris")
+	}
+	if len(w.Explosives) == 0 {
+		t.Error("Breakable has no explosives")
+	}
+	if len(w.Fractures) == 0 {
+		t.Error("Breakable has no fracture groups")
+	}
+}
+
+func TestExplosionsDetonateOverTime(t *testing.T) {
+	w := BuildExplosions(testScale)
+	totalExpl := 0
+	for i := 0; i < 40; i++ {
+		w.Step()
+		totalExpl += w.Profile.Explosions
+	}
+	if totalExpl == 0 {
+		t.Error("no explosions fired in Explosions benchmark")
+	}
+}
+
+func TestHighspeedProjectilesHit(t *testing.T) {
+	w := BuildHighspeed(testScale)
+	// Projectiles at 90 m/s should produce contacts within a second.
+	contacts := 0
+	for i := 0; i < 60; i++ {
+		w.Step()
+		contacts += w.Profile.Contacts
+	}
+	if contacts == 0 {
+		t.Error("no contacts in Highspeed benchmark")
+	}
+}
+
+func TestMixHasEverything(t *testing.T) {
+	w := BuildMix(testScale)
+	st := MeasureStats("Mix", w)
+	if st.ClothObjs == 0 {
+		t.Error("Mix has no cloth")
+	}
+	if st.PrefracturedObj == 0 {
+		t.Error("Mix has no prefracture")
+	}
+	if len(w.Explosives) == 0 {
+		t.Error("Mix has no explosives")
+	}
+	hasHF := false
+	for _, g := range w.Geoms {
+		if g.Shape.Kind() == geom.KindHeightField {
+			hasHF = true
+		}
+	}
+	if !hasHF {
+		t.Error("Mix has no heightfield terrain")
+	}
+}
+
+func TestPrintTable4SmallScale(t *testing.T) {
+	rows := PrintTable4(io.Discard, 0.06)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ObjPairs == 0 {
+			t.Errorf("%s: no object pairs measured", r.Name)
+		}
+	}
+}
+
+func TestComplexityOrdering(t *testing.T) {
+	// The suite is designed to scale in complexity from Periodic to Mix
+	// (paper: "The distribution of execution times shows good complexity
+	// scaling ranging from Periodic to Mix"). Check the pair counts of
+	// the extremes at a common scale.
+	per := MeasureStats("Periodic", BuildPeriodic(0.1))
+	mix := MeasureStats("Mix", BuildMix(0.1))
+	if mix.ObjPairs <= per.ObjPairs {
+		t.Errorf("Mix (%d pairs) should exceed Periodic (%d pairs)",
+			mix.ObjPairs, per.ObjPairs)
+	}
+}

@@ -1,0 +1,116 @@
+package world
+
+import "sync"
+
+// pool is the engine's persistent worker pool: the paper's work-queue
+// model with persistent worker threads, which "eliminate thread creation
+// and destruction costs". Workers live for the lifetime of the world.
+type pool struct {
+	n     int
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// newPool starts n persistent workers.
+func newPool(n int) *pool {
+	p := &pool{n: n, tasks: make(chan func(), 4*n)}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes all tasks on the workers and blocks until they finish.
+func (p *pool) run(tasks []func()) {
+	p.wg.Add(len(tasks))
+	for _, f := range tasks {
+		p.tasks <- f
+	}
+	p.wg.Wait()
+}
+
+// close stops the workers.
+func (p *pool) close() { close(p.tasks) }
+
+// ensurePool (re)creates the world's pool to match the thread count.
+func (w *World) ensurePool() *pool {
+	want := w.Threads - 1 // the main thread is worker 0
+	if want < 1 {
+		return nil
+	}
+	if w.pool == nil || w.pool.n != want {
+		if w.pool != nil {
+			w.pool.close()
+		}
+		w.pool = newPool(want)
+	}
+	return w.pool
+}
+
+// parallelChunks partitions n items into w.Threads equal chunks and runs
+// fn(thread, lo, hi) for each, chunk 0 on the calling goroutine and the
+// rest on the pool (the paper partitions object-pairs into equal sets
+// per worker thread).
+func (w *World) parallelChunks(n int, fn func(thread, lo, hi int)) {
+	t := w.Threads
+	if t <= 1 || n == 0 {
+		fn(0, 0, n)
+		return
+	}
+	if t > n {
+		t = n
+	}
+	p := w.ensurePool()
+	chunk := (n + t - 1) / t
+	var tasks []func()
+	for i := 1; i < t; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		i, lo, hi := i, lo, hi
+		tasks = append(tasks, func() { fn(i, lo, hi) })
+	}
+	p.wg.Add(len(tasks))
+	for _, f := range tasks {
+		p.tasks <- f
+	}
+	hi := chunk
+	if hi > n {
+		hi = n
+	}
+	fn(0, 0, hi)
+	p.wg.Wait()
+}
+
+// runQueue executes the given closures via the work queue, mainTasks on
+// the calling goroutine (small islands execute on the main thread).
+func (w *World) runQueue(queued []func(), mainTasks []func()) {
+	if w.Threads <= 1 {
+		for _, f := range queued {
+			f()
+		}
+		for _, f := range mainTasks {
+			f()
+		}
+		return
+	}
+	p := w.ensurePool()
+	p.wg.Add(len(queued))
+	for _, f := range queued {
+		p.tasks <- f
+	}
+	for _, f := range mainTasks {
+		f()
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,131 @@
+package world
+
+import (
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
+	"github.com/parallax-arch/parallax/internal/phys/cloth"
+	"github.com/parallax-arch/parallax/internal/phys/narrowphase"
+	"github.com/parallax-arch/parallax/internal/phys/solver"
+)
+
+// Phase identifies one of the five computational phases (paper Fig 1).
+type Phase int
+
+// The five phases. Broad-phase and Island Creation are the serial
+// phases; the other three exploit parallelism within the phase.
+const (
+	PhaseBroad Phase = iota
+	PhaseNarrow
+	PhaseIslandGen
+	PhaseIslandProc
+	PhaseCloth
+	NumPhases
+)
+
+var phaseNames = [...]string{
+	"Broadphase", "Narrowphase", "Island Creation", "Island Processing", "Cloth",
+}
+
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// Serial reports whether the phase is one of the hard-to-parallelize
+// (serial) phases.
+func (p Phase) Serial() bool { return p == PhaseBroad || p == PhaseIslandGen }
+
+// IslandStat summarizes one island for the profile. DOF is the number of
+// constraint rows — the island's fine-grain task count.
+type IslandStat struct {
+	Bodies   int
+	Joints   int
+	Contacts int
+	DOF      int
+}
+
+// StepProfile records everything the architecture model needs about one
+// simulation step: phase-level work counters and the fine-grain task
+// structure.
+type StepProfile struct {
+	// Pairs is the candidate pair count out of the broad phase (the
+	// narrow phase's fine-grain task count).
+	Pairs int
+	// Contacts is the number of contact points generated.
+	Contacts int
+
+	Broad  broadphase.Stats
+	Narrow narrowphase.Stats
+	// FindSteps counts union-find work in island creation.
+	FindSteps int
+	// Islands lists per-island statistics.
+	Islands []IslandStat
+	Solver  solver.Stats
+	// Cloth aggregates cloth work across all cloth objects.
+	Cloth cloth.Stats
+	// ClothVerts lists each cloth's vertex count (its FG task count).
+	ClothVerts []int
+
+	// Event counters.
+	Explosions  int
+	FractureHit int
+	JointBreaks int
+	// BodiesIntegrated counts forward-stepped bodies.
+	BodiesIntegrated int
+
+	// Detail below is populated only when World.RecordDetail is set; the
+	// architecture model uses it to synthesize memory reference streams
+	// over the actual entities touched.
+	PairList     []broadphase.Pair
+	ContactGeoms [][2]int32
+	IslandBodies [][]int32
+	IslandRowsOf [][]int32 // per island: the joint ids contributing rows
+}
+
+// IslandDOFs returns the per-island fine-grain task counts.
+func (p *StepProfile) IslandDOFs() []int {
+	out := make([]int, len(p.Islands))
+	for i, is := range p.Islands {
+		out[i] = is.DOF
+	}
+	return out
+}
+
+// FrameProfile aggregates the steps of one rendered frame (the paper
+// runs 3 simulation steps per 30 FPS frame).
+type FrameProfile struct {
+	Steps []StepProfile
+}
+
+// Add appends a step profile.
+func (f *FrameProfile) Add(s StepProfile) { f.Steps = append(f.Steps, s) }
+
+// TotalPairs returns the frame's total narrow-phase task count.
+func (f *FrameProfile) TotalPairs() int {
+	n := 0
+	for _, s := range f.Steps {
+		n += s.Pairs
+	}
+	return n
+}
+
+// TotalContacts returns the frame's contact count.
+func (f *FrameProfile) TotalContacts() int {
+	n := 0
+	for _, s := range f.Steps {
+		n += s.Contacts
+	}
+	return n
+}
+
+// MaxIslands returns the worst-case per-step island count.
+func (f *FrameProfile) MaxIslands() int {
+	m := 0
+	for _, s := range f.Steps {
+		if len(s.Islands) > m {
+			m = len(s.Islands)
+		}
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package world
+
+import (
+	"math"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+	"github.com/parallax-arch/parallax/internal/phys/narrowphase"
+)
+
+// RayCast finds the nearest intersection of the ray from origin o along
+// unit direction dir (limited to maxT) with any enabled geom, skipping
+// blast volumes and cloth proxies. It returns the hit and whether one
+// was found. Gameplay queries (line of sight, picking, projectile
+// pre-sweeps) use this; cloth collision uses the same per-geom tests
+// internally.
+func (w *World) RayCast(o, dir m3.Vec, maxT float64) (narrowphase.RayHit, bool) {
+	best := narrowphase.RayHit{T: math.Inf(1)}
+	found := false
+	end := o.Add(dir.Scale(maxT))
+	ray := m3.AABB{Min: o.Min(end), Max: o.Max(end)}
+	for _, g := range w.Geoms {
+		if !g.Enabled() || g.Flags.Has(geom.FlagBlast) || g.Flags.Has(geom.FlagCloth) {
+			continue
+		}
+		// Planes have unbounded boxes; everything else is pre-filtered
+		// by the ray's AABB.
+		if g.Shape.Kind() != geom.KindPlane {
+			g.UpdateAABB()
+			if !g.Box.Overlaps(ray) {
+				continue
+			}
+		}
+		if hit, ok := narrowphase.RayCast(g, o, dir, maxT); ok && hit.T < best.T {
+			best = hit
+			found = true
+		}
+	}
+	return best, found
+}
+
+// BodiesIn appends the indices of enabled dynamic bodies whose geom
+// AABBs intersect the query box (an area query for gameplay triggers and
+// blast pre-filters) and returns the slice.
+func (w *World) BodiesIn(box m3.AABB, dst []int32) []int32 {
+	for _, g := range w.Geoms {
+		if !g.Enabled() || g.Body < 0 {
+			continue
+		}
+		if g.Flags.Has(geom.FlagBlast) || g.Flags.Has(geom.FlagCloth) {
+			continue
+		}
+		g.UpdateAABB()
+		if g.Box.Overlaps(box) {
+			dst = append(dst, int32(g.Body))
+		}
+	}
+	return dst
+}
+
+// KineticEnergy returns the total kinetic energy of all enabled dynamic
+// bodies — a convenient invariant for tests and stability monitoring.
+func (w *World) KineticEnergy() float64 {
+	e := 0.0
+	for _, b := range w.Bodies {
+		if b.Enabled {
+			e += b.KineticEnergy()
+		}
+	}
+	return e
+}

@@ -1,0 +1,147 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func TestWorldRayCastNearest(t *testing.T) {
+	w := groundWorld()
+	w.AddBody(geom.Sphere{R: 0.5}, 1, m3.V(5, 1, 0), m3.QIdent, 0, 0)
+	w.AddBody(geom.Sphere{R: 0.5}, 1, m3.V(9, 1, 0), m3.QIdent, 0, 0)
+	hit, ok := w.RayCast(m3.V(0, 1, 0), m3.V(1, 0, 0), 100)
+	if !ok {
+		t.Fatal("ray should hit the nearer sphere")
+	}
+	if math.Abs(hit.T-4.5) > 1e-9 {
+		t.Errorf("T = %v, want 4.5 (nearer sphere)", hit.T)
+	}
+	// Downward ray hits the ground plane.
+	hit, ok = w.RayCast(m3.V(0, 5, 0), m3.V(0, -1, 0), 100)
+	if !ok || math.Abs(hit.T-5) > 1e-9 {
+		t.Errorf("ground hit = %+v ok=%v", hit, ok)
+	}
+	// A ray into empty space misses.
+	if _, ok := w.RayCast(m3.V(0, 5, 0), m3.V(0, 1, 0), 100); ok {
+		t.Error("upward ray should miss everything")
+	}
+}
+
+func TestWorldRayCastSkipsDisabledAndBlast(t *testing.T) {
+	w := New()
+	_, gi := w.AddBody(geom.Sphere{R: 1}, 1, m3.V(5, 0, 0), m3.QIdent, 0, 0)
+	w.DisableBodyGeom(gi)
+	if _, ok := w.RayCast(m3.Zero, m3.V(1, 0, 0), 100); ok {
+		t.Error("disabled geom should be invisible to rays")
+	}
+}
+
+func TestBodiesIn(t *testing.T) {
+	w := groundWorld()
+	a, _ := w.AddBody(geom.Sphere{R: 0.5}, 1, m3.V(0, 1, 0), m3.QIdent, 0, 0)
+	_, _ = w.AddBody(geom.Sphere{R: 0.5}, 1, m3.V(20, 1, 0), m3.QIdent, 0, 0)
+	got := w.BodiesIn(m3.AABB{Min: m3.V(-2, 0, -2), Max: m3.V(2, 2, 2)}, nil)
+	if len(got) != 1 || got[0] != a {
+		t.Errorf("BodiesIn = %v, want [%d]", got, a)
+	}
+	all := w.BodiesIn(m3.AABB{Min: m3.V(-100, -100, -100), Max: m3.V(100, 100, 100)}, nil)
+	if len(all) != 2 {
+		t.Errorf("full query = %v", all)
+	}
+}
+
+func TestKineticEnergyDecaysToRest(t *testing.T) {
+	w := groundWorld()
+	bi, _ := w.AddBody(geom.Sphere{R: 0.5}, 1, m3.V(0, 3, 0), m3.QIdent, 0, 0)
+	_ = bi
+	peak := 0.0
+	for i := 0; i < 400; i++ {
+		w.Step()
+		if e := w.KineticEnergy(); e > peak {
+			peak = e
+		}
+	}
+	final := w.KineticEnergy()
+	if peak <= 0 {
+		t.Fatal("no kinetic energy during fall")
+	}
+	if final > peak*0.05 {
+		t.Errorf("ball did not come to rest: final %v vs peak %v", final, peak)
+	}
+}
+
+func TestEnergyNeverExplodes(t *testing.T) {
+	// A pile of mixed shapes must dissipate, not gain, energy (solver
+	// stability invariant).
+	w := groundWorld()
+	shapes := []geom.Shape{
+		geom.Sphere{R: 0.3},
+		geom.Box{Half: m3.V(0.3, 0.2, 0.25)},
+		geom.Capsule{R: 0.15, HalfLen: 0.3},
+	}
+	for i := 0; i < 12; i++ {
+		w.AddBody(shapes[i%3], 1+float64(i%4),
+			m3.V(float64(i%3)*0.4-0.4, 1+float64(i/3)*0.8, float64(i%2)*0.3),
+			m3.QFromAxisAngle(m3.V(1, 1, 0), float64(i)), 0, 0)
+	}
+	// Track the peak; afterwards energy may fluctuate but must not blow
+	// past the initial potential scale.
+	peak := 0.0
+	for i := 0; i < 600; i++ {
+		w.Step()
+		e := w.KineticEnergy()
+		if e > peak {
+			peak = e
+		}
+		if i > 100 && e > 500 {
+			t.Fatalf("energy explosion at step %d: %v J", i, e)
+		}
+	}
+	if w.KineticEnergy() > peak*0.2+1 {
+		t.Errorf("pile still energetic after settling: %v J (peak %v)",
+			w.KineticEnergy(), peak)
+	}
+}
+
+func TestHullRockSettles(t *testing.T) {
+	// A convex-hull rock (GJK/EPA collision) dropped onto the ground
+	// settles like its box twin.
+	w := groundWorld()
+	rock := geom.BoxHull(m3.V(0.4, 0.3, 0.5))
+	bi, _ := w.AddBody(rock, 5, m3.V(0, 2, 0),
+		m3.QFromAxisAngle(m3.V(1, 0, 0), 0.3), 0, 0)
+	for i := 0; i < 400; i++ {
+		w.Step()
+	}
+	b := w.Bodies[bi]
+	if !b.Valid() {
+		t.Fatal("hull body invalid")
+	}
+	if b.Pos.Y < 0.2 || b.Pos.Y > 0.6 {
+		t.Errorf("hull rock rest height = %v, want ~0.3-0.5", b.Pos.Y)
+	}
+	if b.LinVel.Len() > 0.2 {
+		t.Errorf("hull rock still moving at %v m/s", b.LinVel.Len())
+	}
+}
+
+func TestHullVsSphereInWorld(t *testing.T) {
+	// A sphere rolls into a resting hull and pushes it.
+	w := groundWorld()
+	rock := geom.BoxHull(m3.V(0.4, 0.4, 0.4))
+	hull, _ := w.AddBody(rock, 2, m3.V(0, 0.41, 0), m3.QIdent, 0, 0)
+	ball, _ := w.AddBody(geom.Sphere{R: 0.4}, 6, m3.V(-4, 0.4, 0), m3.QIdent, 0, 0)
+	w.Bodies[ball].LinVel = m3.V(8, 0, 0)
+	for i := 0; i < 200; i++ {
+		w.Step()
+	}
+	if w.Bodies[hull].Pos.X < 0.3 {
+		t.Errorf("hull not pushed by the ball: x=%v", w.Bodies[hull].Pos.X)
+	}
+	if !w.Bodies[hull].Valid() || !w.Bodies[ball].Valid() {
+		t.Fatal("bodies invalid after hull impact")
+	}
+}

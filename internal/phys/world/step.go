@@ -1,0 +1,513 @@
+package world
+
+import (
+	"github.com/parallax-arch/parallax/internal/phys/body"
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
+	"github.com/parallax-arch/parallax/internal/phys/cloth"
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/island"
+	"github.com/parallax-arch/parallax/internal/phys/joint"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+	"github.com/parallax-arch/parallax/internal/phys/narrowphase"
+	"github.com/parallax-arch/parallax/internal/phys/solver"
+)
+
+// StepsPerFrame is how many simulation steps make one rendered frame:
+// the paper executes 3 steps of 0.01 s per 30 FPS frame to keep fast
+// objects from tunneling.
+const StepsPerFrame = 3
+
+// Step advances the simulation by one Dt, running the five phases and
+// recording the step profile.
+func (w *World) Step() {
+	prof := StepProfile{}
+	p := w.params()
+
+	// (a) Apply external forces (gravity).
+	for _, b := range w.Bodies {
+		if b.Enabled && b.InvMass > 0 && !b.Asleep {
+			b.AddForce(w.Gravity.Scale(b.Mass))
+		}
+	}
+
+	// Refresh cloth bounding-volume proxies and reset contact lists.
+	for ci, gi := range w.clothProxy {
+		c := w.Cloths[ci]
+		g := w.Geoms[gi]
+		g.Shape = geom.Box{Half: c.Box.Extent().Scale(0.5)}
+		g.Pos = c.Box.Center()
+		w.clothContacts[ci] = w.clothContacts[ci][:0]
+	}
+
+	// (b) Broad-phase: candidate pairs. Serial phase.
+	w.pairBuf = w.Broad.Pairs(w.Geoms, w.pairBuf[:0])
+	prof.Broad = w.Broad.Stats()
+	prof.Pairs = len(w.pairBuf)
+
+	// (c) Narrow-phase: contacts plus the special-contact events
+	// (explosions, blast hits, cloth contact lists). Massively parallel:
+	// pairs are partitioned into equal sets per worker thread, each with
+	// its own contact buffer (the engine modification described in the
+	// paper that removes ODE's single-joint-group serialization).
+	type narrowEvents struct {
+		contacts   []narrowphase.Contact
+		stats      narrowphase.Stats
+		explosions []int32
+		blastHits  [][2]int32 // blast geom, other geom
+		clothHits  [][2]int32 // cloth index, other geom
+	}
+	threads := w.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	evs := make([]narrowEvents, threads)
+	w.parallelChunks(len(w.pairBuf), func(th, lo, hi int) {
+		e := &evs[th]
+		for _, pr := range w.pairBuf[lo:hi] {
+			a, b := w.Geoms[pr.A], w.Geoms[pr.B]
+			aC, bC := a.Flags.Has(geom.FlagCloth), b.Flags.Has(geom.FlagCloth)
+			aB, bB := a.Flags.Has(geom.FlagBlast), b.Flags.Has(geom.FlagBlast)
+			switch {
+			case aC || bC:
+				// (c.iii) body touching a cloth's bounding volume goes on
+				// the cloth's contact list.
+				if aC && !bB && !bC {
+					e.clothHits = append(e.clothHits, [2]int32{a.Aux, int32(b.ID)})
+				}
+				if bC && !aB && !aC {
+					e.clothHits = append(e.clothHits, [2]int32{b.Aux, int32(a.ID)})
+				}
+			case aB || bB:
+				// (c.iv) blast volume interactions.
+				if aB && !bB {
+					e.blastHits = append(e.blastHits, [2]int32{int32(a.ID), int32(b.ID)})
+				} else if bB && !aB {
+					e.blastHits = append(e.blastHits, [2]int32{int32(b.ID), int32(a.ID)})
+				}
+			default:
+				start := len(e.contacts)
+				e.contacts = narrowphase.Collide(a, b, e.contacts, &e.stats)
+				if len(e.contacts) > start {
+					// (c.ii) explosive objects detonate on contact instead
+					// of generating constraints.
+					exploded := false
+					if a.Flags.Has(geom.FlagExplosive) {
+						e.explosions = append(e.explosions, int32(a.ID))
+						exploded = true
+					}
+					if b.Flags.Has(geom.FlagExplosive) {
+						e.explosions = append(e.explosions, int32(b.ID))
+						exploded = true
+					}
+					if exploded {
+						e.contacts = e.contacts[:start]
+					}
+				}
+			}
+		}
+	})
+	// Merge per-thread results in thread order (deterministic).
+	var contacts []narrowphase.Contact
+	for i := range evs {
+		contacts = append(contacts, evs[i].contacts...)
+		prof.Narrow.PairsTested += evs[i].stats.PairsTested
+		prof.Narrow.ContactsOut += evs[i].stats.ContactsOut
+		prof.Narrow.TriTests += evs[i].stats.TriTests
+		prof.Narrow.PrimTests += evs[i].stats.PrimTests
+		if evs[i].stats.DeepestDepth > prof.Narrow.DeepestDepth {
+			prof.Narrow.DeepestDepth = evs[i].stats.DeepestDepth
+		}
+	}
+	prof.Contacts = len(contacts)
+
+	// Serial event processing: explosions, blasts, fracture, cloth lists.
+	seenExpl := map[int32]bool{}
+	for i := range evs {
+		for _, gidx := range evs[i].explosions {
+			if seenExpl[gidx] {
+				continue
+			}
+			seenExpl[gidx] = true
+			w.detonate(gidx, &prof)
+		}
+	}
+	for i := range evs {
+		for _, hit := range evs[i].blastHits {
+			w.blastHit(hit[0], hit[1], &prof)
+		}
+		for _, hit := range evs[i].clothHits {
+			w.clothContacts[hit[0]] = append(w.clothContacts[hit[0]], hit[1])
+		}
+	}
+
+	// Wake sleeping bodies hit by something that is actually moving;
+	// resting contacts must not keep bodies awake forever.
+	if w.EnableSleep {
+		moving := func(bi int) bool {
+			b := w.Bodies[bi]
+			return !b.Asleep &&
+				(b.LinVel.Len2() > body.SleepLinVel*body.SleepLinVel ||
+					b.AngVel.Len2() > body.SleepAngVel*body.SleepAngVel)
+		}
+		for _, c := range contacts {
+			ba, bb := w.Geoms[c.A].Body, w.Geoms[c.B].Body
+			if ba >= 0 && w.Bodies[ba].Asleep && bb >= 0 && moving(bb) {
+				w.Bodies[ba].Wake()
+			}
+			if bb >= 0 && w.Bodies[bb].Asleep && ba >= 0 && moving(ba) {
+				w.Bodies[bb].Wake()
+			}
+		}
+	}
+
+	// (d) Island creation: group interacting objects. Serial phase.
+	edges := make([]island.Edge, 0, len(contacts)+len(w.Joints))
+	for ji, j := range w.Joints {
+		nr := j.NumRows()
+		if nr == 0 {
+			continue
+		}
+		a, b := j.Bodies()
+		edges = append(edges, island.Edge{A: a, B: b, Ref: int32(ji), DOF: nr})
+	}
+	for ci, c := range contacts {
+		a := int32(w.Geoms[c.A].Body)
+		b := int32(w.Geoms[c.B].Body)
+		edges = append(edges, island.Edge{
+			A: a, B: b, Ref: int32(ci), IsContact: true,
+			DOF: joint.RowsPerContact,
+		})
+	}
+	active := func(i int32) bool {
+		b := w.Bodies[i]
+		return b.Enabled && b.InvMass > 0 && !b.Asleep
+	}
+	islands, findSteps := island.BuildCounted(len(w.Bodies), edges, active)
+	prof.FindSteps = findSteps
+	prof.Islands = make([]IslandStat, len(islands))
+	for i, is := range islands {
+		prof.Islands[i] = IslandStat{
+			Bodies: len(is.Bodies), Joints: len(is.Joints),
+			Contacts: len(is.Contacts), DOF: is.DOF,
+		}
+	}
+	if w.RecordDetail {
+		prof.PairList = append([]broadphase.Pair(nil), w.pairBuf...)
+		prof.ContactGeoms = make([][2]int32, len(contacts))
+		for i, c := range contacts {
+			prof.ContactGeoms[i] = [2]int32{c.A, c.B}
+		}
+		prof.IslandBodies = make([][]int32, len(islands))
+		prof.IslandRowsOf = make([][]int32, len(islands))
+		for i, is := range islands {
+			prof.IslandBodies[i] = append([]int32(nil), is.Bodies...)
+			prof.IslandRowsOf[i] = append([]int32(nil), is.Joints...)
+		}
+	}
+
+	// (e) Island processing: forward-simulate each island. Islands are
+	// independent; big ones go on the work queue, small ones run on the
+	// main thread.
+	solverStats := make([]solver.Stats, len(islands))
+	jointLoads := make([]map[int32]float64, len(islands))
+
+	// Warm starting: match this step's contacts to last step's impulses
+	// by (geom pair, ordinal within the pair).
+	var contactKey []uint64
+	var contactOrd []int32
+	var warmOut []map[uint64][]float64
+	if w.WarmStart {
+		contactKey = make([]uint64, len(contacts))
+		contactOrd = make([]int32, len(contacts))
+		counts := map[uint64]int32{}
+		for ci, c := range contacts {
+			k := uint64(uint32(c.A))<<32 | uint64(uint32(c.B))
+			contactKey[ci] = k
+			contactOrd[ci] = counts[k]
+			counts[k]++
+		}
+		warmOut = make([]map[uint64][]float64, len(islands))
+	}
+
+	solveIsland := func(i int) func() {
+		is := islands[i]
+		return func() {
+			loads := map[int32]float64{}
+			jointLoads[i] = loads
+			for _, bi := range is.Bodies {
+				w.Bodies[bi].IntegrateVelocity(w.Dt)
+			}
+			var rows []joint.Row
+			for _, ji := range is.Joints {
+				rows = w.Joints[ji].Rows(w.Bodies, p, ji, rows)
+			}
+			contactBase := make([]int32, len(is.Contacts))
+			for k, ci := range is.Contacts {
+				c := contacts[ci]
+				a := int32(w.Geoms[c.A].Body)
+				b := int32(w.Geoms[c.B].Body)
+				base := int32(len(rows))
+				contactBase[k] = base
+				rows = joint.ContactRows(w.Bodies, a, b, c.Pos, c.Normal, c.Depth,
+					joint.DefaultMaterial, p, base, rows)
+				if w.WarmStart {
+					if cached, ok := w.warmCache[contactKey[ci]]; ok {
+						off := int(contactOrd[ci]) * joint.RowsPerContact
+						for j := 0; j < joint.RowsPerContact && off+j < len(cached); j++ {
+							rows[int(base)+j].Warm = cached[off+j]
+						}
+					}
+				}
+			}
+			lam := w.Solver.Solve(w.Bodies, rows, w.Dt, loads, &solverStats[i])
+			if w.WarmStart && len(is.Contacts) > 0 {
+				out := map[uint64][]float64{}
+				for k, ci := range is.Contacts {
+					base := contactBase[k]
+					key := contactKey[ci]
+					buf := out[key]
+					for j := 0; j < joint.RowsPerContact; j++ {
+						buf = append(buf, lam[int(base)+j])
+					}
+					out[key] = buf
+				}
+				warmOut[i] = out
+			}
+			for _, bi := range is.Bodies {
+				w.Bodies[bi].IntegratePosition(w.Dt)
+				if w.EnableSleep {
+					w.Bodies[bi].UpdateSleep(w.Dt)
+				}
+			}
+		}
+	}
+	var queued, mainTasks []func()
+	for i, is := range islands {
+		if is.DOF > SmallIslandDOF {
+			queued = append(queued, solveIsland(i))
+		} else {
+			mainTasks = append(mainTasks, solveIsland(i))
+		}
+	}
+	w.runQueue(queued, mainTasks)
+	for i := range islands {
+		prof.Solver.Rows += solverStats[i].Rows
+		prof.Solver.RowUpdates += solverStats[i].RowUpdates
+		prof.Solver.Iterations = w.Solver.Iterations
+		prof.BodiesIntegrated += len(islands[i].Bodies)
+	}
+	if w.WarmStart {
+		// Replace the impulse cache with this step's results (islands
+		// are disjoint, so a serial merge suffices).
+		w.warmCache = make(map[uint64][]float64)
+		for _, out := range warmOut {
+			for k, v := range out {
+				w.warmCache[k] = append(w.warmCache[k], v...)
+			}
+		}
+	}
+	// Clear accumulators of bodies outside any island (asleep/disabled).
+	for _, b := range w.Bodies {
+		b.ClearAccumulators()
+	}
+
+	// (f) Check breakable joints: a joint whose applied load exceeded its
+	// threshold breaks (serial, cheap).
+	for i := range islands {
+		for ji, load := range jointLoads[i] {
+			if br, ok := w.Joints[ji].(*joint.Breakable); ok {
+				if br.ApplyLoad(load) {
+					prof.JointBreaks++
+				}
+			}
+		}
+	}
+
+	// Sync geoms to their bodies.
+	for _, g := range w.Geoms {
+		if g.Body < 0 || !g.Enabled() {
+			continue
+		}
+		b := w.Bodies[g.Body]
+		g.Pos = b.Rot.Rotate(g.OffsetPos).Add(b.Pos)
+		off := g.OffsetRot
+		if off == (m3.Quat{}) {
+			off = m3.QIdent
+		}
+		g.Rot = b.Rot.Mul(off).Mat()
+	}
+
+	// (g) Cloth: forward-step every cloth object. Parallel per cloth;
+	// vertices are the fine-grain tasks.
+	clothStats := make([]cloth.Stats, len(w.Cloths))
+	prof.ClothVerts = prof.ClothVerts[:0]
+	pose := func(bi int32) (m3.Vec, m3.Quat) {
+		b := w.Bodies[bi]
+		return b.Pos, b.Rot
+	}
+	var clothTasks []func()
+	for ci := range w.Cloths {
+		ci := ci
+		c := w.Cloths[ci]
+		prof.ClothVerts = append(prof.ClothVerts, c.NumVertices())
+		clothTasks = append(clothTasks, func() {
+			c.SatisfyPins(pose)
+			c.Integrate(w.Dt, w.Gravity)
+			c.Relax()
+			for _, gi := range w.clothContacts[ci] {
+				g := w.Geoms[gi]
+				if g.Enabled() {
+					c.CollideGeom(g)
+				}
+			}
+			c.UpdateBox()
+			clothStats[ci] = c.LastStats
+		})
+	}
+	w.runQueue(clothTasks, nil)
+	for _, st := range clothStats {
+		prof.Cloth.VertexUpdates += st.VertexUpdates
+		prof.Cloth.ConstraintUpdates += st.ConstraintUpdates
+		prof.Cloth.CollisionTests += st.CollisionTests
+		prof.Cloth.RayCasts += st.RayCasts
+	}
+
+	// Blast volume lifetimes.
+	live := w.Blasts[:0]
+	for _, bl := range w.Blasts {
+		bl.Remaining -= w.Dt
+		if bl.Remaining > 0 {
+			live = append(live, bl)
+		} else {
+			w.Geoms[bl.Geom].Flags |= geom.FlagDisabled
+		}
+	}
+	w.Blasts = live
+
+	// (h) Advance time.
+	w.Time += w.Dt
+	w.Profile = prof
+}
+
+// StepFrame advances one rendered frame (StepsPerFrame steps) and
+// returns the aggregated frame profile.
+func (w *World) StepFrame() FrameProfile {
+	var f FrameProfile
+	for i := 0; i < StepsPerFrame; i++ {
+		w.Step()
+		f.Add(w.Profile)
+	}
+	return f
+}
+
+// detonate replaces an explosive geom with its blast volume.
+func (w *World) detonate(gidx int32, prof *StepProfile) {
+	g := w.Geoms[gidx]
+	if !g.Enabled() {
+		return
+	}
+	spec, ok := w.Explosives[gidx]
+	if !ok {
+		return
+	}
+	pos := g.Pos
+	w.DisableBodyGeom(gidx)
+	bg := &geom.Geom{
+		ID:    len(w.Geoms),
+		Shape: geom.Sphere{R: spec.Radius},
+		Pos:   pos,
+		Rot:   m3.Ident,
+		Body:  -1,
+		Flags: geom.FlagBlast,
+	}
+	bg.UpdateAABB()
+	w.Geoms = append(w.Geoms, bg)
+	w.Blasts = append(w.Blasts, Blast{
+		Geom: int32(bg.ID), Remaining: spec.Duration, Impulse: spec.Impulse,
+		hit: make(map[int32]bool),
+	})
+	prof.Explosions++
+}
+
+// blastHit applies a blast volume's effect to a geom it overlaps:
+// prefractured objects shatter; dynamic bodies receive a radial impulse.
+func (w *World) blastHit(blastGeom, other int32, prof *StepProfile) {
+	bg := w.Geoms[blastGeom]
+	og := w.Geoms[other]
+	if !bg.Enabled() || !og.Enabled() {
+		return
+	}
+	if og.Flags.Has(geom.FlagPrefractured) {
+		if fi, ok := w.fractureOfGeom[other]; ok && !w.Fractures[fi].Broken {
+			w.shatter(fi, bg.Pos, prof)
+		}
+		return
+	}
+	if og.Body < 0 {
+		return
+	}
+	var blast *Blast
+	for i := range w.Blasts {
+		if w.Blasts[i].Geom == blastGeom {
+			blast = &w.Blasts[i]
+			break
+		}
+	}
+	if blast == nil || blast.Impulse == 0 {
+		return
+	}
+	if blast.hit[int32(og.Body)] {
+		return // the shockwave already reached this body
+	}
+	blast.hit[int32(og.Body)] = true
+	impulse := blast.Impulse
+	b := w.Bodies[og.Body]
+	r := bg.Shape.(geom.Sphere).R
+	d := b.Pos.Sub(bg.Pos)
+	dist := d.Len()
+	if dist >= r {
+		return
+	}
+	dir := d.Norm()
+	if dir == m3.Zero {
+		dir = m3.V(0, 1, 0)
+	}
+	scale := 1 - dist/r
+	b.Wake()
+	b.ApplyImpulse(dir.Scale(impulse*scale), b.Pos)
+}
+
+// shatter breaks a prefractured object: the parent is disabled and its
+// debris pieces are enabled at their positions relative to the parent's
+// current pose, inheriting its velocity plus a radial kick away from the
+// blast center.
+func (w *World) shatter(fi int32, blastPos m3.Vec, prof *StepProfile) {
+	fr := &w.Fractures[fi]
+	fr.Broken = true
+	pg := w.Geoms[fr.Parent]
+	var vel m3.Vec
+	parentPos := pg.Pos
+	var parentRot m3.Quat = m3.QIdent
+	if pg.Body >= 0 {
+		pb := w.Bodies[pg.Body]
+		vel = pb.LinVel
+		parentPos = pb.Pos
+		parentRot = pb.Rot
+	}
+	w.DisableBodyGeom(fr.Parent)
+	for i, di := range fr.Debris {
+		dg := w.Geoms[di]
+		w.EnableBodyGeom(di)
+		if dg.Body >= 0 {
+			db := w.Bodies[dg.Body]
+			db.Pos = parentRot.Rotate(fr.LocalPos[i]).Add(parentPos)
+			db.Rot = parentRot.Mul(fr.LocalRot[i])
+			kick := db.Pos.Sub(blastPos).Norm().Scale(2.0)
+			db.LinVel = vel.Add(kick)
+			dg.Pos = db.Pos
+			dg.Rot = db.Rot.Mat()
+			dg.UpdateAABB()
+		}
+	}
+	prof.FractureHit++
+}

@@ -1,0 +1,282 @@
+// Package world orchestrates the physics engine's five computational
+// phases (paper Figure 1):
+//
+//	Broad-phase -> Narrow-phase -> Island Creation -> Island Processing -> Cloth
+//
+// All phases are serialized with respect to each other; Narrow-phase,
+// Island Processing and Cloth exploit parallelism within the phase using
+// a work-queue model with persistent worker goroutines (the paper's
+// pthreads + persistent worker threads). The engine also implements the
+// paper's game-physics extensions: explosions (blast-radius spheres),
+// pre-fractured objects that shatter into debris, breakable joints, and
+// cloth contact lists.
+package world
+
+import (
+	"github.com/parallax-arch/parallax/internal/phys/body"
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
+	"github.com/parallax-arch/parallax/internal/phys/cloth"
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/joint"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+	"github.com/parallax-arch/parallax/internal/phys/solver"
+)
+
+// SmallIslandDOF is the threshold below which islands are processed on
+// the main thread instead of the work queue (paper section 3.2: "Only
+// islands with more than 25 degrees-of-freedom removed are inserted into
+// the work-queue").
+const SmallIslandDOF = 25
+
+// ExplosiveSpec configures an explosive geom: on contact the object is
+// replaced by a blast sphere of the given radius that lives for Duration
+// seconds and applies Impulse (N*s, scaled by proximity) to bodies it
+// touches.
+type ExplosiveSpec struct {
+	Radius   float64
+	Duration float64
+	Impulse  float64
+}
+
+// Blast is an active blast volume. The shockwave imparts its impulse to
+// each body at most once over the blast's lifetime.
+type Blast struct {
+	Geom      int32
+	Remaining float64
+	Impulse   float64
+	hit       map[int32]bool
+}
+
+// FractureGroup links a breakable parent geom to its pre-created debris.
+// LocalPos/LocalRot hold each debris piece's pose relative to the parent
+// so pieces can be placed correctly however far the parent has moved.
+type FractureGroup struct {
+	Parent   int32
+	Debris   []int32
+	LocalPos []m3.Vec
+	LocalRot []m3.Quat
+	Broken   bool
+}
+
+// World holds the complete simulation state.
+type World struct {
+	// Gravity applied to every dynamic body (m/s^2).
+	Gravity m3.Vec
+	// Dt is the simulation time step (the paper uses 0.01 s).
+	Dt float64
+	// ERP and CFM are the global constraint parameters.
+	ERP, CFM float64
+	// EnableSleep lets idle bodies go to sleep. Off by default: the
+	// benchmark scenes are measured at full activity.
+	EnableSleep bool
+	// RecordDetail makes Step record the pair list, contact endpoints
+	// and island membership in the profile (for the architecture model).
+	RecordDetail bool
+	// WarmStart carries contact impulses across steps (persistent
+	// manifolds), letting the solver start near last step's solution.
+	// Off by default to match the paper's plain iterative relaxation.
+	WarmStart bool
+
+	Bodies []*body.Body
+	Geoms  []*geom.Geom
+	Joints []joint.Joint
+	Cloths []*cloth.Cloth
+
+	// Broad is the broad-phase algorithm (sweep-and-prune by default).
+	Broad broadphase.Interface
+	// Solver runs the per-island LCP (20 iterations by default).
+	Solver *solver.Solver
+
+	// Threads is the worker count for the parallel phases (1 = serial).
+	Threads int
+
+	// Explosives maps geom index to its blast behaviour.
+	Explosives map[int32]ExplosiveSpec
+	// Blasts are the currently active blast volumes.
+	Blasts []Blast
+	// Fractures lists the registered prefractured objects.
+	Fractures      []FractureGroup
+	fractureOfGeom map[int32]int32 // parent geom -> fracture index
+
+	// clothProxy maps cloth index -> proxy geom index.
+	clothProxy []int32
+	// clothContacts is the per-step contact list per cloth.
+	clothContacts [][]int32
+
+	// Time is the accumulated simulated time.
+	Time float64
+
+	// Profile holds the instrumentation for the most recent Step.
+	Profile StepProfile
+
+	pool      *pool
+	pairBuf   []broadphase.Pair
+	bodyGeom  []int32 // body index -> geom index
+	jointLoad map[int32]float64
+	// warmCache holds last step's contact impulses keyed by geom pair,
+	// three values (normal + two friction) per contact in pair order.
+	warmCache map[uint64][]float64
+}
+
+// New returns an empty world with the paper's default parameters:
+// 0.01 s steps, 20 solver iterations, sweep-and-prune broad phase,
+// single-threaded.
+func New() *World {
+	return &World{
+		Gravity:        m3.V(0, -9.81, 0),
+		Dt:             0.01,
+		ERP:            0.2,
+		CFM:            1e-9,
+		Broad:          broadphase.NewSweepAndPrune(),
+		Solver:         solver.New(),
+		Threads:        1,
+		Explosives:     make(map[int32]ExplosiveSpec),
+		fractureOfGeom: make(map[int32]int32),
+		jointLoad:      make(map[int32]float64),
+	}
+}
+
+// AddBody creates a dynamic body with a single collision shape and
+// returns (bodyIndex, geomIndex). A non-positive mass creates an
+// immovable (kinematic) body.
+func (w *World) AddBody(s geom.Shape, mass float64, pos m3.Vec, rot m3.Quat, flags geom.Flag, group int32) (int32, int32) {
+	b := body.New(mass, s.Inertia(mass))
+	b.ID = len(w.Bodies)
+	b.Pos = pos
+	b.Rot = rot
+	w.Bodies = append(w.Bodies, b)
+
+	g := &geom.Geom{
+		ID:        len(w.Geoms),
+		Shape:     s,
+		Pos:       pos,
+		Rot:       rot.Mat(),
+		Body:      b.ID,
+		OffsetRot: m3.QIdent,
+		Flags:     flags,
+		Group:     group,
+	}
+	g.UpdateAABB()
+	w.Geoms = append(w.Geoms, g)
+	w.bodyGeom = append(w.bodyGeom, int32(g.ID))
+	return int32(b.ID), int32(g.ID)
+}
+
+// AddStatic creates immobile collision geometry (terrain, obstacles) and
+// returns its geom index. Static objects participate in collision
+// detection but not in forward stepping (paper Table 2).
+func (w *World) AddStatic(s geom.Shape, pos m3.Vec, rot m3.Quat) int32 {
+	g := &geom.Geom{
+		ID:    len(w.Geoms),
+		Shape: s,
+		Pos:   pos,
+		Rot:   rot.Mat(),
+		Body:  -1,
+		Flags: geom.FlagStatic,
+	}
+	g.UpdateAABB()
+	w.Geoms = append(w.Geoms, g)
+	return int32(g.ID)
+}
+
+// AddJoint registers a joint and returns its index.
+func (w *World) AddJoint(j joint.Joint) int32 {
+	w.Joints = append(w.Joints, j)
+	return int32(len(w.Joints) - 1)
+}
+
+// AddCloth registers a cloth object and creates its bounding-volume
+// proxy geom, returning the cloth index.
+func (w *World) AddCloth(c *cloth.Cloth) int32 {
+	idx := int32(len(w.Cloths))
+	w.Cloths = append(w.Cloths, c)
+	c.UpdateBox()
+	half := c.Box.Extent().Scale(0.5)
+	g := &geom.Geom{
+		ID:    len(w.Geoms),
+		Shape: geom.Box{Half: half},
+		Pos:   c.Box.Center(),
+		Rot:   m3.Ident,
+		Body:  -1,
+		Flags: geom.FlagCloth,
+		Aux:   idx,
+	}
+	g.UpdateAABB()
+	w.Geoms = append(w.Geoms, g)
+	w.clothProxy = append(w.clothProxy, int32(g.ID))
+	w.clothContacts = append(w.clothContacts, nil)
+	return idx
+}
+
+// MarkExplosive flags a geom as explosive with the given blast.
+func (w *World) MarkExplosive(geomIdx int32, spec ExplosiveSpec) {
+	w.Geoms[geomIdx].Flags |= geom.FlagExplosive
+	w.Explosives[geomIdx] = spec
+}
+
+// RegisterFracture marks parent as prefractured with the given debris
+// geoms, capturing each debris piece's current pose relative to the
+// parent. Debris geoms (and their bodies) are disabled until the parent
+// breaks; they must have been created with FlagDebris and then disabled.
+func (w *World) RegisterFracture(parent int32, debris []int32) {
+	w.Geoms[parent].Flags |= geom.FlagPrefractured
+	pg := w.Geoms[parent]
+	pPos, pRot := pg.Pos, m3.QIdent
+	if pg.Body >= 0 {
+		pPos, pRot = w.Bodies[pg.Body].Pos, w.Bodies[pg.Body].Rot
+	}
+	fr := FractureGroup{Parent: parent, Debris: debris}
+	for _, di := range debris {
+		dg := w.Geoms[di]
+		dPos, dRot := dg.Pos, m3.QIdent
+		if dg.Body >= 0 {
+			dPos, dRot = w.Bodies[dg.Body].Pos, w.Bodies[dg.Body].Rot
+		}
+		fr.LocalPos = append(fr.LocalPos, pRot.Conj().Rotate(dPos.Sub(pPos)))
+		fr.LocalRot = append(fr.LocalRot, pRot.Conj().Mul(dRot))
+	}
+	idx := int32(len(w.Fractures))
+	w.Fractures = append(w.Fractures, fr)
+	w.fractureOfGeom[parent] = idx
+}
+
+// DisableBodyGeom removes a body and its geom from simulation.
+func (w *World) DisableBodyGeom(geomIdx int32) {
+	g := w.Geoms[geomIdx]
+	g.Flags |= geom.FlagDisabled
+	if g.Body >= 0 {
+		w.Bodies[g.Body].Enabled = false
+	}
+}
+
+// EnableBodyGeom re-activates a body and its geom (used for debris).
+func (w *World) EnableBodyGeom(geomIdx int32) {
+	g := w.Geoms[geomIdx]
+	g.Flags &^= geom.FlagDisabled
+	if g.Body >= 0 {
+		w.Bodies[g.Body].Enabled = true
+		w.Bodies[g.Body].Wake()
+	}
+}
+
+// params returns the per-step joint parameters.
+func (w *World) params() joint.Params {
+	return joint.Params{Dt: w.Dt, ERP: w.ERP, CFM: w.CFM}
+}
+
+// BodyOfGeom returns the body index for a geom (-1 for static).
+func (w *World) BodyOfGeom(g int32) int32 { return int32(w.Geoms[g].Body) }
+
+// GeomOfBody returns the geom index for a body.
+func (w *World) GeomOfBody(b int32) int32 { return w.bodyGeom[b] }
+
+// DynamicBodyCount returns the number of enabled dynamic bodies.
+func (w *World) DynamicBodyCount() int {
+	n := 0
+	for _, b := range w.Bodies {
+		if b.Enabled && b.InvMass > 0 {
+			n++
+		}
+	}
+	return n
+}

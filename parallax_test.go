@@ -1,0 +1,117 @@
+package parallax
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as the README and
+// examples do.
+
+func TestFacadeQuickstart(t *testing.T) {
+	w := NewWorld()
+	w.AddStatic(Plane{Normal: V(0, 1, 0)}, V(0, 0, 0), QIdent)
+	ball, _ := w.AddBody(Sphere{R: 0.5}, 1.0, V(0, 5, 0), QIdent, 0, 0)
+	for i := 0; i < 300; i++ {
+		w.Step()
+	}
+	if y := w.Bodies[ball].Pos.Y; math.Abs(y-0.5) > 0.05 {
+		t.Errorf("ball rest height = %v, want ~0.5", y)
+	}
+}
+
+func TestFacadeJointAndRay(t *testing.T) {
+	w := NewWorld()
+	bob, _ := w.AddBody(Sphere{R: 0.2}, 1, V(1, 0, 0), QIdent, 0, 0)
+	w.AddJoint(NewBall(w.Bodies, bob, -1, V(0, 0, 0)))
+	for i := 0; i < 60; i++ {
+		w.Step()
+	}
+	if r := w.Bodies[bob].Pos.Len(); math.Abs(r-1) > 0.05 {
+		t.Errorf("pendulum radius drifted: %v", r)
+	}
+	hit, ok := w.RayCast(w.Bodies[bob].Pos.Add(V(0, 3, 0)), V(0, -1, 0), 10)
+	if !ok {
+		t.Fatal("ray should find the bob")
+	}
+	if hit.Geom != 0 {
+		t.Errorf("ray hit geom %d", hit.Geom)
+	}
+}
+
+func TestFacadeCloth(t *testing.T) {
+	w := NewWorld()
+	w.AddStatic(Plane{Normal: V(0, 1, 0)}, V(0, 0, 0), QIdent)
+	c := NewClothGrid(6, 6, 0.1, V(0, 1, 0), 0.5)
+	w.AddCloth(c)
+	for i := 0; i < 150; i++ {
+		w.Step()
+	}
+	for i := range c.Particles {
+		if c.Particles[i].Pos.Y < 0 {
+			t.Fatalf("cloth particle %d sank through the ground", i)
+		}
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("benchmarks = %d, want 8", len(bs))
+	}
+	w, err := BuildBenchmark("Periodic", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	if w.Profile.Pairs == 0 {
+		t.Error("benchmark produced no pairs")
+	}
+	if _, err := BuildBenchmark("Bogus", 1); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestFacadeCaptureAndEvaluate(t *testing.T) {
+	w, _ := BuildBenchmark("Ragdoll", 0.15)
+	wl := Capture("Ragdoll", w, 1, 1)
+	sys := ReferenceSystem()
+	b := wl.Evaluate(sys)
+	if b.Total() <= 0 || b.AreaMM2 <= 0 {
+		t.Errorf("evaluation empty: %+v", b)
+	}
+	if !b.MeetsRealTime() {
+		t.Log("small ragdoll scene misses 30 FPS on the reference system (unexpected but not fatal)")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 23 {
+		t.Fatalf("experiment registry too small: %d", len(ids))
+	}
+	s := NewSuite(0.1)
+	var buf bytes.Buffer
+	if err := RunExperiment(s, "fig11", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Mix") {
+		t.Error("fig11 output missing Mix row")
+	}
+	if err := RunExperiment(s, "not-an-experiment", &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFacadeCoreConfigs(t *testing.T) {
+	for _, c := range []CoreConfig{Desktop, Console, Shader, Limit} {
+		if c.Width <= 0 || c.ClockGHz != 2 {
+			t.Errorf("core %s misconfigured: %+v", c.Name, c)
+		}
+	}
+	if OnChip == HTX || HTX == PCIe {
+		t.Error("interconnect kinds must be distinct")
+	}
+}
