@@ -78,6 +78,65 @@ func BenchmarkAblIterations(b *testing.B) { benchExperiment(b, "abl-iterations")
 func BenchmarkAblWarmstart(b *testing.B)  { benchExperiment(b, "abl-warmstart") }
 func BenchmarkRefSystem(b *testing.B)     { benchExperiment(b, "ref-system") }
 
+// wallRubbleWorld builds the mid-size wall/rubble scene used to measure
+// steady-state stepping: a brick wall stacked on a ground plane with a
+// field of rubble (spheres and boxes) resting and settling around it.
+// At steady state every step exercises broad phase, narrow phase,
+// island creation and island processing with a stable contact topology.
+func wallRubbleWorld(threads int, warmStart bool) *World {
+	w := NewWorld()
+	w.Threads = threads
+	w.WarmStart = warmStart
+	w.AddStatic(Plane{Normal: V(0, 1, 0)}, V(0, 0, 0), QIdent)
+	// Brick wall: 8 columns x 6 rows.
+	for row := 0; row < 6; row++ {
+		for col := 0; col < 8; col++ {
+			x := float64(col)*1.02 + 0.51*float64(row%2)
+			y := 0.5 + float64(row)*1.01
+			w.AddBody(Box{Half: V(0.5, 0.5, 0.25)}, 4.0, V(x, y, 0), QIdent, 0, 0)
+		}
+	}
+	// Rubble field in front of the wall.
+	for i := 0; i < 40; i++ {
+		x := float64(i%10)*0.9 - 0.5
+		z := 2 + float64(i/10)*0.9
+		if i%2 == 0 {
+			w.AddBody(Sphere{R: 0.3}, 1.0, V(x, 0.3, z), QIdent, 0, 0)
+		} else {
+			w.AddBody(Box{Half: V(0.3, 0.2, 0.3)}, 1.5, V(x, 0.2, z), QIdent, 0, 0)
+		}
+	}
+	return w
+}
+
+// BenchmarkStep measures one steady-state Step on the wall/rubble
+// scene; ReportAllocs makes allocs/op the tracked regression metric
+// (the hot loop must not churn the GC — the engine is both the workload
+// and the profiler feeding the architecture model).
+func BenchmarkStep(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		threads int
+		warm    bool
+	}{
+		{"threads=1", 1, false},
+		{"threads=4", 4, false},
+		{"threads=1/warmstart", 1, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			w := wallRubbleWorld(cfg.threads, cfg.warm)
+			for i := 0; i < 120; i++ { // settle into steady state
+				w.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkEngine measures the raw physics engine: one full frame
 // (3 steps) of each benchmark at paper scale, single-threaded and with
 // 4 worker threads.

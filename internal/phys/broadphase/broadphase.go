@@ -3,11 +3,14 @@
 // boxes overlap. Two classic algorithms are provided — sweep-and-prune
 // and a uniform spatial hash — both maintaining persistent spatial
 // structures across steps, which is what makes this phase hard to
-// parallelize (the paper treats broad phase as a serial phase).
+// parallelize (the paper treats broad phase as a serial phase). Both
+// also keep all working storage (membership stamps, cell entry lists,
+// dedup tables) across passes so that steady-state stepping does not
+// allocate.
 package broadphase
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/parallax-arch/parallax/internal/phys/geom"
 	"github.com/parallax-arch/parallax/internal/phys/m3"
@@ -25,7 +28,10 @@ type Stats struct {
 	Geoms int
 	// AABBUpdates is the number of bounding boxes recomputed.
 	AABBUpdates int
-	// SortOps counts comparison/exchange work in the sweep structures.
+	// SortOps counts exchange/insert work in the sweep structures: array
+	// exchanges in the sweep-and-prune insertion sort (zero when the
+	// previous frame's order still holds) and cell inserts in the
+	// spatial hash.
 	SortOps int
 	// OverlapTests counts narrow AABB-vs-AABB tests performed.
 	OverlapTests int
@@ -58,6 +64,11 @@ type SweepAndPrune struct {
 	order []int32 // geom indices sorted by Box.Min along the sweep axis
 	axis  int
 	stats Stats
+	// mark[id] == gen means geom id is already in order this pass
+	// (generation-stamped membership, replacing a per-pass map).
+	mark      []uint32
+	gen       uint32
+	unbounded []int32
 }
 
 // NewSweepAndPrune returns an empty sweep-and-prune structure.
@@ -69,14 +80,23 @@ func (s *SweepAndPrune) Stats() Stats { return s.stats }
 // Pairs implements Interface.
 func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 	s.stats = Stats{}
-	var unbounded []int32 // planes etc.
+	s.gen++
+	if len(s.mark) < len(geoms) {
+		grown := make([]uint32, len(geoms))
+		copy(grown, s.mark)
+		s.mark = grown
+	}
+	if s.gen == 0 { // wrapped: stale stamps could collide, reset
+		clear(s.mark)
+		s.gen = 1
+	}
+	unbounded := s.unbounded[:0] // planes etc.
 	// Refresh AABBs and the index list.
 	live := s.order[:0]
-	present := make(map[int32]bool, len(s.order))
 	for _, id := range s.order {
 		if int(id) < len(geoms) && geoms[id].Enabled() && geoms[id].Shape.Kind() != geom.KindPlane {
 			live = append(live, id)
-			present[id] = true
+			s.mark[id] = s.gen
 		}
 	}
 	for _, g := range geoms {
@@ -90,11 +110,12 @@ func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 			unbounded = append(unbounded, int32(g.ID))
 			continue
 		}
-		if !present[int32(g.ID)] {
+		if s.mark[g.ID] != s.gen {
 			live = append(live, int32(g.ID))
 		}
 	}
 	s.order = live
+	s.unbounded = unbounded
 
 	// Choose sweep axis by spread of box centers.
 	s.axis = bestAxis(geoms, s.order)
@@ -137,6 +158,12 @@ func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 	return dst
 }
 
+// insertionSort re-sorts order by AABB minimum along the sweep axis.
+// SortOps counts only actual element moves, so a frame whose order is
+// unchanged from the previous one reports zero sort work (temporal
+// coherence makes the serial phase cheap, and the counter must not
+// inflate the Fig 2b/3a instruction and memory streams when no work
+// happened).
 func (s *SweepAndPrune) insertionSort(geoms []*geom.Geom) {
 	key := func(id int32) float64 { return geoms[id].Box.Min.Comp(s.axis) }
 	for i := 1; i < len(s.order); i++ {
@@ -149,7 +176,6 @@ func (s *SweepAndPrune) insertionSort(geoms []*geom.Geom) {
 			s.stats.SortOps++
 		}
 		s.order[j+1] = v
-		s.stats.SortOps++
 	}
 }
 
@@ -187,22 +213,30 @@ func appendPair(dst []Pair, a, b int32) []Pair {
 
 // SpatialHash is a uniform-grid broad phase: geoms are binned by their
 // AABBs into grid cells keyed by a hash; pairs are emitted within each
-// cell and deduplicated.
+// cell and deduplicated. Cell membership is kept as a flat (cellKey,
+// geom) entry list sorted by key — equal-key runs are the buckets —
+// instead of a map of slices, so the structure is rebuilt each pass
+// without allocating.
 type SpatialHash struct {
 	// CellSize is the grid pitch; if zero it is derived from the average
 	// geom extent on each pass.
 	CellSize float64
-	cells    map[uint64][]int32
+	entries  []cellEntry
 	seen     map[uint64]bool
+	dynamic  []int32
+	unbound  []int32
 	stats    Stats
+}
+
+// cellEntry records one geom overlapping one grid cell.
+type cellEntry struct {
+	key uint64
+	id  int32
 }
 
 // NewSpatialHash returns a spatial hash with automatic cell sizing.
 func NewSpatialHash() *SpatialHash {
-	return &SpatialHash{
-		cells: make(map[uint64][]int32),
-		seen:  make(map[uint64]bool),
-	}
+	return &SpatialHash{seen: make(map[uint64]bool)}
 }
 
 // Stats implements Interface.
@@ -217,14 +251,11 @@ func cellKey(x, y, z int32) uint64 {
 // Pairs implements Interface.
 func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 	h.stats = Stats{}
-	for k := range h.cells {
-		delete(h.cells, k)
-	}
-	for k := range h.seen {
-		delete(h.seen, k)
-	}
+	h.entries = h.entries[:0]
+	clear(h.seen)
 
-	var unbounded, dynamic []int32
+	unbounded := h.unbound[:0]
+	dynamic := h.dynamic[:0]
 	sum := 0.0
 	cnt := 0
 	for _, g := range geoms {
@@ -243,6 +274,8 @@ func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 		sum += (e.X + e.Y + e.Z) / 3
 		cnt++
 	}
+	h.unbound = unbounded
+	h.dynamic = dynamic
 	cell := h.CellSize
 	if cell <= 0 {
 		if cnt == 0 {
@@ -262,26 +295,43 @@ func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 		for z := z0; z <= z1; z++ {
 			for y := y0; y <= y1; y++ {
 				for x := x0; x <= x1; x++ {
-					k := cellKey(x, y, z)
-					h.cells[k] = append(h.cells[k], id)
+					h.entries = append(h.entries, cellEntry{cellKey(x, y, z), id})
 					h.stats.SortOps++ // hashing/insert work
 				}
 			}
 		}
 	}
+	slices.SortFunc(h.entries, func(a, b cellEntry) int {
+		switch {
+		case a.key != b.key:
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		case a.id != b.id:
+			return int(a.id) - int(b.id)
+		}
+		return 0
+	})
 
-	for _, bucket := range h.cells {
+	// Equal-key runs of the sorted entry list are the cell buckets.
+	for lo := 0; lo < len(h.entries); {
+		hi := lo + 1
+		for hi < len(h.entries) && h.entries[hi].key == h.entries[lo].key {
+			hi++
+		}
+		bucket := h.entries[lo:hi]
 		for i := 0; i < len(bucket); i++ {
 			for j := i + 1; j < len(bucket); j++ {
-				a, b := bucket[i], bucket[j]
+				a, b := bucket[i].id, bucket[j].id
 				if a == b {
 					continue
 				}
-				lo, hi := a, b
-				if lo > hi {
-					lo, hi = hi, lo
+				x, y := a, b
+				if x > y {
+					x, y = y, x
 				}
-				pk := uint64(lo)<<32 | uint64(uint32(hi))
+				pk := uint64(x)<<32 | uint64(uint32(y))
 				if h.seen[pk] {
 					continue
 				}
@@ -293,6 +343,7 @@ func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 				}
 			}
 		}
+		lo = hi
 	}
 	for _, pid := range unbounded {
 		p := geoms[pid]
@@ -320,20 +371,23 @@ func fastFloor(x float64) int {
 	return i
 }
 
-// sortPairs orders pairs deterministically (map iteration above is
-// random); determinism keeps simulation results reproducible.
+// sortPairs orders pairs deterministically; determinism keeps
+// simulation results reproducible across runs and thread counts.
 func sortPairs(p []Pair) {
-	sort.Slice(p, func(i, j int) bool {
-		if p[i].A != p[j].A {
-			return p[i].A < p[j].A
+	slices.SortFunc(p, func(a, b Pair) int {
+		if a.A != b.A {
+			return int(a.A) - int(b.A)
 		}
-		return p[i].B < p[j].B
+		return int(a.B) - int(b.B)
 	})
 }
 
 // BruteForce is the O(n^2) reference implementation used by tests to
 // validate the real algorithms.
-type BruteForce struct{ stats Stats }
+type BruteForce struct {
+	stats Stats
+	live  []*geom.Geom
+}
 
 // NewBruteForce returns the reference broad phase.
 func NewBruteForce() *BruteForce { return &BruteForce{} }
@@ -344,7 +398,7 @@ func (bf *BruteForce) Stats() Stats { return bf.stats }
 // Pairs implements Interface.
 func (bf *BruteForce) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 	bf.stats = Stats{}
-	var live []*geom.Geom
+	live := bf.live[:0]
 	for _, g := range geoms {
 		if !g.Enabled() {
 			continue
@@ -354,6 +408,7 @@ func (bf *BruteForce) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 		bf.stats.AABBUpdates++
 		live = append(live, g)
 	}
+	bf.live = live
 	for i := 0; i < len(live); i++ {
 		for j := i + 1; j < len(live); j++ {
 			a, b := live[i], live[j]

@@ -171,3 +171,44 @@ func BenchmarkSpatialHash500(b *testing.B) {
 		buf = sh.Pairs(gs, buf[:0])
 	}
 }
+
+// A pass over an unchanged scene must report zero sort work: SortOps
+// counts actual exchanges, and an already-sorted order needs none.
+// (Regression: the counter used to tick once per element even when the
+// order held, inflating the serial-phase work stream.)
+func TestSAPSortOpsZeroWhenSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	gs := randomScene(r, 50, 8)
+	sap := NewSweepAndPrune()
+	sap.Pairs(gs, nil)
+	sap.Pairs(gs, nil) // nothing moved
+	if ops := sap.Stats().SortOps; ops != 0 {
+		t.Errorf("static scene re-pass did %d sort ops, want 0", ops)
+	}
+}
+
+// Steady-state passes over a coherent scene must not allocate: both
+// algorithms keep membership stamps, entry lists and dedup tables
+// across passes.
+func TestBroadphaseSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	gs := randomScene(r, 80, 9)
+	for _, tc := range []struct {
+		name string
+		bp   Interface
+	}{
+		{"sap", NewSweepAndPrune()},
+		{"hash", NewSpatialHash()},
+	} {
+		dst := tc.bp.Pairs(gs, nil)
+		for i := 0; i < 5; i++ { // warm capacities
+			dst = tc.bp.Pairs(gs, dst[:0])
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			dst = tc.bp.Pairs(gs, dst[:0])
+		})
+		if allocs > 0 {
+			t.Errorf("%s: steady-state pass allocates %v/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -87,32 +87,112 @@ func Build(numBodies int, edges []Edge, active func(int32) bool) []Island {
 // BuildCounted is Build plus the union-find work counter used by the
 // architecture model.
 func BuildCounted(numBodies int, edges []Edge, active func(int32) bool) ([]Island, int) {
-	d := NewDSU(numBodies)
-	act := make([]bool, numBodies)
-	for i := int32(0); i < int32(numBodies); i++ {
-		act[i] = active(i)
+	var b Builder
+	return b.Build(numBodies, edges, active)
+}
+
+// Builder is a reusable island builder: all working storage (the
+// union-find arrays, the root->slot table, and the island lists
+// themselves) persists between Build calls, so a world stepping at a
+// stable topology builds its islands without allocating. The returned
+// islands alias the builder's storage and are valid until the next
+// Build.
+type Builder struct {
+	parent  []int32
+	rank    []int8
+	act     []bool
+	slot    []int32 // body index -> island slot + 1; 0 = unassigned
+	islands []Island
+	// findSteps counts parent-chain hops, the serial-phase work measure.
+	findSteps int
+}
+
+// find returns the set representative of x with path compression.
+func (b *Builder) find(x int32) int32 {
+	root := x
+	for b.parent[root] != root {
+		root = b.parent[root]
+		b.findSteps++
 	}
-	on := func(i int32) bool { return i >= 0 && act[i] }
+	for b.parent[x] != root {
+		b.parent[x], x = root, b.parent[x]
+	}
+	return root
+}
+
+// union merges the sets containing a and b.
+func (b *Builder) union(x, y int32) {
+	rx, ry := b.find(x), b.find(y)
+	if rx == ry {
+		return
+	}
+	if b.rank[rx] < b.rank[ry] {
+		rx, ry = ry, rx
+	}
+	b.parent[ry] = rx
+	if b.rank[rx] == b.rank[ry] {
+		b.rank[rx]++
+	}
+}
+
+// addIsland appends one island, reusing the member slices of a
+// previously built island occupying the same slot.
+func (b *Builder) addIsland() *Island {
+	if len(b.islands) < cap(b.islands) {
+		b.islands = b.islands[:len(b.islands)+1]
+		is := &b.islands[len(b.islands)-1]
+		is.Bodies = is.Bodies[:0]
+		is.Joints = is.Joints[:0]
+		is.Contacts = is.Contacts[:0]
+		is.DOF = 0
+		return is
+	}
+	b.islands = append(b.islands, Island{})
+	return &b.islands[len(b.islands)-1]
+}
+
+// Build implements the same grouping as the package-level Build over
+// reused storage. The result is deterministic: islands appear in order
+// of their lowest body index, members in ascending order.
+func (b *Builder) Build(numBodies int, edges []Edge, active func(int32) bool) ([]Island, int) {
+	if cap(b.parent) < numBodies {
+		b.parent = make([]int32, numBodies)
+		b.rank = make([]int8, numBodies)
+		b.act = make([]bool, numBodies)
+		b.slot = make([]int32, numBodies)
+	}
+	b.parent = b.parent[:numBodies]
+	b.rank = b.rank[:numBodies]
+	b.act = b.act[:numBodies]
+	b.slot = b.slot[:numBodies]
+	b.findSteps = 0
+	b.islands = b.islands[:0]
+	for i := int32(0); i < int32(numBodies); i++ {
+		b.parent[i] = i
+		b.rank[i] = 0
+		b.slot[i] = 0
+		b.act[i] = active(i)
+	}
+	on := func(i int32) bool { return i >= 0 && b.act[i] }
 	for _, e := range edges {
 		if on(e.A) && on(e.B) {
-			d.Union(e.A, e.B)
+			b.union(e.A, e.B)
 		}
 	}
 	// Map roots to island slots.
-	slot := make(map[int32]int)
-	var islands []Island
 	for i := int32(0); i < int32(numBodies); i++ {
-		if !act[i] {
+		if !b.act[i] {
 			continue
 		}
-		r := d.Find(i)
-		s, ok := slot[r]
-		if !ok {
-			s = len(islands)
-			slot[r] = s
-			islands = append(islands, Island{})
+		r := b.find(i)
+		s := b.slot[r]
+		if s == 0 {
+			b.addIsland()
+			s = int32(len(b.islands))
+			b.slot[r] = s
 		}
-		islands[s].Bodies = append(islands[s].Bodies, i)
+		is := &b.islands[s-1]
+		is.Bodies = append(is.Bodies, i)
 	}
 	for _, e := range edges {
 		var owner int32 = -1
@@ -124,13 +204,13 @@ func BuildCounted(numBodies int, edges []Edge, active func(int32) bool) ([]Islan
 		default:
 			continue
 		}
-		s := slot[d.Find(owner)]
+		is := &b.islands[b.slot[b.find(owner)]-1]
 		if e.IsContact {
-			islands[s].Contacts = append(islands[s].Contacts, e.Ref)
+			is.Contacts = append(is.Contacts, e.Ref)
 		} else {
-			islands[s].Joints = append(islands[s].Joints, e.Ref)
+			is.Joints = append(is.Joints, e.Ref)
 		}
-		islands[s].DOF += e.DOF
+		is.DOF += e.DOF
 	}
-	return islands, d.FindSteps
+	return b.islands, b.findSteps
 }

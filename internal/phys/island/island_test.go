@@ -163,3 +163,55 @@ func TestBuildEmpty(t *testing.T) {
 		t.Errorf("empty world produced islands: %v", islands)
 	}
 }
+
+// A reused Builder must match one-shot Build results and, once grown,
+// rebuild without allocating.
+func TestBuilderReuseMatchesBuild(t *testing.T) {
+	edgesA := []Edge{
+		{A: 0, B: 1, Ref: 0, IsContact: true, DOF: 3},
+		{A: 2, B: 3, Ref: 1, DOF: 5},
+		{A: 3, B: -1, Ref: 2, IsContact: true, DOF: 3},
+	}
+	edgesB := []Edge{
+		{A: 0, B: 3, Ref: 0, DOF: 6},
+		{A: 1, B: 2, Ref: 1, IsContact: true, DOF: 3},
+	}
+	allOn := func(int32) bool { return true }
+	var b Builder
+	for trial, edges := range [][]Edge{edgesA, edgesB, edgesA} {
+		got, gotSteps := b.Build(5, edges, allOn)
+		want, wantSteps := BuildCounted(5, edges, allOn)
+		if gotSteps != wantSteps {
+			t.Errorf("trial %d: findSteps %d, want %d", trial, gotSteps, wantSteps)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d islands, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !equalI32(got[i].Bodies, want[i].Bodies) ||
+				!equalI32(got[i].Joints, want[i].Joints) ||
+				!equalI32(got[i].Contacts, want[i].Contacts) ||
+				got[i].DOF != want[i].DOF {
+				t.Errorf("trial %d island %d: got %+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		b.Build(5, edgesA, allOn)
+	})
+	if allocs > 0 {
+		t.Errorf("grown Builder allocates %v/op, want 0", allocs)
+	}
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -111,9 +111,10 @@ func boxBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 		n = best.n.Neg() // outward from reference box B
 		flip = true
 	}
-	pts := clipFaceContacts(refPos, refRot, refHalf, incPos, incRot, incHalf, n)
+	var pts [maxClipVerts]clipPoint
+	npts := clipFaceContacts(refPos, refRot, refHalf, incPos, incRot, incHalf, n, &pts)
 	start := len(dst)
-	for _, p := range pts {
+	for _, p := range pts[:npts] {
 		if p.depth <= 0 {
 			continue
 		}
@@ -167,11 +168,19 @@ type clipPoint struct {
 	depth float64
 }
 
+// maxClipVerts bounds the clipped polygon size: the incident face starts
+// as a quad and each of the 4 side-plane clips adds at most one vertex,
+// so 8 covers the worst case. Fixed-size buffers keep the hot box-box
+// path allocation-free.
+const maxClipVerts = 8
+
 // clipFaceContacts clips the incident face of the incident box against
-// the reference face's side planes and returns points penetrating the
-// reference face. n is the outward reference face normal (world).
+// the reference face's side planes, writes the points penetrating the
+// reference face into out, and returns their count. n is the outward
+// reference face normal (world).
 func clipFaceContacts(refPos m3.Vec, refRot m3.Mat, refHalf m3.Vec,
-	incPos m3.Vec, incRot m3.Mat, incHalf m3.Vec, n m3.Vec) []clipPoint {
+	incPos m3.Vec, incRot m3.Mat, incHalf m3.Vec, n m3.Vec,
+	out *[maxClipVerts]clipPoint) int {
 
 	// Reference face: the face of the reference box whose normal is most
 	// aligned with n.
@@ -184,12 +193,13 @@ func clipFaceContacts(refPos m3.Vec, refRot m3.Mat, refHalf m3.Vec,
 	fc := incPos.Add(incRot.Col(incAxis).Scale(incSign * incHalf.Comp(incAxis)))
 	du := incRot.Col(u).Scale(incHalf.Comp(u))
 	dv := incRot.Col(v).Scale(incHalf.Comp(v))
-	poly := []m3.Vec{
-		fc.Add(du).Add(dv),
-		fc.Add(du).Sub(dv),
-		fc.Sub(du).Sub(dv),
-		fc.Sub(du).Add(dv),
-	}
+	var bufA, bufB [maxClipVerts]m3.Vec
+	bufA[0] = fc.Add(du).Add(dv)
+	bufA[1] = fc.Add(du).Sub(dv)
+	bufA[2] = fc.Sub(du).Sub(dv)
+	bufA[3] = fc.Sub(du).Add(dv)
+	cur, nxt := &bufA, &bufB
+	cnt := 4
 
 	// Clip against the 4 side planes of the reference face.
 	ru, rv := other2(refAxis)
@@ -199,23 +209,25 @@ func clipFaceContacts(refPos m3.Vec, refRot m3.Mat, refHalf m3.Vec,
 	}{{ru, 1}, {ru, -1}, {rv, 1}, {rv, -1}} {
 		pn := refRot.Col(side.axis).Scale(side.sign)
 		off := pn.Dot(refPos) + refHalf.Comp(side.axis)
-		poly = clipPoly(poly, pn, off)
-		if len(poly) == 0 {
-			return nil
+		cnt = clipPoly(cur, cnt, pn, off, nxt)
+		cur, nxt = nxt, cur
+		if cnt == 0 {
+			return 0
 		}
 	}
 
 	// Keep points below the reference face; depth measured against it.
 	fn := refRot.Col(refAxis).Scale(refSign)
 	faceOff := fn.Dot(refPos) + refHalf.Comp(refAxis)
-	var out []clipPoint
-	for _, p := range poly {
+	no := 0
+	for _, p := range cur[:cnt] {
 		depth := faceOff - fn.Dot(p)
 		if depth > 0 {
-			out = append(out, clipPoint{pos: p, depth: depth})
+			out[no] = clipPoint{pos: p, depth: depth}
+			no++
 		}
 	}
-	return out
+	return no
 }
 
 // mostAligned returns the local axis index of rot most aligned with dir
@@ -246,21 +258,24 @@ func other2(i int) (int, int) {
 	}
 }
 
-// clipPoly clips a convex polygon against the half-space n.p <= off.
-func clipPoly(poly []m3.Vec, n m3.Vec, off float64) []m3.Vec {
-	var out []m3.Vec
-	for i := 0; i < len(poly); i++ {
-		p := poly[i]
-		q := poly[(i+1)%len(poly)]
+// clipPoly clips the convex polygon in[:cnt] against the half-space
+// n.p <= off, writing the result into out and returning its size.
+func clipPoly(in *[maxClipVerts]m3.Vec, cnt int, n m3.Vec, off float64, out *[maxClipVerts]m3.Vec) int {
+	no := 0
+	for i := 0; i < cnt; i++ {
+		p := in[i]
+		q := in[(i+1)%cnt]
 		dp := n.Dot(p) - off
 		dq := n.Dot(q) - off
 		if dp <= 0 {
-			out = append(out, p)
+			out[no] = p
+			no++
 		}
 		if (dp < 0 && dq > 0) || (dp > 0 && dq < 0) {
 			t := dp / (dp - dq)
-			out = append(out, p.Lerp(q, t))
+			out[no] = p.Lerp(q, t)
+			no++
 		}
 	}
-	return out
+	return no
 }

@@ -25,6 +25,10 @@ func RayCast(g *geom.Geom, o, dir m3.Vec, maxT float64) (RayHit, bool) {
 		return raySphere(g, s, o, dir, maxT)
 	case geom.Box:
 		return rayBox(g, s, o, dir, maxT)
+	case *geom.Box:
+		// Mutable boxes (cloth bounding-volume proxies) are stored behind
+		// a pointer so per-step resizing does not re-box the interface.
+		return rayBox(g, *s, o, dir, maxT)
 	case geom.Capsule:
 		return rayCapsule(g, s, o, dir, maxT)
 	case geom.Plane:

@@ -35,12 +35,52 @@ type Stats struct {
 	RowUpdates int
 }
 
+// Workspace holds the per-row temporaries one Solve call needs. A
+// caller that steps repeatedly keeps one Workspace per worker thread and
+// passes it back in, so steady-state solving does not allocate: the
+// slices grow to the largest island seen and are then reused.
+type Workspace struct {
+	pLinA, pAngA []m3.Vec
+	pLinB, pAngB []m3.Vec
+	invDen       []float64
+	lambda       []float64
+}
+
+// grow resizes the workspace for n rows, reusing prior capacity.
+func (ws *Workspace) grow(n int) {
+	if cap(ws.lambda) < n {
+		ws.pLinA = make([]m3.Vec, n)
+		ws.pAngA = make([]m3.Vec, n)
+		ws.pLinB = make([]m3.Vec, n)
+		ws.pAngB = make([]m3.Vec, n)
+		ws.invDen = make([]float64, n)
+		ws.lambda = make([]float64, n)
+		return
+	}
+	ws.pLinA = ws.pLinA[:n]
+	ws.pAngA = ws.pAngA[:n]
+	ws.pLinB = ws.pLinB[:n]
+	ws.pAngB = ws.pAngB[:n]
+	ws.invDen = ws.invDen[:n]
+	ws.lambda = ws.lambda[:n]
+	for i := range ws.lambda {
+		ws.pLinA[i] = m3.Zero
+		ws.pAngA[i] = m3.Zero
+		ws.pLinB[i] = m3.Zero
+		ws.pAngB[i] = m3.Zero
+		ws.invDen[i] = 0
+		ws.lambda[i] = 0
+	}
+}
+
 // Solve runs the PGS iteration for one island's rows, mutating body
-// velocities in place. jointLoad, if non-nil, accumulates the constraint
-// force magnitude per joint index (for breakable joints). It returns the
-// per-row impulses.
+// velocities in place. jointLoad, if non-nil, is indexed by joint id and
+// accumulates the constraint force magnitude per joint (for breakable
+// joints). ws, if non-nil, provides reusable per-row storage; the
+// returned impulse slice aliases it and is valid until the workspace's
+// next Solve. A nil ws allocates a temporary workspace.
 func (s *Solver) Solve(bs []*body.Body, rows []joint.Row, dt float64,
-	jointLoad map[int32]float64, st *Stats) []float64 {
+	jointLoad []float64, st *Stats, ws *Workspace) []float64 {
 
 	n := len(rows)
 	if st != nil {
@@ -51,14 +91,17 @@ func (s *Solver) Solve(bs []*body.Body, rows []joint.Row, dt float64,
 	if n == 0 {
 		return nil
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.grow(n)
+	pLinA, pAngA := ws.pLinA, ws.pAngA
+	pLinB, pAngB := ws.pLinB, ws.pAngB
+	invDen, lambda := ws.invDen, ws.lambda
 
 	// Precompute per-row propagation vectors and effective masses.
-	pLinA := make([]m3.Vec, n)
-	pAngA := make([]m3.Vec, n)
-	pLinB := make([]m3.Vec, n)
-	pAngB := make([]m3.Vec, n)
-	invDen := make([]float64, n)
-	for i, r := range rows {
+	for i := range rows {
+		r := &rows[i]
 		den := r.CFM
 		if r.BodyA >= 0 {
 			a := bs[r.BodyA]
@@ -79,7 +122,6 @@ func (s *Solver) Solve(bs []*body.Body, rows []joint.Row, dt float64,
 		}
 	}
 
-	lambda := make([]float64, n)
 	// Warm starting: re-apply the previous step's impulses so the
 	// iteration starts near the converged solution (persistent contact
 	// manifolds make stacks converge in far fewer sweeps).
@@ -147,8 +189,9 @@ func (s *Solver) Solve(bs []*body.Body, rows []joint.Row, dt float64,
 	}
 
 	if jointLoad != nil {
-		for i, r := range rows {
-			if r.Joint >= 0 {
+		for i := range rows {
+			r := &rows[i]
+			if r.Joint >= 0 && int(r.Joint) < len(jointLoad) {
 				jointLoad[r.Joint] += math.Abs(lambda[i]) / dt
 			}
 		}

@@ -31,7 +31,7 @@ func TestContactStopsApproach(t *testing.T) {
 		joint.DefaultMaterial, testParams, 0, nil)
 	s := New()
 	var st Stats
-	s.Solve(bs, rows, testParams.Dt, nil, &st)
+	s.Solve(bs, rows, testParams.Dt, nil, &st, nil)
 	if b.LinVel.Y < 0 {
 		t.Errorf("ball still approaching ground after solve: vy = %v", b.LinVel.Y)
 	}
@@ -46,7 +46,7 @@ func TestContactRestitutionBounces(t *testing.T) {
 	bs := []*body.Body{b}
 	mat := joint.ContactMaterial{Mu: 0, Restitution: 0.8, RestitutionThreshold: 0.5}
 	rows := joint.ContactRows(bs, -1, 0, m3.Zero, m3.V(0, 1, 0), 0.01, mat, testParams, 0, nil)
-	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 	if b.LinVel.Y < 7.5 || b.LinVel.Y > 8.5 {
 		t.Errorf("bounce velocity = %v, want ~8", b.LinVel.Y)
 	}
@@ -60,7 +60,7 @@ func TestFrictionBoundedByNormal(t *testing.T) {
 	bs := []*body.Body{b}
 	mat := joint.ContactMaterial{Mu: 0.5}
 	rows := joint.ContactRows(bs, -1, 0, m3.V(0, 0, 0), m3.V(0, 1, 0), 0.001, mat, testParams, 0, nil)
-	lam := New().Solve(bs, rows, testParams.Dt, nil, nil)
+	lam := New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 	fr := math.Hypot(lam[1], lam[2])
 	if fr > mat.Mu*lam[0]*math.Sqrt2+1e-9 {
 		t.Errorf("friction %v exceeds mu*normal %v", fr, mat.Mu*lam[0])
@@ -84,7 +84,7 @@ func TestBallJointHoldsBodies(t *testing.T) {
 	if len(rows) != 3 {
 		t.Fatalf("ball joint rows = %d, want 3", len(rows))
 	}
-	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 	va := a.VelocityAt(m3.Zero)
 	vb := b.VelocityAt(m3.Zero)
 	if va.Sub(vb).Len() > 1e-6 {
@@ -101,7 +101,7 @@ func TestBallJointConservesMomentum(t *testing.T) {
 	p0 := a.Momentum().Add(b.Momentum())
 	j := joint.NewBall(bs, 0, 1, m3.Zero)
 	rows := j.Rows(bs, testParams, 0, nil)
-	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 	p1 := a.Momentum().Add(b.Momentum())
 	if p1.Sub(p0).Len() > 1e-9 {
 		t.Errorf("internal constraint changed momentum: %v -> %v", p0, p1)
@@ -121,7 +121,7 @@ func TestHingeRemovesOffAxisRotation(t *testing.T) {
 	// relative part.
 	b.AngVel = m3.V(3, 2, 1)
 	rows := j.Rows(bs, testParams, 0, nil)
-	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 	rel := b.AngVel.Sub(a.AngVel)
 	off := rel.Sub(axis.Scale(rel.Dot(axis)))
 	if off.Len() > 1e-4 {
@@ -140,7 +140,7 @@ func TestFixedWeldStopsRelativeMotion(t *testing.T) {
 	if len(rows) != 6 {
 		t.Fatalf("fixed joint rows = %d, want 6", len(rows))
 	}
-	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 	if rel := b.AngVel.Sub(a.AngVel); rel.Len() > 1e-4 {
 		t.Errorf("relative spin remains: %v", rel)
 	}
@@ -159,7 +159,7 @@ func TestSliderAllowsAxialMotion(t *testing.T) {
 	j := joint.NewSlider(bs, 0, 1, m3.V(0.5, 0, 0), axis)
 	b.LinVel = m3.V(2, 3, 0) // axial + lateral
 	rows := j.Rows(bs, testParams, 0, nil)
-	New().Solve(bs, rows, testParams.Dt, nil, nil)
+	New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 	// A slider locks relative rotation and lateral anchor motion; the
 	// assembly may still rotate jointly, so compare anchor velocities,
 	// not center velocities.
@@ -226,15 +226,55 @@ func TestJointLoadFeedback(t *testing.T) {
 	a.LinVel = m3.V(-10, 0, 0)
 	b.LinVel = m3.V(10, 0, 0)
 	rows := j.Rows(bs, testParams, 4, nil)
-	load := map[int32]float64{}
-	New().Solve(bs, rows, testParams.Dt, load, nil)
+	load := make([]float64, 5)
+	New().Solve(bs, rows, testParams.Dt, load, nil, nil)
 	if load[4] <= 0 {
 		t.Errorf("joint load not recorded: %v", load)
 	}
 }
 
+// A reused Workspace must give the same answer as a fresh solve and,
+// once grown, make repeated solves allocation-free.
+func TestWorkspaceReuse(t *testing.T) {
+	mkRows := func(bs []*body.Body) []joint.Row {
+		return joint.ContactRows(bs, -1, 0, m3.Zero, m3.V(0, 1, 0), 0.01,
+			joint.DefaultMaterial, testParams, 0, nil)
+	}
+	fresh := sphereBody(0, 1, m3.V(0, 0.45, 0))
+	fresh.LinVel = m3.V(0, -3, 0)
+	want := New().Solve([]*body.Body{fresh}, mkRows([]*body.Body{fresh}),
+		testParams.Dt, nil, nil, nil)
+
+	ws := &Workspace{}
+	// Dirty the workspace with a larger unrelated solve first.
+	dirty := sphereBody(0, 2, m3.V(0, 0.4, 0))
+	dirty.LinVel = m3.V(1, -5, 2)
+	dbs := []*body.Body{dirty}
+	drows := append(mkRows(dbs), mkRows(dbs)...)
+	New().Solve(dbs, drows, testParams.Dt, nil, nil, ws)
+
+	b := sphereBody(0, 1, m3.V(0, 0.45, 0))
+	b.LinVel = m3.V(0, -3, 0)
+	bs := []*body.Body{b}
+	got := New().Solve(bs, mkRows(bs), testParams.Dt, nil, nil, ws)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("lambda[%d]: reused workspace %v, fresh %v", i, got[i], want[i])
+		}
+	}
+
+	s := New()
+	rows := mkRows(bs)
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Solve(bs, rows, testParams.Dt, nil, nil, ws)
+	})
+	if allocs > 0 {
+		t.Errorf("Solve with grown workspace allocates %v/op, want 0", allocs)
+	}
+}
+
 func TestSolverEmptyRows(t *testing.T) {
-	if lam := New().Solve(nil, nil, 0.01, nil, nil); lam != nil {
+	if lam := New().Solve(nil, nil, 0.01, nil, nil, nil); lam != nil {
 		t.Error("empty solve should return nil")
 	}
 }
@@ -270,7 +310,7 @@ func TestSolverRobustToRandomRows(t *testing.T) {
 				FrictionOf: -1, Joint: -1,
 			})
 		}
-		lam := New().Solve(bs, rows, 0.01, nil, nil)
+		lam := New().Solve(bs, rows, 0.01, nil, nil, nil)
 		for i, l := range lam {
 			if math.IsNaN(l) || math.IsInf(l, 0) {
 				t.Fatalf("trial %d: lambda[%d] = %v", trial, i, l)
@@ -293,7 +333,7 @@ func TestWarmStartIdempotent(t *testing.T) {
 	bs := []*body.Body{b}
 	rows := joint.ContactRows(bs, -1, 0, m3.Zero, m3.V(0, 1, 0), 0.01,
 		joint.DefaultMaterial, testParams, 0, nil)
-	lam := New().Solve(bs, rows, testParams.Dt, nil, nil)
+	lam := New().Solve(bs, rows, testParams.Dt, nil, nil, nil)
 
 	// Second solve on a fresh body with the same approach velocity, warm
 	// started with the converged impulses: one sweep suffices.
@@ -306,7 +346,7 @@ func TestWarmStartIdempotent(t *testing.T) {
 		rows2[i].Warm = lam[i]
 	}
 	one := &Solver{Iterations: 1, SOR: 1}
-	one.Solve(bs2, rows2, testParams.Dt, nil, nil)
+	one.Solve(bs2, rows2, testParams.Dt, nil, nil, nil)
 	if math.Abs(b2.LinVel.Y-b.LinVel.Y) > 0.05 {
 		t.Errorf("warm-started single sweep %v differs from converged %v",
 			b2.LinVel.Y, b.LinVel.Y)

@@ -2,22 +2,32 @@ package world
 
 import "sync"
 
+// task is one unit of pool work: fn(worker, arg), where worker is the
+// id of the executing thread (0 = the main/calling thread, 1..n = pool
+// workers) — used to select per-thread scratch — and arg names the work
+// item (an island index, a cloth index, a narrow-phase chunk).
+type task struct {
+	fn  func(worker, arg int)
+	arg int32
+}
+
 // pool is the engine's persistent worker pool: the paper's work-queue
 // model with persistent worker threads, which "eliminate thread creation
 // and destruction costs". Workers live for the lifetime of the world.
 type pool struct {
 	n     int
-	tasks chan func()
+	tasks chan task
 	wg    sync.WaitGroup
 }
 
-// newPool starts n persistent workers.
+// newPool starts n persistent workers with ids 1..n.
 func newPool(n int) *pool {
-	p := &pool{n: n, tasks: make(chan func(), 4*n)}
+	p := &pool{n: n, tasks: make(chan task, 4*n)}
 	for i := 0; i < n; i++ {
+		worker := i + 1
 		go func() {
-			for f := range p.tasks {
-				f()
+			for t := range p.tasks {
+				t.fn(worker, int(t.arg))
 				p.wg.Done()
 			}
 		}()
@@ -25,14 +35,18 @@ func newPool(n int) *pool {
 	return p
 }
 
-// run executes all tasks on the workers and blocks until they finish.
-func (p *pool) run(tasks []func()) {
-	p.wg.Add(len(tasks))
-	for _, f := range tasks {
-		p.tasks <- f
+// post enqueues fn(worker, arg) for every arg. It is the single place
+// in the engine that pairs wg.Add with the worker-side wg.Done; every
+// parallel phase funnels through it via World.dispatch.
+func (p *pool) post(fn func(worker, arg int), args []int32) {
+	p.wg.Add(len(args))
+	for _, a := range args {
+		p.tasks <- task{fn, a}
 	}
-	p.wg.Wait()
 }
+
+// wait blocks until all posted tasks have completed.
+func (p *pool) wait() { p.wg.Wait() }
 
 // close stops the workers.
 func (p *pool) close() { close(p.tasks) }
@@ -41,6 +55,10 @@ func (p *pool) close() { close(p.tasks) }
 func (w *World) ensurePool() *pool {
 	want := w.Threads - 1 // the main thread is worker 0
 	if want < 1 {
+		if w.pool != nil {
+			w.pool.close()
+			w.pool = nil
+		}
 		return nil
 	}
 	if w.pool == nil || w.pool.n != want {
@@ -52,11 +70,35 @@ func (w *World) ensurePool() *pool {
 	return w.pool
 }
 
+// dispatch is the one code path for all three parallel phases: it runs
+// fn(worker, arg) for every queued arg on the pool workers and
+// fn(0, arg) for every main arg on the calling goroutine, returning when
+// everything has completed. With Threads <= 1 all work runs inline.
+func (w *World) dispatch(fn func(worker, arg int), queued, main []int32) {
+	p := w.ensurePool()
+	if p == nil {
+		for _, a := range queued {
+			fn(0, int(a))
+		}
+		for _, a := range main {
+			fn(0, int(a))
+		}
+		return
+	}
+	p.post(fn, queued)
+	for _, a := range main {
+		fn(0, int(a))
+	}
+	p.wait()
+}
+
 // parallelChunks partitions n items into w.Threads equal chunks and runs
-// fn(thread, lo, hi) for each, chunk 0 on the calling goroutine and the
+// fn(chunk, lo, hi) for each, chunk 0 on the calling goroutine and the
 // rest on the pool (the paper partitions object-pairs into equal sets
-// per worker thread).
-func (w *World) parallelChunks(n int, fn func(thread, lo, hi int)) {
+// per worker thread). Chunk indices — not worker ids — are passed to fn
+// so per-chunk result buffers merge deterministically whatever worker
+// ran them.
+func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
 	t := w.Threads
 	if t <= 1 || n == 0 {
 		fn(0, 0, n)
@@ -65,52 +107,36 @@ func (w *World) parallelChunks(n int, fn func(thread, lo, hi int)) {
 	if t > n {
 		t = n
 	}
-	p := w.ensurePool()
-	chunk := (n + t - 1) / t
-	var tasks []func()
+	sc := &w.scratch
+	sc.chunkFn = fn
+	sc.chunkSize = (n + t - 1) / t
+	sc.chunkN = n
+	if w.runChunkFn == nil {
+		w.runChunkFn = w.runChunk
+	}
+	q := sc.chunkIdx[:0]
 	for i := 1; i < t; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if lo > n {
-			lo = n
-		}
-		if hi > n {
-			hi = n
-		}
-		i, lo, hi := i, lo, hi
-		tasks = append(tasks, func() { fn(i, lo, hi) })
+		q = append(q, int32(i))
 	}
-	p.wg.Add(len(tasks))
-	for _, f := range tasks {
-		p.tasks <- f
+	sc.chunkIdx = q
+	if len(sc.chunkMain) == 0 {
+		sc.chunkMain = append(sc.chunkMain, 0)
 	}
-	hi := chunk
-	if hi > n {
-		hi = n
-	}
-	fn(0, 0, hi)
-	p.wg.Wait()
+	w.dispatch(w.runChunkFn, q, sc.chunkMain)
+	sc.chunkFn = nil
 }
 
-// runQueue executes the given closures via the work queue, mainTasks on
-// the calling goroutine (small islands execute on the main thread).
-func (w *World) runQueue(queued []func(), mainTasks []func()) {
-	if w.Threads <= 1 {
-		for _, f := range queued {
-			f()
-		}
-		for _, f := range mainTasks {
-			f()
-		}
-		return
+// runChunk adapts one chunk index to the chunk function set by
+// parallelChunks.
+func (w *World) runChunk(_, chunk int) {
+	sc := &w.scratch
+	lo := chunk * sc.chunkSize
+	hi := lo + sc.chunkSize
+	if lo > sc.chunkN {
+		lo = sc.chunkN
 	}
-	p := w.ensurePool()
-	p.wg.Add(len(queued))
-	for _, f := range queued {
-		p.tasks <- f
+	if hi > sc.chunkN {
+		hi = sc.chunkN
 	}
-	for _, f := range mainTasks {
-		f()
-	}
-	p.wg.Wait()
+	sc.chunkFn(chunk, lo, hi)
 }

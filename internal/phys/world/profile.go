@@ -48,6 +48,13 @@ type IslandStat struct {
 // StepProfile records everything the architecture model needs about one
 // simulation step: phase-level work counters and the fine-grain task
 // structure.
+//
+// The Islands and ClothVerts slices are backed by World-owned scratch
+// storage that the next Step reuses; copy them (or go through
+// FrameProfile.Add, which does) before stepping again if they must
+// outlive the step. The RecordDetail slices (PairList, ContactGeoms,
+// IslandBodies, IslandRowsOf) are freshly allocated every step and safe
+// to retain.
 type StepProfile struct {
 	// Pairs is the candidate pair count out of the broad phase (the
 	// narrow phase's fine-grain task count).
@@ -83,6 +90,14 @@ type StepProfile struct {
 	IslandRowsOf [][]int32 // per island: the joint ids contributing rows
 }
 
+// reset clears the profile for the next step, keeping the capacity of
+// the scratch-backed slices.
+func (p *StepProfile) reset() {
+	islands := p.Islands[:0]
+	clothVerts := p.ClothVerts[:0]
+	*p = StepProfile{Islands: islands, ClothVerts: clothVerts}
+}
+
 // IslandDOFs returns the per-island fine-grain task counts.
 func (p *StepProfile) IslandDOFs() []int {
 	out := make([]int, len(p.Islands))
@@ -98,8 +113,17 @@ type FrameProfile struct {
 	Steps []StepProfile
 }
 
-// Add appends a step profile.
-func (f *FrameProfile) Add(s StepProfile) { f.Steps = append(f.Steps, s) }
+// Add appends a step profile, deep-copying the scratch-backed slices so
+// the frame record stays valid across subsequent steps.
+func (f *FrameProfile) Add(s StepProfile) {
+	if len(s.Islands) > 0 {
+		s.Islands = append([]IslandStat(nil), s.Islands...)
+	}
+	if len(s.ClothVerts) > 0 {
+		s.ClothVerts = append([]int(nil), s.ClothVerts...)
+	}
+	f.Steps = append(f.Steps, s)
+}
 
 // TotalPairs returns the frame's total narrow-phase task count.
 func (f *FrameProfile) TotalPairs() int {

@@ -1,0 +1,172 @@
+package world
+
+import (
+	"github.com/parallax-arch/parallax/internal/phys/cloth"
+	"github.com/parallax-arch/parallax/internal/phys/island"
+	"github.com/parallax-arch/parallax/internal/phys/joint"
+	"github.com/parallax-arch/parallax/internal/phys/narrowphase"
+	"github.com/parallax-arch/parallax/internal/phys/solver"
+)
+
+// narrowEvents is one narrow-phase chunk's output: contacts plus the
+// special-contact events (explosions, blast hits, cloth contact lists).
+// Chunks are partitioned deterministically over the pair list, so
+// merging the chunk buffers in index order reproduces the serial result
+// bit for bit whatever the thread count.
+type narrowEvents struct {
+	contacts   []narrowphase.Contact
+	stats      narrowphase.Stats
+	explosions []int32
+	blastHits  [][2]int32 // blast geom, other geom
+	clothHits  [][2]int32 // cloth index, other geom
+}
+
+// warmKey identifies a contact across steps for warm starting: the geom
+// pair plus the contact's ordinal within that pair's manifold.
+type warmKey struct {
+	pair uint64
+	ord  int32
+}
+
+// frameScratch is the World's reusable per-step arena. Everything the
+// step loop needs that scales with the scene — per-chunk narrow-phase
+// buffers, the merged contact list, island edges, per-island solver
+// stats, joint-load accumulators, warm-start bookkeeping, and
+// per-worker row buffers and solver workspaces — lives here and is
+// re-sliced to length zero (or overwritten in place) each step, so a
+// steady-state Step performs no heap allocation. Event paths that fire
+// rarely (detonations, RecordDetail profile copies) still allocate; see
+// DESIGN.md "Scratch-arena memory model".
+type frameScratch struct {
+	// Narrow phase: one buffer set per chunk (chunk count = Threads).
+	narrow []narrowEvents
+	// contacts is the merged, deterministic contact list.
+	contacts []narrowphase.Contact
+	// seenExpl dedups explosion events across chunks.
+	seenExpl map[int32]bool
+
+	// Island creation.
+	edges   []island.Edge
+	builder island.Builder
+	islands []island.Island // aliases builder storage; valid for the step
+
+	// Island processing.
+	solverStats []solver.Stats
+	// jointLoad accumulates constraint force per joint id. Islands touch
+	// disjoint joints, so parallel island solves write disjoint entries.
+	jointLoad []float64
+	// queued and main partition island indices (and later cloth indices)
+	// between the work queue and the main thread.
+	queued, main []int32
+	// Per-worker storage, indexed by pool worker id (0 = main thread).
+	rows []([]joint.Row)
+	ws   []solver.Workspace
+
+	// Warm starting: per-contact keys, manifold ordinals, the row base of
+	// each solved contact (-1 = not solved this step), and the per-row
+	// impulses gathered from island solves.
+	contactKey []uint64
+	contactOrd []int32
+	ordCount   map[uint64]int32
+	rowBase    []int32
+	warmLambda []float64
+
+	// Cloth phase.
+	clothStats []cloth.Stats
+	clothIdx   []int32
+
+	// parallelChunks state (set for the duration of one dispatch).
+	chunkFn   func(chunk, lo, hi int)
+	chunkSize int
+	chunkN    int
+	chunkIdx  []int32
+	chunkMain []int32
+}
+
+// beginStep resizes the arena for the current scene, reusing all prior
+// capacity.
+func (sc *frameScratch) beginStep(threads, numJoints int) {
+	if threads < 1 {
+		threads = 1
+	}
+	if cap(sc.narrow) < threads {
+		sc.narrow = append(sc.narrow[:cap(sc.narrow)], make([]narrowEvents, threads-cap(sc.narrow))...)
+	}
+	sc.narrow = sc.narrow[:threads]
+	for i := range sc.narrow {
+		e := &sc.narrow[i]
+		e.contacts = e.contacts[:0]
+		e.stats = narrowphase.Stats{}
+		e.explosions = e.explosions[:0]
+		e.blastHits = e.blastHits[:0]
+		e.clothHits = e.clothHits[:0]
+	}
+	sc.contacts = sc.contacts[:0]
+	if sc.seenExpl == nil {
+		sc.seenExpl = make(map[int32]bool)
+	}
+	clear(sc.seenExpl)
+	sc.edges = sc.edges[:0]
+
+	sc.jointLoad = growFloat(sc.jointLoad, numJoints)
+	clear(sc.jointLoad)
+
+	if cap(sc.rows) < threads {
+		sc.rows = append(sc.rows[:cap(sc.rows)], make([][]joint.Row, threads-cap(sc.rows))...)
+		sc.ws = append(sc.ws[:cap(sc.ws)], make([]solver.Workspace, threads-cap(sc.ws))...)
+	}
+	sc.rows = sc.rows[:threads]
+	sc.ws = sc.ws[:threads]
+}
+
+// beginIslands sizes the per-island and per-contact working sets.
+func (sc *frameScratch) beginIslands(numIslands, numContacts int, warm bool) {
+	sc.solverStats = growStats(sc.solverStats, numIslands)
+	for i := range sc.solverStats {
+		sc.solverStats[i] = solver.Stats{}
+	}
+	sc.rowBase = growInt32(sc.rowBase, numContacts)
+	for i := range sc.rowBase {
+		sc.rowBase[i] = -1
+	}
+	if warm {
+		sc.contactKey = growUint64(sc.contactKey, numContacts)
+		sc.contactOrd = growInt32(sc.contactOrd, numContacts)
+		sc.warmLambda = growFloat(sc.warmLambda, numContacts*joint.RowsPerContact)
+		clear(sc.warmLambda)
+		if sc.ordCount == nil {
+			sc.ordCount = make(map[uint64]int32)
+		}
+		clear(sc.ordCount)
+	}
+	sc.queued = sc.queued[:0]
+	sc.main = sc.main[:0]
+}
+
+func growFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growStats(s []solver.Stats, n int) []solver.Stats {
+	if cap(s) < n {
+		return make([]solver.Stats, n)
+	}
+	return s[:n]
+}

@@ -9,7 +9,6 @@ import (
 	"github.com/parallax-arch/parallax/internal/phys/joint"
 	"github.com/parallax-arch/parallax/internal/phys/m3"
 	"github.com/parallax-arch/parallax/internal/phys/narrowphase"
-	"github.com/parallax-arch/parallax/internal/phys/solver"
 )
 
 // StepsPerFrame is how many simulation steps make one rendered frame:
@@ -18,10 +17,15 @@ import (
 const StepsPerFrame = 3
 
 // Step advances the simulation by one Dt, running the five phases and
-// recording the step profile.
+// recording the step profile. The steady-state hot path is
+// allocation-free: all per-step working storage lives in the World's
+// scratch arena and is reused across steps (see DESIGN.md
+// "Scratch-arena memory model").
 func (w *World) Step() {
-	prof := StepProfile{}
-	p := w.params()
+	w.Profile.reset()
+	prof := &w.Profile
+	sc := &w.scratch
+	sc.beginStep(w.Threads, len(w.Joints))
 
 	// (a) Apply external forces (gravity).
 	for _, b := range w.Bodies {
@@ -34,7 +38,7 @@ func (w *World) Step() {
 	for ci, gi := range w.clothProxy {
 		c := w.Cloths[ci]
 		g := w.Geoms[gi]
-		g.Shape = geom.Box{Half: c.Box.Extent().Scale(0.5)}
+		w.clothProxyShape[ci].Half = c.Box.Extent().Scale(0.5)
 		g.Pos = c.Box.Center()
 		w.clothContacts[ci] = w.clothContacts[ci][:0]
 	}
@@ -49,93 +53,42 @@ func (w *World) Step() {
 	// pairs are partitioned into equal sets per worker thread, each with
 	// its own contact buffer (the engine modification described in the
 	// paper that removes ODE's single-joint-group serialization).
-	type narrowEvents struct {
-		contacts   []narrowphase.Contact
-		stats      narrowphase.Stats
-		explosions []int32
-		blastHits  [][2]int32 // blast geom, other geom
-		clothHits  [][2]int32 // cloth index, other geom
+	if w.narrowFn == nil {
+		w.narrowFn = w.narrowChunk
 	}
-	threads := w.Threads
-	if threads < 1 {
-		threads = 1
-	}
-	evs := make([]narrowEvents, threads)
-	w.parallelChunks(len(w.pairBuf), func(th, lo, hi int) {
-		e := &evs[th]
-		for _, pr := range w.pairBuf[lo:hi] {
-			a, b := w.Geoms[pr.A], w.Geoms[pr.B]
-			aC, bC := a.Flags.Has(geom.FlagCloth), b.Flags.Has(geom.FlagCloth)
-			aB, bB := a.Flags.Has(geom.FlagBlast), b.Flags.Has(geom.FlagBlast)
-			switch {
-			case aC || bC:
-				// (c.iii) body touching a cloth's bounding volume goes on
-				// the cloth's contact list.
-				if aC && !bB && !bC {
-					e.clothHits = append(e.clothHits, [2]int32{a.Aux, int32(b.ID)})
-				}
-				if bC && !aB && !aC {
-					e.clothHits = append(e.clothHits, [2]int32{b.Aux, int32(a.ID)})
-				}
-			case aB || bB:
-				// (c.iv) blast volume interactions.
-				if aB && !bB {
-					e.blastHits = append(e.blastHits, [2]int32{int32(a.ID), int32(b.ID)})
-				} else if bB && !aB {
-					e.blastHits = append(e.blastHits, [2]int32{int32(b.ID), int32(a.ID)})
-				}
-			default:
-				start := len(e.contacts)
-				e.contacts = narrowphase.Collide(a, b, e.contacts, &e.stats)
-				if len(e.contacts) > start {
-					// (c.ii) explosive objects detonate on contact instead
-					// of generating constraints.
-					exploded := false
-					if a.Flags.Has(geom.FlagExplosive) {
-						e.explosions = append(e.explosions, int32(a.ID))
-						exploded = true
-					}
-					if b.Flags.Has(geom.FlagExplosive) {
-						e.explosions = append(e.explosions, int32(b.ID))
-						exploded = true
-					}
-					if exploded {
-						e.contacts = e.contacts[:start]
-					}
-				}
-			}
-		}
-	})
-	// Merge per-thread results in thread order (deterministic).
-	var contacts []narrowphase.Contact
-	for i := range evs {
-		contacts = append(contacts, evs[i].contacts...)
-		prof.Narrow.PairsTested += evs[i].stats.PairsTested
-		prof.Narrow.ContactsOut += evs[i].stats.ContactsOut
-		prof.Narrow.TriTests += evs[i].stats.TriTests
-		prof.Narrow.PrimTests += evs[i].stats.PrimTests
-		if evs[i].stats.DeepestDepth > prof.Narrow.DeepestDepth {
-			prof.Narrow.DeepestDepth = evs[i].stats.DeepestDepth
+	w.parallelChunks(len(w.pairBuf), w.narrowFn)
+
+	// Merge per-chunk results in chunk order (deterministic).
+	contacts := sc.contacts
+	for i := range sc.narrow {
+		e := &sc.narrow[i]
+		contacts = append(contacts, e.contacts...)
+		prof.Narrow.PairsTested += e.stats.PairsTested
+		prof.Narrow.ContactsOut += e.stats.ContactsOut
+		prof.Narrow.TriTests += e.stats.TriTests
+		prof.Narrow.PrimTests += e.stats.PrimTests
+		if e.stats.DeepestDepth > prof.Narrow.DeepestDepth {
+			prof.Narrow.DeepestDepth = e.stats.DeepestDepth
 		}
 	}
+	sc.contacts = contacts
 	prof.Contacts = len(contacts)
 
 	// Serial event processing: explosions, blasts, fracture, cloth lists.
-	seenExpl := map[int32]bool{}
-	for i := range evs {
-		for _, gidx := range evs[i].explosions {
-			if seenExpl[gidx] {
+	for i := range sc.narrow {
+		for _, gidx := range sc.narrow[i].explosions {
+			if sc.seenExpl[gidx] {
 				continue
 			}
-			seenExpl[gidx] = true
-			w.detonate(gidx, &prof)
+			sc.seenExpl[gidx] = true
+			w.detonate(gidx, prof)
 		}
 	}
-	for i := range evs {
-		for _, hit := range evs[i].blastHits {
-			w.blastHit(hit[0], hit[1], &prof)
+	for i := range sc.narrow {
+		for _, hit := range sc.narrow[i].blastHits {
+			w.blastHit(hit[0], hit[1], prof)
 		}
-		for _, hit := range evs[i].clothHits {
+		for _, hit := range sc.narrow[i].clothHits {
 			w.clothContacts[hit[0]] = append(w.clothContacts[hit[0]], hit[1])
 		}
 	}
@@ -149,7 +102,8 @@ func (w *World) Step() {
 				(b.LinVel.Len2() > body.SleepLinVel*body.SleepLinVel ||
 					b.AngVel.Len2() > body.SleepAngVel*body.SleepAngVel)
 		}
-		for _, c := range contacts {
+		for i := range contacts {
+			c := &contacts[i]
 			ba, bb := w.Geoms[c.A].Body, w.Geoms[c.B].Body
 			if ba >= 0 && w.Bodies[ba].Asleep && bb >= 0 && moving(bb) {
 				w.Bodies[ba].Wake()
@@ -161,7 +115,7 @@ func (w *World) Step() {
 	}
 
 	// (d) Island creation: group interacting objects. Serial phase.
-	edges := make([]island.Edge, 0, len(contacts)+len(w.Joints))
+	edges := sc.edges
 	for ji, j := range w.Joints {
 		nr := j.NumRows()
 		if nr == 0 {
@@ -170,7 +124,8 @@ func (w *World) Step() {
 		a, b := j.Bodies()
 		edges = append(edges, island.Edge{A: a, B: b, Ref: int32(ji), DOF: nr})
 	}
-	for ci, c := range contacts {
+	for ci := range contacts {
+		c := &contacts[ci]
 		a := int32(w.Geoms[c.A].Body)
 		b := int32(w.Geoms[c.B].Body)
 		edges = append(edges, island.Edge{
@@ -178,24 +133,30 @@ func (w *World) Step() {
 			DOF: joint.RowsPerContact,
 		})
 	}
-	active := func(i int32) bool {
-		b := w.Bodies[i]
-		return b.Enabled && b.InvMass > 0 && !b.Asleep
-	}
-	islands, findSteps := island.BuildCounted(len(w.Bodies), edges, active)
-	prof.FindSteps = findSteps
-	prof.Islands = make([]IslandStat, len(islands))
-	for i, is := range islands {
-		prof.Islands[i] = IslandStat{
-			Bodies: len(is.Bodies), Joints: len(is.Joints),
-			Contacts: len(is.Contacts), DOF: is.DOF,
+	sc.edges = edges
+	if w.activeFn == nil {
+		w.activeFn = func(i int32) bool {
+			b := w.Bodies[i]
+			return b.Enabled && b.InvMass > 0 && !b.Asleep
 		}
 	}
+	islands, findSteps := sc.builder.Build(len(w.Bodies), edges, w.activeFn)
+	sc.islands = islands
+	prof.FindSteps = findSteps
+	for _, is := range islands {
+		prof.Islands = append(prof.Islands, IslandStat{
+			Bodies: len(is.Bodies), Joints: len(is.Joints),
+			Contacts: len(is.Contacts), DOF: is.DOF,
+		})
+	}
 	if w.RecordDetail {
+		// Detail copies are freshly allocated: they are retained by the
+		// architecture model far beyond this step, so they must not alias
+		// the scratch arena.
 		prof.PairList = append([]broadphase.Pair(nil), w.pairBuf...)
 		prof.ContactGeoms = make([][2]int32, len(contacts))
-		for i, c := range contacts {
-			prof.ContactGeoms[i] = [2]int32{c.A, c.B}
+		for i := range contacts {
+			prof.ContactGeoms[i] = [2]int32{contacts[i].A, contacts[i].B}
 		}
 		prof.IslandBodies = make([][]int32, len(islands))
 		prof.IslandRowsOf = make([][]int32, len(islands))
@@ -208,102 +169,52 @@ func (w *World) Step() {
 	// (e) Island processing: forward-simulate each island. Islands are
 	// independent; big ones go on the work queue, small ones run on the
 	// main thread.
-	solverStats := make([]solver.Stats, len(islands))
-	jointLoads := make([]map[int32]float64, len(islands))
+	sc.beginIslands(len(islands), len(contacts), w.WarmStart)
 
 	// Warm starting: match this step's contacts to last step's impulses
-	// by (geom pair, ordinal within the pair).
-	var contactKey []uint64
-	var contactOrd []int32
-	var warmOut []map[uint64][]float64
+	// by (geom pair, ordinal within the pair's manifold).
 	if w.WarmStart {
-		contactKey = make([]uint64, len(contacts))
-		contactOrd = make([]int32, len(contacts))
-		counts := map[uint64]int32{}
-		for ci, c := range contacts {
-			k := uint64(uint32(c.A))<<32 | uint64(uint32(c.B))
-			contactKey[ci] = k
-			contactOrd[ci] = counts[k]
-			counts[k]++
+		for ci := range contacts {
+			k := uint64(uint32(contacts[ci].A))<<32 | uint64(uint32(contacts[ci].B))
+			sc.contactKey[ci] = k
+			sc.contactOrd[ci] = sc.ordCount[k]
+			sc.ordCount[k]++
 		}
-		warmOut = make([]map[uint64][]float64, len(islands))
+		if w.warmCache == nil {
+			w.warmCache = make(map[warmKey][joint.RowsPerContact]float64)
+		}
 	}
 
-	solveIsland := func(i int) func() {
-		is := islands[i]
-		return func() {
-			loads := map[int32]float64{}
-			jointLoads[i] = loads
-			for _, bi := range is.Bodies {
-				w.Bodies[bi].IntegrateVelocity(w.Dt)
-			}
-			var rows []joint.Row
-			for _, ji := range is.Joints {
-				rows = w.Joints[ji].Rows(w.Bodies, p, ji, rows)
-			}
-			contactBase := make([]int32, len(is.Contacts))
-			for k, ci := range is.Contacts {
-				c := contacts[ci]
-				a := int32(w.Geoms[c.A].Body)
-				b := int32(w.Geoms[c.B].Body)
-				base := int32(len(rows))
-				contactBase[k] = base
-				rows = joint.ContactRows(w.Bodies, a, b, c.Pos, c.Normal, c.Depth,
-					joint.DefaultMaterial, p, base, rows)
-				if w.WarmStart {
-					if cached, ok := w.warmCache[contactKey[ci]]; ok {
-						off := int(contactOrd[ci]) * joint.RowsPerContact
-						for j := 0; j < joint.RowsPerContact && off+j < len(cached); j++ {
-							rows[int(base)+j].Warm = cached[off+j]
-						}
-					}
-				}
-			}
-			lam := w.Solver.Solve(w.Bodies, rows, w.Dt, loads, &solverStats[i])
-			if w.WarmStart && len(is.Contacts) > 0 {
-				out := map[uint64][]float64{}
-				for k, ci := range is.Contacts {
-					base := contactBase[k]
-					key := contactKey[ci]
-					buf := out[key]
-					for j := 0; j < joint.RowsPerContact; j++ {
-						buf = append(buf, lam[int(base)+j])
-					}
-					out[key] = buf
-				}
-				warmOut[i] = out
-			}
-			for _, bi := range is.Bodies {
-				w.Bodies[bi].IntegratePosition(w.Dt)
-				if w.EnableSleep {
-					w.Bodies[bi].UpdateSleep(w.Dt)
-				}
-			}
-		}
-	}
-	var queued, mainTasks []func()
 	for i, is := range islands {
 		if is.DOF > SmallIslandDOF {
-			queued = append(queued, solveIsland(i))
+			sc.queued = append(sc.queued, int32(i))
 		} else {
-			mainTasks = append(mainTasks, solveIsland(i))
+			sc.main = append(sc.main, int32(i))
 		}
 	}
-	w.runQueue(queued, mainTasks)
+	if w.islandFn == nil {
+		w.islandFn = w.solveIsland
+	}
+	w.dispatch(w.islandFn, sc.queued, sc.main)
+
+	prof.Solver.Iterations = w.Solver.Iterations
 	for i := range islands {
-		prof.Solver.Rows += solverStats[i].Rows
-		prof.Solver.RowUpdates += solverStats[i].RowUpdates
-		prof.Solver.Iterations = w.Solver.Iterations
+		prof.Solver.Rows += sc.solverStats[i].Rows
+		prof.Solver.RowUpdates += sc.solverStats[i].RowUpdates
 		prof.BodiesIntegrated += len(islands[i].Bodies)
 	}
 	if w.WarmStart {
-		// Replace the impulse cache with this step's results (islands
-		// are disjoint, so a serial merge suffices).
-		w.warmCache = make(map[uint64][]float64)
-		for _, out := range warmOut {
-			for k, v := range out {
-				w.warmCache[k] = append(w.warmCache[k], v...)
+		// Rebuild the impulse cache from this step's results. Contacts
+		// are visited in merge order, so the cache contents are
+		// deterministic whatever worker solved each island.
+		clear(w.warmCache)
+		for ci := range contacts {
+			if sc.rowBase[ci] < 0 {
+				continue // contact was not part of any solved island
 			}
+			var v [joint.RowsPerContact]float64
+			copy(v[:], sc.warmLambda[ci*joint.RowsPerContact:])
+			w.warmCache[warmKey{sc.contactKey[ci], sc.contactOrd[ci]}] = v
 		}
 	}
 	// Clear accumulators of bodies outside any island (asleep/disabled).
@@ -313,12 +224,13 @@ func (w *World) Step() {
 
 	// (f) Check breakable joints: a joint whose applied load exceeded its
 	// threshold breaks (serial, cheap).
-	for i := range islands {
-		for ji, load := range jointLoads[i] {
-			if br, ok := w.Joints[ji].(*joint.Breakable); ok {
-				if br.ApplyLoad(load) {
-					prof.JointBreaks++
-				}
+	for ji, load := range sc.jointLoad {
+		if load == 0 {
+			continue
+		}
+		if br, ok := w.Joints[ji].(*joint.Breakable); ok {
+			if br.ApplyLoad(load) {
+				prof.JointBreaks++
 			}
 		}
 	}
@@ -339,37 +251,25 @@ func (w *World) Step() {
 
 	// (g) Cloth: forward-step every cloth object. Parallel per cloth;
 	// vertices are the fine-grain tasks.
-	clothStats := make([]cloth.Stats, len(w.Cloths))
-	prof.ClothVerts = prof.ClothVerts[:0]
-	pose := func(bi int32) (m3.Vec, m3.Quat) {
-		b := w.Bodies[bi]
-		return b.Pos, b.Rot
-	}
-	var clothTasks []func()
-	for ci := range w.Cloths {
-		ci := ci
-		c := w.Cloths[ci]
-		prof.ClothVerts = append(prof.ClothVerts, c.NumVertices())
-		clothTasks = append(clothTasks, func() {
-			c.SatisfyPins(pose)
-			c.Integrate(w.Dt, w.Gravity)
-			c.Relax()
-			for _, gi := range w.clothContacts[ci] {
-				g := w.Geoms[gi]
-				if g.Enabled() {
-					c.CollideGeom(g)
-				}
-			}
-			c.UpdateBox()
-			clothStats[ci] = c.LastStats
-		})
-	}
-	w.runQueue(clothTasks, nil)
-	for _, st := range clothStats {
-		prof.Cloth.VertexUpdates += st.VertexUpdates
-		prof.Cloth.ConstraintUpdates += st.ConstraintUpdates
-		prof.Cloth.CollisionTests += st.CollisionTests
-		prof.Cloth.RayCasts += st.RayCasts
+	if len(w.Cloths) > 0 {
+		sc.clothStats = sc.clothStats[:0]
+		sc.clothIdx = sc.clothIdx[:0]
+		for ci := range w.Cloths {
+			sc.clothStats = append(sc.clothStats, cloth.Stats{})
+			sc.clothIdx = append(sc.clothIdx, int32(ci))
+			prof.ClothVerts = append(prof.ClothVerts, w.Cloths[ci].NumVertices())
+		}
+		if w.clothFn == nil {
+			w.clothFn = w.stepCloth
+		}
+		w.dispatch(w.clothFn, sc.clothIdx, nil)
+		for i := range sc.clothStats {
+			st := &sc.clothStats[i]
+			prof.Cloth.VertexUpdates += st.VertexUpdates
+			prof.Cloth.ConstraintUpdates += st.ConstraintUpdates
+			prof.Cloth.CollisionTests += st.CollisionTests
+			prof.Cloth.RayCasts += st.RayCasts
+		}
 	}
 
 	// Blast volume lifetimes.
@@ -377,8 +277,12 @@ func (w *World) Step() {
 	for _, bl := range w.Blasts {
 		bl.Remaining -= w.Dt
 		if bl.Remaining > 0 {
+			if w.blastOfGeom != nil {
+				w.blastOfGeom[bl.Geom] = int32(len(live))
+			}
 			live = append(live, bl)
 		} else {
+			delete(w.blastOfGeom, bl.Geom)
 			w.Geoms[bl.Geom].Flags |= geom.FlagDisabled
 		}
 	}
@@ -386,7 +290,126 @@ func (w *World) Step() {
 
 	// (h) Advance time.
 	w.Time += w.Dt
-	w.Profile = prof
+}
+
+// narrowChunk is the narrow-phase worker: it tests one chunk of the
+// candidate pair list, writing into that chunk's event buffers.
+func (w *World) narrowChunk(chunk, lo, hi int) {
+	e := &w.scratch.narrow[chunk]
+	for _, pr := range w.pairBuf[lo:hi] {
+		a, b := w.Geoms[pr.A], w.Geoms[pr.B]
+		aC, bC := a.Flags.Has(geom.FlagCloth), b.Flags.Has(geom.FlagCloth)
+		aB, bB := a.Flags.Has(geom.FlagBlast), b.Flags.Has(geom.FlagBlast)
+		switch {
+		case aC || bC:
+			// (c.iii) body touching a cloth's bounding volume goes on
+			// the cloth's contact list.
+			if aC && !bB && !bC {
+				e.clothHits = append(e.clothHits, [2]int32{a.Aux, int32(b.ID)})
+			}
+			if bC && !aB && !aC {
+				e.clothHits = append(e.clothHits, [2]int32{b.Aux, int32(a.ID)})
+			}
+		case aB || bB:
+			// (c.iv) blast volume interactions.
+			if aB && !bB {
+				e.blastHits = append(e.blastHits, [2]int32{int32(a.ID), int32(b.ID)})
+			} else if bB && !aB {
+				e.blastHits = append(e.blastHits, [2]int32{int32(b.ID), int32(a.ID)})
+			}
+		default:
+			start := len(e.contacts)
+			e.contacts = narrowphase.Collide(a, b, e.contacts, &e.stats)
+			if len(e.contacts) > start {
+				// (c.ii) explosive objects detonate on contact instead
+				// of generating constraints.
+				exploded := false
+				if a.Flags.Has(geom.FlagExplosive) {
+					e.explosions = append(e.explosions, int32(a.ID))
+					exploded = true
+				}
+				if b.Flags.Has(geom.FlagExplosive) {
+					e.explosions = append(e.explosions, int32(b.ID))
+					exploded = true
+				}
+				if exploded {
+					e.contacts = e.contacts[:start]
+				}
+			}
+		}
+	}
+}
+
+// solveIsland forward-simulates one island: velocity integration, row
+// assembly into the worker's reusable row buffer, the LCP solve with the
+// worker's workspace, and position integration. Islands touch disjoint
+// bodies, joints and contacts, so concurrent island solves never share
+// mutable state.
+func (w *World) solveIsland(worker, idx int) {
+	sc := &w.scratch
+	is := &sc.islands[idx]
+	p := w.params()
+	for _, bi := range is.Bodies {
+		w.Bodies[bi].IntegrateVelocity(w.Dt)
+	}
+	rows := sc.rows[worker][:0]
+	for _, ji := range is.Joints {
+		rows = w.Joints[ji].Rows(w.Bodies, p, ji, rows)
+	}
+	for _, ci := range is.Contacts {
+		c := &sc.contacts[ci]
+		a := int32(w.Geoms[c.A].Body)
+		b := int32(w.Geoms[c.B].Body)
+		base := int32(len(rows))
+		sc.rowBase[ci] = base
+		rows = joint.ContactRows(w.Bodies, a, b, c.Pos, c.Normal, c.Depth,
+			joint.DefaultMaterial, p, base, rows)
+		if w.WarmStart {
+			if cached, ok := w.warmCache[warmKey{sc.contactKey[ci], sc.contactOrd[ci]}]; ok {
+				for j := 0; j < joint.RowsPerContact; j++ {
+					rows[int(base)+j].Warm = cached[j]
+				}
+			}
+		}
+	}
+	sc.rows[worker] = rows // keep the grown capacity for the next island
+	lam := w.Solver.Solve(w.Bodies, rows, w.Dt, sc.jointLoad,
+		&sc.solverStats[idx], &sc.ws[worker])
+	if w.WarmStart {
+		for _, ci := range is.Contacts {
+			base := sc.rowBase[ci]
+			copy(sc.warmLambda[int(ci)*joint.RowsPerContact:(int(ci)+1)*joint.RowsPerContact],
+				lam[base:int(base)+joint.RowsPerContact])
+		}
+	}
+	for _, bi := range is.Bodies {
+		w.Bodies[bi].IntegratePosition(w.Dt)
+		if w.EnableSleep {
+			w.Bodies[bi].UpdateSleep(w.Dt)
+		}
+	}
+}
+
+// stepCloth forward-steps one cloth object.
+func (w *World) stepCloth(_, ci int) {
+	c := w.Cloths[ci]
+	c.SatisfyPins(w.bodyPose)
+	c.Integrate(w.Dt, w.Gravity)
+	c.Relax()
+	for _, gi := range w.clothContacts[ci] {
+		g := w.Geoms[gi]
+		if g.Enabled() {
+			c.CollideGeom(g)
+		}
+	}
+	c.UpdateBox()
+	w.scratch.clothStats[ci] = c.LastStats
+}
+
+// bodyPose reports a body's pose for cloth pinning.
+func (w *World) bodyPose(bi int32) (m3.Vec, m3.Quat) {
+	b := w.Bodies[bi]
+	return b.Pos, b.Rot
 }
 
 // StepFrame advances one rendered frame (StepsPerFrame steps) and
@@ -422,6 +445,10 @@ func (w *World) detonate(gidx int32, prof *StepProfile) {
 	}
 	bg.UpdateAABB()
 	w.Geoms = append(w.Geoms, bg)
+	if w.blastOfGeom == nil {
+		w.blastOfGeom = make(map[int32]int32)
+	}
+	w.blastOfGeom[int32(bg.ID)] = int32(len(w.Blasts))
 	w.Blasts = append(w.Blasts, Blast{
 		Geom: int32(bg.ID), Remaining: spec.Duration, Impulse: spec.Impulse,
 		hit: make(map[int32]bool),
@@ -431,6 +458,9 @@ func (w *World) detonate(gidx int32, prof *StepProfile) {
 
 // blastHit applies a blast volume's effect to a geom it overlaps:
 // prefractured objects shatter; dynamic bodies receive a radial impulse.
+// The owning Blast is found through the geom-id index, not a scan, so
+// Detonation/Mix-style scenes with many simultaneous blasts stay
+// O(hits) per step.
 func (w *World) blastHit(blastGeom, other int32, prof *StepProfile) {
 	bg := w.Geoms[blastGeom]
 	og := w.Geoms[other]
@@ -446,14 +476,12 @@ func (w *World) blastHit(blastGeom, other int32, prof *StepProfile) {
 	if og.Body < 0 {
 		return
 	}
-	var blast *Blast
-	for i := range w.Blasts {
-		if w.Blasts[i].Geom == blastGeom {
-			blast = &w.Blasts[i]
-			break
-		}
+	bi, ok := w.blastOfGeom[blastGeom]
+	if !ok {
+		return
 	}
-	if blast == nil || blast.Impulse == 0 {
+	blast := &w.Blasts[bi]
+	if blast.Impulse == 0 {
 		return
 	}
 	if blast.hit[int32(og.Body)] {
@@ -479,8 +507,10 @@ func (w *World) blastHit(blastGeom, other int32, prof *StepProfile) {
 
 // shatter breaks a prefractured object: the parent is disabled and its
 // debris pieces are enabled at their positions relative to the parent's
-// current pose, inheriting its velocity plus a radial kick away from the
-// blast center.
+// current pose, inheriting its linear velocity plus a radial kick away
+// from the blast center. Debris state left over from before the pieces
+// were disabled (velocities, accumulated forces, sleep state) is fully
+// reset, so debris never spawns spinning or asleep.
 func (w *World) shatter(fi int32, blastPos m3.Vec, prof *StepProfile) {
 	fr := &w.Fractures[fi]
 	fr.Broken = true
@@ -504,6 +534,7 @@ func (w *World) shatter(fi int32, blastPos m3.Vec, prof *StepProfile) {
 			db.Rot = parentRot.Mul(fr.LocalRot[i])
 			kick := db.Pos.Sub(blastPos).Norm().Scale(2.0)
 			db.LinVel = vel.Add(kick)
+			db.AngVel = m3.Zero
 			dg.Pos = db.Pos
 			dg.Rot = db.Rot.Mat()
 			dg.UpdateAABB()

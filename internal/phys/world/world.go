@@ -94,12 +94,19 @@ type World struct {
 	Explosives map[int32]ExplosiveSpec
 	// Blasts are the currently active blast volumes.
 	Blasts []Blast
+	// blastOfGeom indexes active blasts by their volume geom id, so
+	// resolving a blast hit is O(1) instead of a scan over w.Blasts.
+	blastOfGeom map[int32]int32
 	// Fractures lists the registered prefractured objects.
 	Fractures      []FractureGroup
 	fractureOfGeom map[int32]int32 // parent geom -> fracture index
 
 	// clothProxy maps cloth index -> proxy geom index.
 	clothProxy []int32
+	// clothProxyShape is each proxy's box, held by pointer so the
+	// per-step resize mutates it in place instead of re-boxing the Shape
+	// interface (which would allocate every step).
+	clothProxyShape []*geom.Box
 	// clothContacts is the per-step contact list per cloth.
 	clothContacts [][]int32
 
@@ -109,13 +116,22 @@ type World struct {
 	// Profile holds the instrumentation for the most recent Step.
 	Profile StepProfile
 
-	pool      *pool
-	pairBuf   []broadphase.Pair
-	bodyGeom  []int32 // body index -> geom index
-	jointLoad map[int32]float64
-	// warmCache holds last step's contact impulses keyed by geom pair,
-	// three values (normal + two friction) per contact in pair order.
-	warmCache map[uint64][]float64
+	pool     *pool
+	pairBuf  []broadphase.Pair
+	bodyGeom []int32 // body index -> geom index
+	// warmCache holds last step's contact impulses keyed by (geom pair,
+	// ordinal within the pair's manifold): normal + two friction values.
+	warmCache map[warmKey][joint.RowsPerContact]float64
+
+	// scratch is the reusable per-step arena; see frameScratch.
+	scratch frameScratch
+	// Persistent task closures, created once so steady-state dispatch
+	// does not allocate.
+	narrowFn   func(chunk, lo, hi int)
+	islandFn   func(worker, arg int)
+	clothFn    func(worker, arg int)
+	runChunkFn func(worker, arg int)
+	activeFn   func(int32) bool
 }
 
 // New returns an empty world with the paper's default parameters:
@@ -132,7 +148,7 @@ func New() *World {
 		Threads:        1,
 		Explosives:     make(map[int32]ExplosiveSpec),
 		fractureOfGeom: make(map[int32]int32),
-		jointLoad:      make(map[int32]float64),
+		blastOfGeom:    make(map[int32]int32),
 	}
 }
 
@@ -191,10 +207,10 @@ func (w *World) AddCloth(c *cloth.Cloth) int32 {
 	idx := int32(len(w.Cloths))
 	w.Cloths = append(w.Cloths, c)
 	c.UpdateBox()
-	half := c.Box.Extent().Scale(0.5)
+	sh := &geom.Box{Half: c.Box.Extent().Scale(0.5)}
 	g := &geom.Geom{
 		ID:    len(w.Geoms),
-		Shape: geom.Box{Half: half},
+		Shape: sh,
 		Pos:   c.Box.Center(),
 		Rot:   m3.Ident,
 		Body:  -1,
@@ -204,6 +220,7 @@ func (w *World) AddCloth(c *cloth.Cloth) int32 {
 	g.UpdateAABB()
 	w.Geoms = append(w.Geoms, g)
 	w.clothProxy = append(w.clothProxy, int32(g.ID))
+	w.clothProxyShape = append(w.clothProxyShape, sh)
 	w.clothContacts = append(w.clothContacts, nil)
 	return idx
 }
@@ -249,13 +266,18 @@ func (w *World) DisableBodyGeom(geomIdx int32) {
 	}
 }
 
-// EnableBodyGeom re-activates a body and its geom (used for debris).
+// EnableBodyGeom re-activates a body and its geom (used for debris). The
+// body returns awake with cleared force/torque accumulators: anything
+// accumulated before it was disabled is stale and must not leak into the
+// body's first live step.
 func (w *World) EnableBodyGeom(geomIdx int32) {
 	g := w.Geoms[geomIdx]
 	g.Flags &^= geom.FlagDisabled
 	if g.Body >= 0 {
-		w.Bodies[g.Body].Enabled = true
-		w.Bodies[g.Body].Wake()
+		b := w.Bodies[g.Body]
+		b.Enabled = true
+		b.Wake()
+		b.ClearAccumulators()
 	}
 }
 

@@ -107,8 +107,18 @@ type World = world.World
 // ExplosiveSpec configures an explosive geom.
 type ExplosiveSpec = world.ExplosiveSpec
 
-// StepProfile is the per-step instrumentation record.
+// StepProfile is the per-step instrumentation record. Its Islands and
+// ClothVerts slices are backed by World-owned scratch storage that the
+// next Step overwrites: copy them — or aggregate through
+// FrameProfile.Add, which deep-copies — before stepping again if the
+// record must outlive the step. This aliasing is what lets steady-state
+// stepping run allocation-free.
 type StepProfile = world.StepProfile
+
+// FrameProfile aggregates the StepProfiles of one rendered frame;
+// FrameProfile.Add deep-copies the scratch-backed slices so frame
+// records are safe to retain indefinitely.
+type FrameProfile = world.FrameProfile
 
 // NewWorld returns an empty world with the paper's defaults (0.01 s
 // steps, 20 solver iterations, sweep-and-prune broad phase).
