@@ -78,6 +78,43 @@ func BenchmarkAblIterations(b *testing.B) { benchExperiment(b, "abl-iterations")
 func BenchmarkAblWarmstart(b *testing.B)  { benchExperiment(b, "abl-warmstart") }
 func BenchmarkRefSystem(b *testing.B)     { benchExperiment(b, "ref-system") }
 
+// BenchmarkSuiteCapture measures the harness's capture stage: building
+// and simulating the full 8-benchmark suite (1 warm + 3 measured frames
+// each) at a reduced scale. The suite is rebuilt every iteration —
+// Workloads() forces all captures through the concurrent per-benchmark
+// path, so this tracks both engine speed and capture parallelism.
+func BenchmarkSuiteCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(0.25)
+		if got := len(s.Workloads()); got != len(workload.All) {
+			b.Fatalf("captured %d workloads, want %d", got, len(workload.All))
+		}
+	}
+}
+
+// BenchmarkCGOnly measures one uncached CG-machine evaluation (cache
+// simulation + timing model) on the Mix workload — the unit of work the
+// experiment worker pool fans out.
+func BenchmarkCGOnly(b *testing.B) {
+	s := sharedSuite(b)
+	var wl *Workload
+	for _, w := range s.Workloads() {
+		if w.Name == "Mix" {
+			wl = w
+		}
+	}
+	if wl == nil {
+		b.Fatal("Mix workload missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := wl.CGOnly(4, 12, true)
+		if r.Total() <= 0 {
+			b.Fatal("degenerate CG result")
+		}
+	}
+}
+
 // wallRubbleWorld builds the mid-size wall/rubble scene used to measure
 // steady-state stepping: a brick wall stacked on a ground plane with a
 // field of rubble (spheres and boxes) resting and settling around it.

@@ -3,18 +3,25 @@
 // drives the architecture models and prints the same rows/series the
 // paper reports.
 //
+// Capture is lazy (a focused experiment only pays for the benchmarks it
+// reads) and the harness is parallel: captures run concurrently, model
+// evaluations fan out on a -threads-wide worker pool, and experiment
+// sections merge to stdout in paper order — byte-identical to a
+// -threads=1 run except for the "# timing:" lines.
+//
 // Usage:
 //
 //	paraxbench -list
 //	paraxbench -exp fig10b
-//	paraxbench -exp all -scale 1.0
-//	paraxbench -exp fig2a,fig2b -scale 0.5
+//	paraxbench -exp all -scale 1.0 -threads 8
+//	paraxbench -exp fig2a,fig2b -scale 0.5 -bench Explosions,Mix
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,9 +30,13 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("exp", "all", "experiment id, comma list, or 'all'")
-		scale = flag.Float64("scale", 1.0, "workload scale (1.0 = paper)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		id      = flag.String("exp", "all", "experiment id, comma list, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = paper; must be > 0)")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0),
+			"harness worker threads (1 = fully serial; default GOMAXPROCS)")
+		bench = flag.String("bench", "",
+			"comma list of benchmarks to restrict the suite to (default: all)")
+		list = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -36,24 +47,45 @@ func main() {
 		return
 	}
 
-	t0 := time.Now()
-	fmt.Printf("capturing the 8-benchmark suite at scale %.2f...\n", *scale)
-	s := exp.NewSuite(*scale)
-	fmt.Printf("capture complete in %v\n\n", time.Since(t0).Round(time.Millisecond))
-
-	if *id == "all" {
-		s.RunAll(os.Stdout)
-		return
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be > 0 (a zero or negative scale builds degenerate scenes)\n", *scale)
+		os.Exit(2)
 	}
-	for _, one := range strings.Split(*id, ",") {
-		one = strings.TrimSpace(one)
-		e, ok := exp.ByID(one)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", one)
+	if *threads < 1 {
+		fmt.Fprintf(os.Stderr, "invalid -threads %d: must be >= 1\n", *threads)
+		os.Exit(2)
+	}
+
+	s := exp.NewSuite(*scale)
+	if *bench != "" {
+		var names []string
+		for _, n := range strings.Split(*bench, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+		var err error
+		s, err = exp.NewSuiteOf(*scale, names...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
-		e.Run(s, os.Stdout)
-		fmt.Println()
 	}
+	s.Threads = *threads
+
+	ids := exp.IDs()
+	if *id != "all" {
+		ids = nil
+		for _, one := range strings.Split(*id, ",") {
+			ids = append(ids, strings.TrimSpace(one))
+		}
+	}
+
+	t0 := time.Now()
+	if err := s.RunIDs(os.Stdout, ids...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	captured, captureTime := s.CaptureStats()
+	fmt.Printf("# timing: capture benchmarks=%d cpu=%s\n", captured, captureTime.Round(time.Millisecond))
+	fmt.Printf("# timing: total experiments=%d threads=%d wall=%s\n",
+		len(ids), *threads, time.Since(t0).Round(time.Millisecond))
 }

@@ -1,6 +1,7 @@
 package parallax
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/parallax-arch/parallax/internal/arch/cpu"
@@ -224,5 +225,53 @@ func TestIdealVsSimulatedFGCores(t *testing.T) {
 	sim := wl.FGCoresFor30FPS(cpu.Shader, 0.32, link.OnChip)
 	if sim < ideal {
 		t.Errorf("simulated count %d below ideal bound %d", sim, ideal)
+	}
+}
+
+// TestKernelIPCKeyedByFullConfig: the memo must key on the whole
+// cpu.Config value. Two distinct configurations sharing a name (or both
+// zero-named, as custom sweeps produce) must not collide.
+func TestKernelIPCKeyedByFullConfig(t *testing.T) {
+	wl := capture(t, "Periodic", 0.15)
+	narrow := cpu.Shader
+	narrow.Name = ""
+	wide := cpu.Desktop
+	wide.Name = ""
+	a := wl.KernelIPC(narrow)
+	b := wl.KernelIPC(wide)
+	if a == b {
+		t.Fatalf("two zero-named configs returned identical IPC vectors %v; the cache is colliding by name", a)
+	}
+	// Same config again hits the memo and returns identical values.
+	if c := wl.KernelIPC(narrow); c != a {
+		t.Errorf("memoized lookup changed: %v vs %v", c, a)
+	}
+}
+
+// TestKernelIPCConcurrent hammers the memo from many goroutines (run
+// with -race to catch unsynchronized access) and checks all callers see
+// the same singleflighted result.
+func TestKernelIPCConcurrent(t *testing.T) {
+	wl := capture(t, "Periodic", 0.15)
+	want := wl.KernelIPC(cpu.Console)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, cfg := range []cpu.Config{cpu.Console, cpu.Shader, cpu.Desktop} {
+				v := wl.KernelIPC(cfg)
+				if cfg == cpu.Console && v != want {
+					errs <- "concurrent KernelIPC returned a different vector"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }

@@ -11,6 +11,7 @@ package parallax
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/parallax-arch/parallax/internal/arch/cpu"
 	"github.com/parallax-arch/parallax/internal/arch/kernels"
@@ -28,7 +29,18 @@ type Workload struct {
 	Frame  world.FrameProfile
 	Layout *mem.Layout
 
-	ipcCache map[string][kernels.NumAllKernels]float64
+	// ipcCache memoizes KernelIPC by the full core configuration
+	// (cpu.Config is a comparable value type), not just its name: two
+	// distinct configs sharing a name — or both zero-named, as in
+	// custom sweeps — must not collide. Guarded by ipcMu with
+	// singleflight semantics for concurrent evaluation.
+	ipcMu    sync.Mutex
+	ipcCache map[cpu.Config]*ipcOnce
+}
+
+type ipcOnce struct {
+	once sync.Once
+	v    [kernels.NumAllKernels]float64
 }
 
 // Capture runs the benchmark world for warmFrames unrecorded frames,
@@ -68,23 +80,28 @@ func (wl *Workload) FrameInstr() kernels.PhaseInstr {
 // KernelIPC returns (and caches) each kernel's IPC on the given core
 // configuration — the three FG kernels plus the two serial-phase code
 // models — measured by running synthetic kernel traces through the cpu
-// timing model.
+// timing model. Safe for concurrent use: each configuration's traces
+// run exactly once even when requested from many goroutines.
 func (wl *Workload) KernelIPC(cfg cpu.Config) [kernels.NumAllKernels]float64 {
+	wl.ipcMu.Lock()
 	if wl.ipcCache == nil {
-		wl.ipcCache = make(map[string][kernels.NumAllKernels]float64)
+		wl.ipcCache = make(map[cpu.Config]*ipcOnce)
 	}
-	if v, ok := wl.ipcCache[cfg.Name]; ok {
-		return v
+	e, ok := wl.ipcCache[cfg]
+	if !ok {
+		e = &ipcOnce{}
+		wl.ipcCache[cfg] = e
 	}
-	var out [kernels.NumAllKernels]float64
-	for _, k := range []kernels.Kernel{
-		kernels.Narrow, kernels.Island, kernels.Cloth,
-		kernels.Broad, kernels.IslandGen,
-	} {
-		out[k] = cpu.New(cfg).Run(k.Trace(300, int64(k)+11)).IPC()
-	}
-	wl.ipcCache[cfg.Name] = out
-	return out
+	wl.ipcMu.Unlock()
+	e.once.Do(func() {
+		for _, k := range []kernels.Kernel{
+			kernels.Narrow, kernels.Island, kernels.Cloth,
+			kernels.Broad, kernels.IslandGen,
+		} {
+			e.v[k] = cpu.New(cfg).Run(k.Trace(300, int64(k)+11)).IPC()
+		}
+	})
+	return e.v
 }
 
 // PhaseKernel maps an engine phase to the kernel that models its code:

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/parallax-arch/parallax/internal/arch/kernels"
+	"github.com/parallax-arch/parallax/internal/arch/parallax"
 	"github.com/parallax-arch/parallax/internal/phys/geom"
 	"github.com/parallax-arch/parallax/internal/phys/world"
 )
@@ -18,7 +19,7 @@ var dedicatedSweep = []int{1, 2, 4, 8, 16}
 // Table3 prints each benchmark's modeled instructions per frame.
 func (s *Suite) Table3(w io.Writer) {
 	fmt.Fprintf(w, "%-12s %18s  %s\n", "Benchmark", "Instr/Frame", "Genre")
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		instr := wl.FrameInstr()
 		genre := ""
 		if b, ok := byBenchName(wl.Name); ok {
@@ -42,7 +43,7 @@ func (s *Suite) Table4(w io.Writer) {
 	fmt.Fprintf(w, "%-12s %9s %8s %7s %10s %8s %9s %13s %13s\n",
 		"Benchmark", "Obj-Pairs", "Islands", "Cloths", "[vertices]",
 		"Static", "Dynamic", "Prefractured", "StaticJoints")
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		var statics, dynamics, debris int
 		for _, g := range wl.World.Geoms {
 			switch {
@@ -75,12 +76,16 @@ func (s *Suite) Table4(w io.Writer) {
 // Fig2a prints the single-core 1MB-L2 frame-time breakdown per phase,
 // the configuration that motivates the whole study (Mix at ~2.3 FPS).
 func (s *Suite) Fig2a(w io.Writer) {
+	wls := s.Workloads()
+	rs := make([]parallax.CGResult, len(wls))
+	s.pool(len(wls), func(i int) { rs[i] = s.cgOnly(wls[i], 1, 1, false) })
+
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %10s %8s %9s\n",
 		"Benchmark", "Broad(ms)", "Narrow", "IslGen", "IslProc", "Cloth",
 		"Total", "FPS", "Serial%")
 	serialFracSum, worstSerialFrame := 0.0, 0.0
-	for _, wl := range s.Workloads {
-		r := s.cgOnly(wl, 1, 1, false)
+	for i, wl := range wls {
+		r := rs[i]
 		ms := func(ph world.Phase) float64 { return r.PhaseTime[ph] * 1e3 }
 		total := r.Total()
 		sf := r.Serial() / total
@@ -94,41 +99,53 @@ func (s *Suite) Fig2a(w io.Writer) {
 			ms(world.PhaseCloth), total*1e3, r.FPS(), sf*100)
 	}
 	fmt.Fprintf(w, "serial phases: avg %.0f%% of execution, worst %.0f%% of one frame's budget\n",
-		serialFracSum/float64(len(s.Workloads))*100, worstSerialFrame*100)
+		serialFracSum/float64(len(wls))*100, worstSerialFrame*100)
 }
 
-// Fig2b prints serial-phase time vs shared L2 capacity.
+// Fig2b prints serial-phase time vs shared L2 capacity. The workload x
+// L2-size grid is evaluated on the worker pool.
 func (s *Suite) Fig2b(w io.Writer) {
+	wls := s.Workloads()
+	cells := grid(s, len(wls), len(l2Sweep), func(r, c int) float64 {
+		return s.cgOnly(wls[r], 1, l2Sweep[c], false).Serial()
+	})
+
 	fmt.Fprintf(w, "%-12s", "Benchmark")
 	for _, mb := range l2Sweep {
 		fmt.Fprintf(w, " %7dMB", mb)
 	}
 	fmt.Fprintln(w)
-	for _, wl := range s.Workloads {
+	for i, wl := range wls {
 		fmt.Fprintf(w, "%-12s", wl.Name)
-		for _, mb := range l2Sweep {
-			r := s.cgOnly(wl, 1, mb, false)
-			fmt.Fprintf(w, " %8.2f", r.Serial()*1e3)
+		for j := range l2Sweep {
+			fmt.Fprintf(w, " %8.2f", cells[i][j]*1e3)
 		}
 		fmt.Fprintln(w, "  (ms)")
 	}
 }
 
-// dedicated prints one phase's dedicated-L2 sweep.
+// dedicated prints one phase's dedicated-L2 sweep, evaluating the
+// workload x cache-size grid on the worker pool.
 func (s *Suite) dedicated(w io.Writer, ph world.Phase, cores int, only []string) {
+	var wls []*parallax.Workload
+	for _, wl := range s.Workloads() {
+		if only == nil || contains(only, wl.Name) {
+			wls = append(wls, wl)
+		}
+	}
+	cells := grid(s, len(wls), len(dedicatedSweep), func(r, c int) float64 {
+		return wls[r].DedicatedPhaseTime(ph, cores, dedicatedSweep[c])
+	})
+
 	fmt.Fprintf(w, "%-12s", "Benchmark")
 	for _, mb := range dedicatedSweep {
 		fmt.Fprintf(w, " %7dMB", mb)
 	}
 	fmt.Fprintln(w)
-	for _, wl := range s.Workloads {
-		if only != nil && !contains(only, wl.Name) {
-			continue
-		}
+	for i, wl := range wls {
 		fmt.Fprintf(w, "%-12s", wl.Name)
-		for _, mb := range dedicatedSweep {
-			t := wl.DedicatedPhaseTime(ph, cores, mb)
-			fmt.Fprintf(w, " %8.3f", t*1e3)
+		for j := range dedicatedSweep {
+			fmt.Fprintf(w, " %8.3f", cells[i][j]*1e3)
 		}
 		fmt.Fprintln(w, "  (ms)")
 	}
@@ -160,34 +177,46 @@ func (s *Suite) Fig5a(w io.Writer) {
 	s.dedicated(w, world.PhaseCloth, 1, []string{"Deformable", "Mix"})
 }
 
+// fig5bCores is the processor-scaling sweep of Fig 5b.
+var fig5bCores = []int{1, 2, 4}
+
 // Fig5b: frame time as cores scale 1 -> 2 -> 4 with the partitioned
 // 12MB L2.
 func (s *Suite) Fig5b(w io.Writer) {
+	wls := s.Workloads()
+	cells := grid(s, len(wls), len(fig5bCores), func(r, c int) float64 {
+		return s.cgOnly(wls[r], fig5bCores[c], 12, true).Total()
+	})
+
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %12s %12s\n",
 		"Benchmark", "1P (ms)", "2P (ms)", "4P (ms)", "1->2 gain", "2->4 gain")
 	g12, g24 := 0.0, 0.0
-	for _, wl := range s.Workloads {
-		t1 := s.cgOnly(wl, 1, 12, true).Total()
-		t2 := s.cgOnly(wl, 2, 12, true).Total()
-		t4 := s.cgOnly(wl, 4, 12, true).Total()
+	for i, wl := range wls {
+		t1, t2, t4 := cells[i][0], cells[i][1], cells[i][2]
 		fmt.Fprintf(w, "%-12s %10.2f %10.2f %10.2f %11.0f%% %11.0f%%\n",
 			wl.Name, t1*1e3, t2*1e3, t4*1e3, (t1/t2-1)*100, (t2/t4-1)*100)
 		g12 += t1/t2 - 1
 		g24 += t2/t4 - 1
 	}
-	n := float64(len(s.Workloads))
+	n := float64(len(wls))
 	fmt.Fprintf(w, "average gains: 1->2 cores %.0f%%, 2->4 cores %.0f%%\n",
 		g12/n*100, g24/n*100)
 }
 
 // Fig6a: the 4-core 12MB breakdown and its speedup over one core.
 func (s *Suite) Fig6a(w io.Writer) {
+	wls := s.Workloads()
+	type pair struct{ r, base parallax.CGResult }
+	rs := make([]pair, len(wls))
+	s.pool(len(wls), func(i int) {
+		rs[i] = pair{s.cgOnly(wls[i], 4, 12, true), s.cgOnly(wls[i], 1, 1, false)}
+	})
+
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %10s %8s %9s\n",
 		"Benchmark", "Broad(ms)", "Narrow", "IslGen", "IslProc", "Cloth",
 		"Total", "FPS", "vs 1P+1MB")
-	for _, wl := range s.Workloads {
-		r := s.cgOnly(wl, 4, 12, true)
-		base := s.cgOnly(wl, 1, 1, false)
+	for i, wl := range wls {
+		r, base := rs[i].r, rs[i].base
 		ms := func(ph world.Phase) float64 { return r.PhaseTime[ph] * 1e3 }
 		fmt.Fprintf(w, "%-12s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %8.1f %8.2fx\n",
 			wl.Name, ms(world.PhaseBroad), ms(world.PhaseNarrow),
@@ -197,14 +226,22 @@ func (s *Suite) Fig6a(w io.Writer) {
 	}
 }
 
-// Fig6b: L2 miss breakdown (user vs kernel) as threads scale.
+// fig6bThreads is the thread-scaling sweep of Fig 6b.
+var fig6bThreads = []int{1, 2, 4, 8}
+
+// Fig6b: L2 miss breakdown (user vs kernel) as threads scale, the four
+// thread counts simulated concurrently.
 func (s *Suite) Fig6b(w io.Writer) {
 	wl := s.byName("Mix")
+	ms := make([]parallax.MemResult, len(fig6bThreads))
+	s.pool(len(fig6bThreads), func(i int) {
+		ms[i] = wl.SimulateMemory(memCfg(fig6bThreads[i]))
+	})
+
 	fmt.Fprintf(w, "%-8s %14s %14s %14s\n", "Threads", "User misses", "Kernel misses", "Total")
 	var prev uint64
-	for _, th := range []int{1, 2, 4, 8} {
-		m := wl.SimulateMemory(memCfg(th))
-		u, k := m.TotalL2Misses()
+	for i, th := range fig6bThreads {
+		u, k := ms[i].TotalL2Misses()
 		fmt.Fprintf(w, "%-8d %14d %14d %14d", th, u, k, u+k)
 		if th == 8 && prev > 0 {
 			fmt.Fprintf(w, "   (%.1fx vs 4 threads)", float64(u+k)/float64(prev))
@@ -221,7 +258,7 @@ func (s *Suite) Fig6b(w io.Writer) {
 func (s *Suite) Fig7a(w io.Writer) {
 	fmt.Fprintf(w, "%-12s %14s %12s %14s\n",
 		"Benchmark", "IslProc (ms)", "Cloth (ms)", "frame budget")
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		ip, cl := wl.IdealCGLimit()
 		note := ""
 		if ip+cl > 1.0/30 {

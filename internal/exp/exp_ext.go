@@ -28,27 +28,43 @@ func vec(x, y, z float64) m3.Vec  { return m3.V(x, y, z) }
 
 // ExtPrefetch: the paper's future-work idea of reducing the L2 size
 // requirement with prefetching — serial-phase time across L2 sizes with
-// and without a next-4-line L2 prefetcher.
+// and without a next-4-line L2 prefetcher. The (benchmark, depth) x
+// L2-size grid is simulated on the worker pool.
 func (s *Suite) ExtPrefetch(w io.Writer) {
 	sizes := []int{1, 2, 4, 8}
+	names := []string{"Explosions", "Mix"}
+	depths := []int{0, 4}
+	rows := make([]struct {
+		wl    *parallax.Workload
+		depth int
+	}, 0, len(names)*len(depths))
+	for _, name := range names {
+		wl := s.byName(name)
+		for _, depth := range depths {
+			rows = append(rows, struct {
+				wl    *parallax.Workload
+				depth int
+			}{wl, depth})
+		}
+	}
+	cells := grid(s, len(rows), len(sizes), func(r, c int) float64 {
+		return rows[r].wl.CGFrameTime(parallax.MemConfig{
+			Cores: 1, L2MB: sizes[c], Threads: 1,
+			DedicatedPhase: -1, PrefetchDepth: rows[r].depth,
+		}).Serial()
+	})
+
 	fmt.Fprintf(w, "%-12s %-10s", "Benchmark", "Prefetch")
 	for _, mb := range sizes {
 		fmt.Fprintf(w, " %7dMB", mb)
 	}
 	fmt.Fprintln(w)
-	for _, name := range []string{"Explosions", "Mix"} {
-		wl := s.byName(name)
-		for _, depth := range []int{0, 4} {
-			fmt.Fprintf(w, "%-12s %-10d", wl.Name, depth)
-			for _, mb := range sizes {
-				r := wl.CGFrameTime(parallax.MemConfig{
-					Cores: 1, L2MB: mb, Threads: 1,
-					DedicatedPhase: -1, PrefetchDepth: depth,
-				})
-				fmt.Fprintf(w, " %8.2f", r.Serial()*1e3)
-			}
-			fmt.Fprintln(w, "  (ms)")
+	for i, row := range rows {
+		fmt.Fprintf(w, "%-12s %-10d", row.wl.Name, row.depth)
+		for j := range sizes {
+			fmt.Fprintf(w, " %8.2f", cells[i][j]*1e3)
 		}
+		fmt.Fprintln(w, "  (ms)")
 	}
 	fmt.Fprintln(w, "a small L2 with prefetching approaches a larger L2 without it")
 }
@@ -73,19 +89,36 @@ func (s *Suite) ExtSharedMem(w io.Writer) {
 }
 
 // AblPartition: the L2 management ablation — partitioned vs shared L2
-// at several sizes, for the serial phases and the total frame.
+// at several sizes, for the serial phases and the total frame. The
+// (benchmark, size) x {shared, partitioned} grid runs on the worker
+// pool.
 func (s *Suite) AblPartition(w io.Writer) {
+	sizes := []int{3, 6, 12}
+	names := []string{"Explosions", "Mix"}
+	rows := make([]struct {
+		wl *parallax.Workload
+		mb int
+	}, 0, len(names)*len(sizes))
+	for _, name := range names {
+		wl := s.byName(name)
+		for _, mb := range sizes {
+			rows = append(rows, struct {
+				wl *parallax.Workload
+				mb int
+			}{wl, mb})
+		}
+	}
+	cells := grid(s, len(rows), 2, func(r, c int) parallax.CGResult {
+		return s.cgOnly(rows[r].wl, 4, rows[r].mb, c == 1)
+	})
+
 	fmt.Fprintf(w, "%-12s %6s %14s %14s %14s %14s\n",
 		"Benchmark", "L2MB", "serial shared", "serial part.", "total shared", "total part.")
-	for _, name := range []string{"Explosions", "Mix"} {
-		wl := s.byName(name)
-		for _, mb := range []int{3, 6, 12} {
-			un := s.cgOnly(wl, 4, mb, false)
-			pt := s.cgOnly(wl, 4, mb, true)
-			fmt.Fprintf(w, "%-12s %6d %11.2f ms %11.2f ms %11.2f ms %11.2f ms\n",
-				wl.Name, mb, un.Serial()*1e3, pt.Serial()*1e3,
-				un.Total()*1e3, pt.Total()*1e3)
-		}
+	for i, row := range rows {
+		un, pt := cells[i][0], cells[i][1]
+		fmt.Fprintf(w, "%-12s %6d %11.2f ms %11.2f ms %11.2f ms %11.2f ms\n",
+			row.wl.Name, row.mb, un.Serial()*1e3, pt.Serial()*1e3,
+			un.Total()*1e3, pt.Total()*1e3)
 	}
 	fmt.Fprintln(w, "partitioning trades parallel-phase capacity for serial-phase")
 	fmt.Fprintln(w, "protection: the serial columns favor partitioning throughout, while")
@@ -93,28 +126,41 @@ func (s *Suite) AblPartition(w io.Writer) {
 }
 
 // AblBroadphase: sweep-and-prune vs uniform spatial hash on the actual
-// benchmark scenes — same pairs, different maintenance work.
+// benchmark scenes — same pairs, different maintenance work. Each
+// (benchmark, algorithm) cell steps its own freshly built world, so the
+// cells run concurrently on the worker pool.
 func (s *Suite) AblBroadphase(w io.Writer) {
+	algos := []string{"SAP", "Hash"}
+	var benches []workload.Benchmark
+	for _, name := range []string{"Periodic", "Explosions", "Mix"} {
+		if b, ok := workload.ByName(name); ok {
+			benches = append(benches, b)
+		}
+	}
+	type cell struct {
+		pairs, sortOps, overlapTests int
+	}
+	cells := grid(s, len(benches), len(algos), func(r, c int) cell {
+		wd := benches[r].Build(s.Scale)
+		if algos[c] == "SAP" {
+			wd.Broad = broadphase.NewSweepAndPrune()
+		} else {
+			wd.Broad = broadphase.NewSpatialHash()
+		}
+		for i := 0; i < 2*world.StepsPerFrame; i++ {
+			wd.Step()
+		}
+		st := wd.Broad.Stats()
+		return cell{wd.Profile.Pairs, st.SortOps, st.OverlapTests}
+	})
+
 	fmt.Fprintf(w, "%-12s %-6s %9s %10s %13s\n",
 		"Benchmark", "Algo", "Pairs", "SortOps", "OverlapTests")
-	for _, name := range []string{"Periodic", "Explosions", "Mix"} {
-		b, ok := workload.ByName(name)
-		if !ok {
-			continue
-		}
-		for _, algo := range []string{"SAP", "Hash"} {
-			wd := b.Build(s.Scale)
-			if algo == "SAP" {
-				wd.Broad = broadphase.NewSweepAndPrune()
-			} else {
-				wd.Broad = broadphase.NewSpatialHash()
-			}
-			for i := 0; i < 2*world.StepsPerFrame; i++ {
-				wd.Step()
-			}
-			st := wd.Broad.Stats()
+	for i, b := range benches {
+		for j, algo := range algos {
 			fmt.Fprintf(w, "%-12s %-6s %9d %10d %13d\n",
-				name, algo, wd.Profile.Pairs, st.SortOps, st.OverlapTests)
+				b.Name, algo, cells[i][j].pairs, cells[i][j].sortOps,
+				cells[i][j].overlapTests)
 		}
 	}
 	fmt.Fprintln(w, "both algorithms agree on the candidate pairs; their spatial-structure")
@@ -124,23 +170,34 @@ func (s *Suite) AblBroadphase(w io.Writer) {
 // AblIterations: the accuracy/efficiency trade-off of section 3.1 — the
 // solver iteration count against residual penetration (measured on a
 // heavy box stack, the classic convergence stressor) and solver work.
+// Each iteration count settles its own stack world, concurrently.
 func (s *Suite) AblIterations(w io.Writer) {
-	fmt.Fprintf(w, "%-6s %21s %18s\n", "Iters", "settled penetration", "island row updates")
-	for _, iters := range []int{2, 5, 10, 20, 40} {
+	iterSweep := []int{2, 5, 10, 20, 40}
+	type cell struct {
+		depth   float64
+		updates int
+	}
+	cells := make([]cell, len(iterSweep))
+	s.pool(len(iterSweep), func(i int) {
 		wd := world.New()
 		wd.AddStatic(geomPlane(), m3Zero(), qIdent())
-		for i := 0; i < 8; i++ {
-			wd.AddBody(boxShape(0.5), 10, vec(0, 0.5+float64(i)*1.0, 0), qIdent(), 0, 0)
+		for b := 0; b < 8; b++ {
+			wd.AddBody(boxShape(0.5), 10, vec(0, 0.5+float64(b)*1.0, 0), qIdent(), 0, 0)
 		}
-		wd.Solver.Iterations = iters
+		wd.Solver.Iterations = iterSweep[i]
 		updates := 0
-		for i := 0; i < 200; i++ {
+		for step := 0; step < 200; step++ {
 			wd.Step()
 			updates += wd.Profile.Solver.RowUpdates
 		}
 		// Settled penetration: worst remaining contact depth.
 		var st narrowphase.Stats = wd.Profile.Narrow
-		fmt.Fprintf(w, "%-6d %18.2f mm %18d\n", iters, st.DeepestDepth*1e3, updates)
+		cells[i] = cell{st.DeepestDepth, updates}
+	})
+
+	fmt.Fprintf(w, "%-6s %21s %18s\n", "Iters", "settled penetration", "island row updates")
+	for i, iters := range iterSweep {
+		fmt.Fprintf(w, "%-6d %18.2f mm %18d\n", iters, cells[i].depth*1e3, cells[i].updates)
 	}
 	fmt.Fprintln(w, "the paper uses 20 iterations (the ODE guide's recommendation):")
 	fmt.Fprintln(w, "fewer iterations leave deeper residual penetration in heavy stacks,")
@@ -151,24 +208,27 @@ func (s *Suite) AblIterations(w io.Writer) {
 // beyond the paper's plain iterative relaxation) against the iteration
 // count — warm starting buys the accuracy of many iterations at a
 // fraction of the solver work, shifting the Island Processing load the
-// architecture must absorb.
+// architecture must absorb. The iterations x {cold, warm} grid settles
+// its stacks concurrently.
 func (s *Suite) AblWarmstart(w io.Writer) {
-	fmt.Fprintf(w, "%-6s %22s %22s\n", "Iters", "cold penetration", "warm-start penetration")
-	for _, iters := range []int{2, 5, 10, 20} {
-		pen := func(warm bool) float64 {
-			wd := world.New()
-			wd.WarmStart = warm
-			wd.Solver.Iterations = iters
-			wd.AddStatic(geomPlane(), m3Zero(), qIdent())
-			for i := 0; i < 8; i++ {
-				wd.AddBody(boxShape(0.5), 10, vec(0, 0.5+float64(i)*1.0, 0), qIdent(), 0, 0)
-			}
-			for i := 0; i < 200; i++ {
-				wd.Step()
-			}
-			return wd.Profile.Narrow.DeepestDepth
+	iterSweep := []int{2, 5, 10, 20}
+	cells := grid(s, len(iterSweep), 2, func(r, c int) float64 {
+		wd := world.New()
+		wd.WarmStart = c == 1
+		wd.Solver.Iterations = iterSweep[r]
+		wd.AddStatic(geomPlane(), m3Zero(), qIdent())
+		for i := 0; i < 8; i++ {
+			wd.AddBody(boxShape(0.5), 10, vec(0, 0.5+float64(i)*1.0, 0), qIdent(), 0, 0)
 		}
-		fmt.Fprintf(w, "%-6d %19.2f mm %19.2f mm\n", iters, pen(false)*1e3, pen(true)*1e3)
+		for i := 0; i < 200; i++ {
+			wd.Step()
+		}
+		return wd.Profile.Narrow.DeepestDepth
+	})
+
+	fmt.Fprintf(w, "%-6s %22s %22s\n", "Iters", "cold penetration", "warm-start penetration")
+	for i, iters := range iterSweep {
+		fmt.Fprintf(w, "%-6d %19.2f mm %19.2f mm\n", iters, cells[i][0]*1e3, cells[i][1]*1e3)
 	}
 	fmt.Fprintln(w, "warm starting approaches 20-iteration accuracy with a handful of")
 	fmt.Fprintln(w, "sweeps — an engine-level lever on the FG workload size")
@@ -176,15 +236,27 @@ func (s *Suite) AblWarmstart(w io.Writer) {
 
 // RefSystem: the bottom line — the proposed ParallAX configuration
 // (4 CG cores, 12MB partitioned L2, 150 shader-class FG cores on-chip)
-// evaluated on every benchmark against the 30 FPS target.
+// evaluated on every benchmark against the 30 FPS target. The per-
+// benchmark full-system evaluations (and the 4-core CMP contrast runs)
+// fan out on the worker pool.
 func (s *Suite) RefSystem(w io.Writer) {
 	sys := parallax.Reference()
+	wls := s.Workloads()
+	type row struct {
+		b   parallax.Breakdown
+		fps float64
+	}
+	rows := make([]row, len(wls))
+	s.pool(len(wls), func(i int) {
+		rows[i] = row{wls[i].Evaluate(sys), s.cgOnly(wls[i], 4, 12, true).FPS()}
+	})
+
 	fmt.Fprintf(w, "%-12s %11s %9s %9s %10s %8s %8s\n",
 		"Benchmark", "Serial(ms)", "CG(ms)", "FG(ms)", "Total(ms)", "FPS", "30FPS?")
 	pass := 0
 	var area float64
-	for _, wl := range s.Workloads {
-		b := wl.Evaluate(sys)
+	for i, wl := range wls {
+		b := rows[i].b
 		ok := "no"
 		if b.MeetsRealTime() {
 			ok = "yes"
@@ -196,12 +268,12 @@ func (s *Suite) RefSystem(w io.Writer) {
 			b.Total()*1e3, b.FPS(), ok)
 	}
 	fmt.Fprintf(w, "%d/%d benchmarks sustain 30 FPS on %.0f mm2 at 90nm\n",
-		pass, len(s.Workloads), area)
+		pass, len(wls), area)
 	// The same workload on the 4-core conventional CMP for contrast.
 	worst := 1e18
-	for _, wl := range s.Workloads {
-		if f := s.cgOnly(wl, 4, 12, true).FPS(); f < worst {
-			worst = f
+	for i := range wls {
+		if rows[i].fps < worst {
+			worst = rows[i].fps
 		}
 	}
 	fmt.Fprintf(w, "(the conventional 4-core CMP bottoms out at %.1f FPS)\n", worst)

@@ -70,7 +70,7 @@ func (s *Suite) Fig9b(w io.Writer) {
 // Fig10a: IPC of the four core types on the three kernels, plus the
 // ideal-branch-prediction delta on Narrowphase.
 func (s *Suite) Fig10a(w io.Writer) {
-	wl := s.Workloads[0]
+	wl := s.Workloads()[0]
 	fmt.Fprintf(w, "%-10s %14s %14s %14s\n", "Core", "Narrowphase", "Island", "Cloth")
 	for _, cfg := range cpu.FGConfigs {
 		ipc := wl.KernelIPC(cfg)
@@ -108,19 +108,23 @@ func (s *Suite) Fig10b(w io.Writer) {
 		{"100%", 1.0}, {"50%", 0.5}, {"25%", 0.25}, {"12.5%", 0.125},
 		{fmt.Sprintf("sim(%.0f%%)", simBudget*100), simBudget},
 	}
+	// The budget x core-type pool sizing is a binary search per cell;
+	// evaluate the grid on the worker pool.
+	cells := grid(s, len(budgets), len(fgTypes), func(r, c int) int {
+		return wl.FGCoresFor30FPS(fgTypes[c], budgets[r].frac, link.OnChip)
+	})
 	fmt.Fprintf(w, "%-10s", "Budget")
 	for _, t := range fgTypes {
 		fmt.Fprintf(w, " %9s", t.Name)
 	}
 	fmt.Fprintln(w)
 	var simCounts []int
-	for _, b := range budgets {
+	for i, b := range budgets {
 		fmt.Fprintf(w, "%-10s", b.name)
-		for _, t := range fgTypes {
-			n := wl.FGCoresFor30FPS(t, b.frac, link.OnChip)
-			fmt.Fprintf(w, " %9d", n)
+		for j := range fgTypes {
+			fmt.Fprintf(w, " %9d", cells[i][j])
 			if b.frac == simBudget {
-				simCounts = append(simCounts, n)
+				simCounts = append(simCounts, cells[i][j])
 			}
 		}
 		fmt.Fprintln(w)
@@ -174,7 +178,7 @@ func taskTime(wl *parallax.Workload, k kernels.Kernel, ipc float64) float64 {
 func (s *Suite) Fig11(w io.Writer) {
 	fmt.Fprintf(w, "%-12s %14s %18s %14s\n",
 		"Benchmark", "Object-Pairs", "Island Processing", "Cloth")
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		p, d, v := wl.AvailableFGTasks()
 		fmt.Fprintf(w, "%-12s %14.0f %18.0f %14.0f\n", wl.Name, p, d, v)
 	}
@@ -226,7 +230,7 @@ func (s *Suite) Sec822(w io.Writer) {
 		"HTX isl<50: lost", "HTX cloth<50: lost", "PCIe isl<1710: lost")
 	avgHTX, avgCloth, avgPCIe := 0.0, 0.0, 0.0
 	n, nc := 0, 0
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		_, lost50 := wl.FilteredFGTime(cpu.Shader, 150, link.HTX, 50)
 		_, lost1710 := wl.FilteredFGTime(cpu.Shader, 150, link.PCIe, 1710)
 		clothLost, hasCloth := clothFilterLost(wl, 50)
@@ -277,7 +281,7 @@ func maxI(a, b int) int {
 func (s *Suite) Sec83(w io.Writer) {
 	fmt.Fprintf(w, "paper example (1000 objects, 10000 particles, 5000 verts): %.5f s\n",
 		parallax.PaperModel2Example())
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		fmt.Fprintf(w, "%-12s per-frame transfer %.6f s (%.2f%% of a frame)\n",
 			wl.Name, wl.Model2TransferTime(), wl.Model2TransferTime()/(1.0/30)*100)
 	}

@@ -2,6 +2,8 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 )
@@ -93,16 +95,119 @@ func TestTable7ShowsInterconnects(t *testing.T) {
 }
 
 func TestNewSuiteOf(t *testing.T) {
-	s := NewSuiteOf(0.1, "Periodic", "Ragdoll")
-	if len(s.Workloads) != 2 {
-		t.Fatalf("suite of 2 has %d workloads", len(s.Workloads))
+	s, err := NewSuiteOf(0.1, "Periodic", "Ragdoll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Workloads()); got != 2 {
+		t.Fatalf("suite of 2 has %d workloads", got)
 	}
 	if s.byName("Periodic").Name != "Periodic" {
 		t.Error("byName broken")
 	}
-	// Unknown benchmark falls back to the last workload rather than nil.
-	if s.byName("Missing") == nil {
-		t.Error("byName should fall back, not return nil")
+}
+
+func TestNewSuiteOfUnknownName(t *testing.T) {
+	_, err := NewSuiteOf(0.1, "Periodic", "NoSuchBench")
+	if err == nil {
+		t.Fatal("NewSuiteOf accepted an unknown benchmark name")
+	}
+	if !strings.Contains(err.Error(), "NoSuchBench") || !strings.Contains(err.Error(), "Mix") {
+		t.Errorf("error should name the bad benchmark and list valid ones: %v", err)
+	}
+}
+
+func TestByNameMissingPanics(t *testing.T) {
+	s, err := NewSuiteOf(0.1, "Periodic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("byName on a missing benchmark must fail loudly, not fall back")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "Missing") || !strings.Contains(msg, "Periodic") {
+			t.Errorf("panic should name the missing benchmark and the suite's contents: %v", msg)
+		}
+	}()
+	s.byName("Missing")
+}
+
+func TestLazyCapture(t *testing.T) {
+	s := NewSuite(0.1)
+	if n, _ := s.CaptureStats(); n != 0 {
+		t.Fatalf("NewSuite captured %d benchmarks eagerly; capture must be lazy", n)
+	}
+	s.byName("Periodic")
+	if n, _ := s.CaptureStats(); n != 1 {
+		t.Fatalf("byName captured %d benchmarks, want exactly 1", n)
+	}
+	s.byName("Periodic") // memoized: no second capture
+	if n, _ := s.CaptureStats(); n != 1 {
+		t.Fatalf("repeated byName re-captured: %d captures", n)
+	}
+	if got := len(s.Workloads()); got != len(Names()) {
+		t.Fatalf("Workloads returned %d workloads, want %d", got, len(Names()))
+	}
+	if n, _ := s.CaptureStats(); n != len(Names()) {
+		t.Fatalf("Workloads captured %d benchmarks, want all %d", n, len(Names()))
+	}
+}
+
+// TestRunIDsUnknown: a bad experiment id is an error listing valid ids.
+func TestRunIDsUnknown(t *testing.T) {
+	s := NewSuite(0.1)
+	err := s.RunIDs(io.Discard, "fig2a", "not-an-experiment")
+	if err == nil {
+		t.Fatal("RunIDs accepted an unknown experiment id")
+	}
+	if !strings.Contains(err.Error(), "not-an-experiment") || !strings.Contains(err.Error(), "fig10b") {
+		t.Errorf("error should name the bad id and list valid ones: %v", err)
+	}
+}
+
+// detIDs is the fast experiment subset of the golden determinism test:
+// it exercises the shared cgOnly cache from several experiments at
+// once, the per-workload pools, the grid sweeps, byName-only
+// experiments and the engine-stepping ablations.
+var detIDs = []string{
+	"table3", "fig2a", "fig2b", "fig5b", "fig6b", "fig10b",
+	"abl-partition", "abl-warmstart", "ref-system",
+}
+
+// TestParallelOutputDeterministic pins the tentpole invariant: the
+// parallel harness emits byte-identical output to a Threads=1 run,
+// excluding the "# timing:" lines. Run under -race in CI.
+func TestParallelOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(threads int) string {
+		s := NewSuite(0.25)
+		s.Threads = threads
+		var buf bytes.Buffer
+		if err := s.RunIDs(&buf, detIDs...); err != nil {
+			t.Fatal(err)
+		}
+		return StripTimings(buf.String())
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Fatalf("parallel output differs from serial run:\n--- threads=1 ---\n%s\n--- threads=8 ---\n%s",
+			serial, parallel)
+	}
+	if len(serial) < 400 {
+		t.Fatalf("suspiciously small output: %q", serial)
+	}
+}
+
+func TestStripTimings(t *testing.T) {
+	in := "row 1\n# timing: exp=fig2a wall=3ms\nrow 2\n"
+	want := "row 1\nrow 2\n"
+	if got := StripTimings(in); got != want {
+		t.Errorf("StripTimings = %q, want %q", got, want)
 	}
 }
 

@@ -19,7 +19,7 @@ func TestShapeSerialFractionSmall(t *testing.T) {
 	// Paper: serial phases average ~9% of execution.
 	s := suiteForTest(t)
 	sum, n := 0.0, 0
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		r := s.cgOnly(wl, 1, 1, false)
 		sum += r.Serial() / r.Total()
 		n++
@@ -79,7 +79,7 @@ func TestShapeCGScalingSublinearAndDecreasing(t *testing.T) {
 	// Paper Fig 5b: positive but sub-linear gains, diminishing 2->4.
 	s := suiteForTest(t)
 	g12, g24, n := 0.0, 0.0, 0.0
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		t1 := s.cgOnly(wl, 1, 12, true).Total()
 		t2 := s.cgOnly(wl, 2, 12, true).Total()
 		t4 := s.cgOnly(wl, 4, 12, true).Total()
@@ -169,7 +169,7 @@ func TestShapeFig11Ordering(t *testing.T) {
 func TestShapeReferenceSystemBeatsCMP(t *testing.T) {
 	// The proposed system must beat the 4-core CMP on every benchmark.
 	s := suiteForTest(t)
-	for _, wl := range s.Workloads {
+	for _, wl := range s.Workloads() {
 		cmp := s.cgOnly(wl, 4, 12, true).Total()
 		sys := wl.Evaluate(parallax.Reference())
 		if sys.Total() >= cmp {

@@ -1,26 +1,73 @@
 // Package exp reproduces every table and figure of the paper's
-// evaluation. Each experiment captures the benchmark workloads once
+// evaluation. Each experiment captures the benchmark workloads it needs
 // (running the real physics engine), drives the architecture models,
 // and prints the same rows/series the paper reports.
+//
+// The harness is parallel but deterministic: captures run concurrently
+// (one goroutine per benchmark, forced lazily on first use), model
+// evaluations fan out on a bounded worker pool writing into
+// index-addressed slices, and independent experiments render into
+// private buffers merged to the output in Registry order — so the
+// bytes printed are identical to a serial (Threads=1) run, except for
+// the "# timing:" lines, which report wall-clock and are excluded from
+// determinism comparisons (see StripTimings).
 package exp
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/parallax-arch/parallax/internal/arch/parallax"
 	"github.com/parallax-arch/parallax/internal/phys/workload"
 )
 
-// Suite holds the captured workloads for all eight benchmarks.
+// Suite holds the (lazily captured) workloads for the selected
+// benchmarks.
 type Suite struct {
 	// Scale is the workload scale factor (1.0 = the paper's scene
 	// sizes).
 	Scale float64
-	// Workloads in the paper's benchmark order.
-	Workloads []*parallax.Workload
+	// Threads bounds the evaluation worker pool and the number of
+	// concurrently running experiments. <= 0 means GOMAXPROCS.
+	// Threads=1 reproduces the fully serial harness.
+	Threads int
 
-	cgCache map[string]parallax.CGResult
+	// entries are the suite's benchmarks in paper order; each captures
+	// its workload at most once, on first use.
+	entries []*suiteEntry
+
+	// captureNanos accumulates per-benchmark capture CPU time.
+	captureNanos atomic.Int64
+	captured     atomic.Int64
+
+	// cgCache memoizes CG-machine evaluations with singleflight
+	// deduplication: concurrent requests for the same point block on
+	// one computation instead of repeating it.
+	cgMu    sync.Mutex
+	cgCache map[cgKey]*cgOnce
+}
+
+type suiteEntry struct {
+	bench workload.Benchmark
+	once  sync.Once
+	wl    *parallax.Workload
+}
+
+type cgKey struct {
+	name        string
+	cores, l2MB int
+	part        bool
+}
+
+type cgOnce struct {
+	once sync.Once
+	res  parallax.CGResult
 }
 
 // Names lists the benchmarks in paper order.
@@ -32,55 +79,170 @@ func Names() []string {
 	return out
 }
 
-// NewSuite builds and captures every benchmark at the given scale,
-// warming one frame and measuring three (the paper measures frames 5-7;
-// the scenes here are arranged so peak activity falls in the measured
-// window).
+// NewSuite prepares every benchmark at the given scale. Capture is
+// lazy: a world is built and simulated (one warm frame, three measured;
+// the paper measures frames 5-7 with peak activity arranged to fall in
+// the measured window) only when an experiment first asks for the
+// workload, and Workloads forces all pending captures concurrently.
 func NewSuite(scale float64) *Suite {
-	s := &Suite{Scale: scale, cgCache: make(map[string]parallax.CGResult)}
+	s := newSuite(scale)
 	for _, b := range workload.All {
-		w := b.Build(scale)
-		s.Workloads = append(s.Workloads, parallax.Capture(b.Name, w, 1, 3))
+		s.entries = append(s.entries, &suiteEntry{bench: b})
 	}
 	return s
 }
 
-// NewSuiteOf captures only the named benchmarks (used by focused
-// experiments and tests).
-func NewSuiteOf(scale float64, names ...string) *Suite {
-	s := &Suite{Scale: scale, cgCache: make(map[string]parallax.CGResult)}
+// NewSuiteOf prepares only the named benchmarks (used by focused
+// experiments and tests). Unknown names are an error listing the valid
+// benchmarks.
+func NewSuiteOf(scale float64, names ...string) (*Suite, error) {
+	s := newSuite(scale)
 	for _, n := range names {
 		b, ok := workload.ByName(n)
 		if !ok {
-			continue
+			return nil, fmt.Errorf("exp: unknown benchmark %q (valid: %s)",
+				n, strings.Join(Names(), ", "))
 		}
-		s.Workloads = append(s.Workloads, parallax.Capture(b.Name, b.Build(scale), 1, 3))
+		s.entries = append(s.entries, &suiteEntry{bench: b})
 	}
-	return s
+	return s, nil
 }
 
-// byName finds a captured workload.
+func newSuite(scale float64) *Suite {
+	return &Suite{Scale: scale, cgCache: make(map[cgKey]*cgOnce)}
+}
+
+// threads returns the effective worker-pool width.
+func (s *Suite) threads() int {
+	if s.Threads > 0 {
+		return s.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// capture forces one entry's workload.
+func (s *Suite) capture(e *suiteEntry) *parallax.Workload {
+	e.once.Do(func() {
+		t0 := time.Now()
+		e.wl = parallax.Capture(e.bench.Name, e.bench.Build(s.Scale), 1, 3)
+		s.captureNanos.Add(int64(time.Since(t0)))
+		s.captured.Add(1)
+	})
+	return e.wl
+}
+
+// Workloads forces every pending capture — concurrently, one goroutine
+// per benchmark, since the worlds are independent — and returns the
+// workloads in paper order.
+func (s *Suite) Workloads() []*parallax.Workload {
+	out := make([]*parallax.Workload, len(s.entries))
+	var wg sync.WaitGroup
+	for i, e := range s.entries {
+		wg.Add(1)
+		go func(i int, e *suiteEntry) {
+			defer wg.Done()
+			out[i] = s.capture(e)
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}
+
+// NumBenchmarks returns the number of benchmarks in the suite without
+// forcing any capture.
+func (s *Suite) NumBenchmarks() int { return len(s.entries) }
+
+// BenchNames returns the suite's benchmark names in order without
+// forcing any capture.
+func (s *Suite) BenchNames() []string {
+	out := make([]string, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.bench.Name
+	}
+	return out
+}
+
+// CaptureStats reports how many benchmarks have been captured so far
+// and the cumulative per-benchmark capture time (CPU-side sum; with
+// concurrent capture the wall-clock is lower).
+func (s *Suite) CaptureStats() (n int, total time.Duration) {
+	return int(s.captured.Load()), time.Duration(s.captureNanos.Load())
+}
+
+// byName finds (capturing if needed) a workload. A name outside the
+// suite is a harness bug or a mis-restricted -bench flag and fails
+// loudly rather than returning a stand-in workload.
 func (s *Suite) byName(name string) *parallax.Workload {
-	for _, wl := range s.Workloads {
-		if wl.Name == name {
-			return wl
+	for _, e := range s.entries {
+		if e.bench.Name == name {
+			return s.capture(e)
 		}
 	}
-	if len(s.Workloads) > 0 {
-		return s.Workloads[len(s.Workloads)-1]
-	}
-	return nil
+	panic(fmt.Sprintf("exp: benchmark %q not in suite (have: %s)",
+		name, strings.Join(s.BenchNames(), ", ")))
 }
 
 // cgOnly memoizes CG-machine evaluations, which several figures share.
+// Concurrency-safe with singleflight semantics: each (workload, cores,
+// l2MB, partitioned) point is computed exactly once even when many
+// experiment goroutines request it at the same time.
 func (s *Suite) cgOnly(wl *parallax.Workload, cores, l2MB int, part bool) parallax.CGResult {
-	key := fmt.Sprintf("%s/%d/%d/%v", wl.Name, cores, l2MB, part)
-	if r, ok := s.cgCache[key]; ok {
-		return r
+	key := cgKey{wl.Name, cores, l2MB, part}
+	s.cgMu.Lock()
+	c, ok := s.cgCache[key]
+	if !ok {
+		c = &cgOnce{}
+		s.cgCache[key] = c
 	}
-	r := wl.CGOnly(cores, l2MB, part)
-	s.cgCache[key] = r
-	return r
+	s.cgMu.Unlock()
+	c.once.Do(func() { c.res = wl.CGOnly(cores, l2MB, part) })
+	return c.res
+}
+
+// pool runs fn(0..n-1) on at most s.threads() workers and waits for all
+// of them. Callers write results into index-addressed slices so the
+// rendered output is independent of scheduling order.
+func (s *Suite) pool(n int, fn func(i int)) {
+	t := s.threads()
+	if t > n {
+		t = n
+	}
+	if t <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < t; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// grid runs fn over an rows x cols index grid on the worker pool and
+// returns the results as [row][col] — the shape of most sweep tables.
+func grid[T any](s *Suite, rows, cols int, fn func(r, c int) T) [][]T {
+	out := make([][]T, rows)
+	for r := range out {
+		out[r] = make([]T, cols)
+	}
+	s.pool(rows*cols, func(i int) {
+		r, c := i/cols, i%cols
+		out[r][c] = fn(r, c)
+	})
+	return out
 }
 
 // Experiment is one runnable table/figure reproduction.
@@ -144,11 +306,63 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment in order.
+// TimingPrefix marks harness timing lines in the output. They carry
+// wall-clock measurements and are the only nondeterministic lines the
+// harness emits; StripTimings removes them for output comparison.
+const TimingPrefix = "# timing:"
+
+// StripTimings removes "# timing:" lines, leaving the deterministic
+// experiment sections.
+func StripTimings(out string) string {
+	lines := strings.Split(out, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if !strings.HasPrefix(l, TimingPrefix) {
+			kept = append(kept, l)
+		}
+	}
+	return strings.Join(kept, "\n")
+}
+
+// RunAll executes every experiment, concurrently up to Threads, and
+// merges the sections to w in Registry order.
 func (s *Suite) RunAll(w io.Writer) {
-	for _, e := range Registry {
-		fmt.Fprintf(w, "==== %s — %s ====\n", e.ID, e.Title)
-		e.Run(s, w)
-		fmt.Fprintln(w)
+	s.run(w, Registry)
+}
+
+// RunIDs executes the named experiments (concurrently up to Threads),
+// merging output in the order given. Unknown ids are an error listing
+// the valid ids.
+func (s *Suite) RunIDs(w io.Writer, ids ...string) error {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			return fmt.Errorf("exp: unknown experiment %q (valid: %s)",
+				id, strings.Join(IDs(), ", "))
+		}
+		exps[i] = e
+	}
+	s.run(w, exps)
+	return nil
+}
+
+// run renders each experiment into its own buffer on the worker pool,
+// then writes the buffers in order with a per-experiment "# timing:"
+// line. The sections' bytes are identical whatever Threads is; only the
+// timing lines vary run to run.
+func (s *Suite) run(w io.Writer, exps []Experiment) {
+	bufs := make([]bytes.Buffer, len(exps))
+	durs := make([]time.Duration, len(exps))
+	s.pool(len(exps), func(i int) {
+		t0 := time.Now()
+		e := exps[i]
+		fmt.Fprintf(&bufs[i], "==== %s — %s ====\n", e.ID, e.Title)
+		e.Run(s, &bufs[i])
+		durs[i] = time.Since(t0)
+	})
+	for i, e := range exps {
+		w.Write(bufs[i].Bytes())
+		fmt.Fprintf(w, "%s exp=%s wall=%s\n\n", TimingPrefix, e.ID, durs[i].Round(time.Microsecond))
 	}
 }
