@@ -1,0 +1,74 @@
+// Command paraxlint runs the repository's static-invariant analyzers
+// (noalloc, determinism, floatcmp — see internal/lint) over a set of
+// package patterns and exits non-zero if any finding survives its
+// //paraxlint:allow escape hatches.
+//
+// Usage:
+//
+//	go run ./cmd/paraxlint ./...
+//	go run ./cmd/paraxlint -only noalloc ./internal/phys/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/parallax-arch/parallax/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paraxlint [-only name,...] packages...\n\nanalyzers:\n")
+		for _, a := range lint.All {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.All
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		analyzers = nil
+		for _, a := range lint.All {
+			if want[a.Name] {
+				analyzers = append(analyzers, a)
+			}
+		}
+		if len(analyzers) == 0 {
+			fmt.Fprintf(os.Stderr, "paraxlint: no analyzers match -only=%s\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paraxlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paraxlint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

@@ -10,6 +10,7 @@ package kernels
 
 import (
 	"math/rand"
+	"slices"
 
 	"github.com/parallax-arch/parallax/internal/arch/cpu"
 )
@@ -283,10 +284,19 @@ type MixSummary struct {
 	IntALU, Branch, FPAdd, FPMul, Read, Write, Other float64
 }
 
-// Summary converts a mix map into the display categories.
+// Summary converts a mix map into the display categories. Ops are
+// visited in sorted order so the floating-point category sums are
+// rounded identically on every run (map iteration order would make the
+// printed Fig 7b/9b mixes jitter in the last digit).
 func Summary(mix map[cpu.Op]float64) MixSummary {
 	var s MixSummary
-	for op, f := range mix {
+	ops := make([]cpu.Op, 0, len(mix))
+	for op := range mix {
+		ops = append(ops, op)
+	}
+	slices.Sort(ops)
+	for _, op := range ops {
+		f := mix[op]
 		switch op {
 		case cpu.IntALU, cpu.IntMul:
 			s.IntALU += f

@@ -123,7 +123,9 @@ func (s *Suite) Fig10b(w io.Writer) {
 		fmt.Fprintf(w, "%-10s", b.name)
 		for j := range fgTypes {
 			fmt.Fprintf(w, " %9d", cells[i][j])
-			if b.frac == simBudget {
+			// The simulated-budget row is the last table entry by
+			// construction; match it by position, not float equality.
+			if i == len(budgets)-1 {
 				simCounts = append(simCounts, cells[i][j])
 			}
 		}

@@ -123,7 +123,9 @@ func (s *Suite) threads() int {
 // capture forces one entry's workload.
 func (s *Suite) capture(e *suiteEntry) *parallax.Workload {
 	e.once.Do(func() {
-		t0 := time.Now()
+		// Capture wall-clock feeds only the "# timing:" diagnostics that
+		// StripTimings removes before any byte comparison.
+		t0 := time.Now() //paraxlint:allow(time)
 		e.wl = parallax.Capture(e.bench.Name, e.bench.Build(s.Scale), 1, 3)
 		s.captureNanos.Add(int64(time.Since(t0)))
 		s.captured.Add(1)
@@ -355,7 +357,9 @@ func (s *Suite) run(w io.Writer, exps []Experiment) {
 	bufs := make([]bytes.Buffer, len(exps))
 	durs := make([]time.Duration, len(exps))
 	s.pool(len(exps), func(i int) {
-		t0 := time.Now()
+		// Wall-clock goes only to the "# timing:" line below, which
+		// StripTimings filters out of determinism comparisons.
+		t0 := time.Now() //paraxlint:allow(time)
 		e := exps[i]
 		fmt.Fprintf(&bufs[i], "==== %s — %s ====\n", e.ID, e.Title)
 		e.Run(s, &bufs[i])

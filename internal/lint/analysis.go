@@ -1,0 +1,223 @@
+// Package lint is paraxlint: a suite of static analyzers that enforce
+// the repository's hot-path and determinism invariants at compile time
+// instead of benchmark time.
+//
+// The suite mirrors the golang.org/x/tools/go/analysis API (Analyzer,
+// Pass, Diagnostic) on the standard library alone — go/ast, go/types and
+// export data served by `go list -export` — because this module is
+// dependency-free by policy. Three analyzers ship today:
+//
+//   - noalloc: functions annotated `//paraxlint:noalloc` must contain no
+//     allocating constructs (see noalloc.go).
+//   - determinism: flags order-dependent map iteration, global math/rand
+//     state and wall-clock reads in the engine, model and harness
+//     packages (see determinism.go).
+//   - floatcmp: flags exact ==/!= between floating-point expressions
+//     (see floatcmp.go).
+//
+// Findings are suppressed, one source line at a time, with
+// `//paraxlint:allow(<category>)` escape hatches; an allow comment that
+// suppresses nothing is itself a finding, so waivers cannot rot.
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the checks can migrate to
+// the upstream framework wholesale if the dependency policy ever allows
+// it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CI output.
+	Name string
+	// Doc is the one-paragraph description printed by `paraxlint -help`.
+	Doc string
+	// Categories lists the //paraxlint:allow(...) categories this
+	// analyzer owns. An unused allow comment in an owned category is
+	// reported by this analyzer.
+	Categories []string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	src    map[string][]byte // filename -> source
+	diags  []Diagnostic
+	allows []*allowComment
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // allow-comment category that can suppress it
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding unless an allow comment for its category
+// covers the line it is anchored to.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
+	line := p.Fset.Position(pos).Line
+	file := p.Fset.Position(pos).Filename
+	for _, a := range p.allows {
+		if a.category == category && a.file == file && a.covers(line) {
+			a.used = true
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// allowComment is one parsed //paraxlint:allow(category) escape hatch.
+// It covers findings on its own line; a comment alone on a line covers
+// the following line instead, so waivers can sit above long expressions.
+type allowComment struct {
+	pos        token.Pos
+	file       string
+	line       int
+	standalone bool // comment is the only thing on its line
+	category   string
+	used       bool
+}
+
+func (a *allowComment) covers(line int) bool {
+	if a.standalone {
+		return line == a.line+1
+	}
+	return line == a.line
+}
+
+const allowPrefix = "//paraxlint:allow("
+
+// collectAllows parses every //paraxlint:allow(...) comment in the
+// pass's files, keeping only categories the analyzer owns.
+func (p *Pass) collectAllows() {
+	owned := make(map[string]bool, len(p.Analyzer.Categories))
+	for _, c := range p.Analyzer.Categories {
+		owned[c] = true
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Trailing text after the closing paren is the waiver's
+				// justification: //paraxlint:allow(alloc) lazy one-time cache
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				close := strings.IndexByte(rest, ')')
+				if close < 0 {
+					continue
+				}
+				cat := rest[:close]
+				if !owned[cat] {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.allows = append(p.allows, &allowComment{
+					pos:        c.Pos(),
+					file:       pos.Filename,
+					line:       pos.Line,
+					standalone: p.standalone(pos),
+					category:   cat,
+				})
+			}
+		}
+	}
+}
+
+// standalone reports whether only whitespace precedes the comment on its
+// source line (the comment sits on a line of its own).
+func (p *Pass) standalone(pos token.Position) bool {
+	src, ok := p.src[pos.Filename]
+	if !ok {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return len(strings.TrimSpace(string(src[start:pos.Offset]))) == 0
+}
+
+// finish reports any allow comment (in a category the analyzer owns)
+// that suppressed nothing: stale waivers are findings too.
+func (p *Pass) finish() {
+	for _, a := range p.allows {
+		if !a.used {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      a.pos,
+				Category: a.category,
+				Message:  fmt.Sprintf("unused //paraxlint:allow(%s) comment suppresses nothing", a.category),
+				Analyzer: p.Analyzer.Name,
+			})
+		}
+	}
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// surviving diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		src:       pkg.Src,
+	}
+	pass.collectAllows()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+	}
+	pass.finish()
+	sort.Slice(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}
+
+// All is the paraxlint suite in the order the multichecker runs it.
+var All = []*Analyzer{NoAlloc, Determinism, FloatCmp}
+
+// exprText renders an expression back to source text, for structural
+// matching of destinations (append-in-place, sort-after-range).
+func exprText(pass *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, pass.Fset, e)
+	return buf.String()
+}
+
+// hasDirective reports whether a function's doc comment carries the
+// given //paraxlint: directive (e.g. "noalloc", "tolerance").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//paraxlint:" + directive
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/lint"
+	"github.com/parallax-arch/parallax/internal/lint/linttest"
+)
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, lint.NoAlloc, filepath.Join("testdata", "noalloc"))
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, filepath.Join("testdata", "determinism"))
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, lint.FloatCmp, filepath.Join("testdata", "floatcmp"))
+}
+
+// TestAllowSemantics pins the escape-hatch contract: an allow comment
+// suppresses findings on exactly one line, and an unused allow is itself
+// a finding (see testdata/allow).
+func TestAllowSemantics(t *testing.T) {
+	linttest.Run(t, lint.NoAlloc, filepath.Join("testdata", "allow"))
+}
+
+// TestTreeClean runs the full suite over the whole module, making
+// `go test` subsume `go run ./cmd/paraxlint ./...`: a deliberate
+// allocation in an annotated hot-path function, or a fresh unsorted
+// map-range print, fails this test.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := lint.Load("github.com/parallax-arch/parallax/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		for _, a := range lint.All {
+			diags, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package linttest is a golden-file test harness for paraxlint
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest:
+// fixture packages under testdata annotate the lines where diagnostics
+// are expected with trailing `// want "regexp"` comments, and Run
+// reports both missing and unexpected diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/lint"
+)
+
+// wantBlockRe finds a `want "..." "..."` expectation list anywhere in a
+// comment (so a want can also trail a //paraxlint:allow comment under
+// test); wantRe then extracts the individual quoted strings.
+var (
+	wantBlockRe = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+	wantRe      = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+// Run type-checks the fixture package in dir, applies the analyzer, and
+// matches its diagnostics against the fixture's `// want` comments: each
+// diagnostic must match a want on its line, and every want must be
+// matched by some diagnostic.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	pkg, err := lint.TypeCheck("paraxlint.test/"+filepath.Base(dir), files)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+	diags, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				block := wantBlockRe.FindStringSubmatch(c.Text)
+				if block == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(block[1], -1) {
+					unquoted, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want string %q: %v", pos, m[1], err)
+					}
+					re, err := regexp.Compile(unquoted)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unquoted, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, text: unquoted,
+					})
+				}
+			}
+		}
+	}
+
+	var unexpected []string
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s", pos, d.Message))
+		}
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis. It is
+// the subset of golang.org/x/tools/go/packages.Package the analyzers
+// need, built from `go list -export` plus the standard library's parser,
+// type checker and gc export-data importer.
+type Package struct {
+	Path      string
+	Name      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Src       map[string][]byte // filename -> source, for line-level allow comments
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader reads.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// exportLookup serves compiled export data by import path, backed by
+// `go list -export`. It is safe for concurrent use and lazily extends
+// itself for paths (standard library fixtures imports, for example) that
+// were not part of the original query.
+type exportLookup struct {
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	f, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		// Not in the original -deps closure (a fixture importing a
+		// stdlib package the repo itself never uses): list it on demand.
+		pkgs, err := goList(path)
+		if err != nil {
+			return nil, fmt.Errorf("lookup %s: %w", path, err)
+		}
+		l.add(pkgs)
+		l.mu.Lock()
+		f, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %s", path)
+		}
+	}
+	return os.Open(f)
+}
+
+func (l *exportLookup) add(pkgs []listedPackage) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// sharedLookup is the process-wide export-data cache: analyzer tests and
+// the multichecker all funnel through it so each dependency is listed at
+// most once.
+var sharedLookup = &exportLookup{exports: map[string]string{}}
+
+// goList runs `go list -e -export -deps -json` over the patterns and
+// decodes the package stream.
+func goList(patterns ...string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists, parses and type-checks the packages matching the patterns
+// (dependencies are consumed as export data, not re-checked). Test files
+// are excluded: the invariants paraxlint enforces are production-code
+// contracts, and tests legitimately print, time and randomize.
+func Load(patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	sharedLookup.add(pkgs)
+	var out []*Package
+	for _, p := range pkgs {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		lp, err := TypeCheck(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// TypeCheck parses and type-checks one package from explicit file paths.
+// It is the shared core of Load and the analyzer test harness (which
+// points it at testdata fixtures).
+func TypeCheck(path string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	src := make(map[string][]byte, len(filenames))
+	for _, fn := range filenames {
+		b, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		src[fn] = b
+		f, err := parser.ParseFile(fset, fn, b, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", sharedLookup.lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Name:      tpkg.Name(),
+		Fset:      fset,
+		Files:     files,
+		Src:       src,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

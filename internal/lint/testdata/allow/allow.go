@@ -1,0 +1,35 @@
+// Package allow pins the //paraxlint:allow escape-hatch semantics:
+// an allow comment suppresses findings on exactly one line (its own for
+// the inline form, the next for the standalone form), and an allow that
+// suppresses nothing is itself reported.
+package allow
+
+// warm allocates twice; the inline waiver covers only the first line,
+// so the second make is still reported.
+//
+//paraxlint:noalloc
+func warm(n int) int {
+	a := make([]int, n) //paraxlint:allow(alloc) one-time warm-up buffer
+	b := make([]int, n) // want "call to make allocates"
+	return len(a) + len(b)
+}
+
+// above uses the standalone form: a comment alone on its line covers
+// the following line only.
+//
+//paraxlint:noalloc
+func above(n int) int {
+	//paraxlint:allow(alloc) capacity growth, amortized away
+	c := make([]int, n)
+	d := make([]int, n) // want "call to make allocates"
+	return len(c) + len(d)
+}
+
+// stale carries a waiver with nothing to suppress: the waiver itself is
+// the finding, so escape hatches cannot rot.
+//
+//paraxlint:noalloc
+func stale(x int) int {
+	y := x + 1 //paraxlint:allow(alloc) nothing allocates here -- want "unused .*allow.* comment suppresses nothing"
+	return y
+}

@@ -1,0 +1,46 @@
+// Package floatcmp exercises the floatcmp analyzer: exact ==/!= between
+// floating-point expressions, the literal-zero exemption, and the
+// //paraxlint:tolerance escape hatch.
+package floatcmp
+
+const half = 0.5
+
+func exactEq(a, b float64) bool {
+	return a == b // want "exact =="
+}
+
+func exactNeq(a, b float32) bool {
+	return a != b // want "exact !="
+}
+
+func constCmp(a float64) bool {
+	return a == half // want "exact =="
+}
+
+func zeroCmp(a float64) bool {
+	return a == 0 // touched-at-all test: allowed
+}
+
+func zeroNeq(a float64) bool {
+	return a != 0.0 // literal float zero: allowed
+}
+
+func intCmp(a, b int) bool {
+	return a == b // integers compare exactly: allowed
+}
+
+// approxEq is the tolerance helper: the one place exact float compares
+// belong, exempted wholesale by the directive.
+//
+//paraxlint:tolerance
+func approxEq(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps || a == b
+}
+
+func waived(a, b float64) bool {
+	return a == b //paraxlint:allow(floatcmp) bit-exact golden comparison
+}

@@ -1,0 +1,109 @@
+// Package noalloc exercises the noalloc analyzer. Only functions
+// annotated //paraxlint:noalloc are checked; every flagged line carries
+// a `// want` expectation matched by the linttest harness.
+package noalloc
+
+import "fmt"
+
+// S is a carrier for append-in-place and boxing cases.
+type S struct {
+	buf   []int
+	iface interface{}
+}
+
+// Grow exists to be taken as a method value.
+func (s *S) Grow() {}
+
+func unannotated() []int {
+	return make([]int, 8) // unchecked: no noalloc directive
+}
+
+//paraxlint:noalloc
+func builtins(s *S, n int) {
+	s.buf = append(s.buf, n)              // grow-in-place: allowed
+	fresh := append([]int(nil), s.buf...) // want "append may allocate"
+	_ = fresh
+	b := make([]byte, n) // want "call to make allocates"
+	_ = b
+	p := new(S) // want "call to new allocates"
+	_ = p
+}
+
+//paraxlint:noalloc
+func literals(n int) {
+	lit := []int{1, 2, 3} // want "slice literal allocates"
+	_ = lit
+	m := map[int]bool{} // want "map literal allocates"
+	_ = m
+	ptr := &S{} // want "composite literal allocates"
+	_ = ptr
+	plain := S{buf: nil} // plain struct value: no allocation
+	_ = plain
+}
+
+//paraxlint:noalloc
+func closures(n int) func() int {
+	f := func() int { return 0 } // static closure: allowed
+	_ = f
+	g := func() int { return n } // want "captures variables"
+	return g
+}
+
+//paraxlint:noalloc
+func methodValue(s *S) {
+	f := s.Grow // want "bound-method closure"
+	_ = f
+	s.Grow() // direct call: allowed
+}
+
+func sink(x interface{}) {}
+
+//paraxlint:noalloc
+func boxing(s *S, v int, p *S) {
+	s.iface = v // want "boxes int"
+	s.iface = p // pointer-shaped: allowed
+	s.iface = nil
+	sink(v) // want "boxes int"
+	sink(p) // pointer fits the interface word: allowed
+}
+
+//paraxlint:noalloc
+func strs(a, b string, bs []byte) string {
+	c := a + b      // want "string concatenation allocates"
+	d := string(bs) // want "conversion .* allocates"
+	_ = d
+	return c
+}
+
+func vsum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//paraxlint:noalloc
+func variadic(pre []int) {
+	_ = vsum(1, 2)   // want "variadic call allocates"
+	_ = vsum(pre...) // spread of a prepared slice: allowed
+	_ = vsum()       // empty list passes nil: allowed
+}
+
+//paraxlint:noalloc
+func printing(n int) {
+	fmt.Println(n) // want "call to fmt.Println allocates"
+}
+
+//paraxlint:noalloc
+func spawn() {
+	go vsum(nil...) // want "goroutine stack"
+}
+
+// returnAppend hands the possibly-regrown slice back to the caller, the
+// same amortized pattern as x = append(x, ...): not flagged.
+//
+//paraxlint:noalloc
+func returnAppend(dst []int, v int) []int {
+	return append(dst, v)
+}

@@ -71,18 +71,26 @@ func (b *Body) SetMass(mass float64, inertia m3.Mat) {
 
 // InvInertiaWorld returns the inverse inertia tensor rotated into the
 // world frame: R * Iinv * R^T.
+//
+//paraxlint:noalloc
 func (b *Body) InvInertiaWorld() m3.Mat {
 	r := b.Rot.Mat()
 	return r.Mul(b.InvInertia).Mul(r.Transpose())
 }
 
 // AddForce accumulates a world-frame force through the center of mass.
+//
+//paraxlint:noalloc
 func (b *Body) AddForce(f m3.Vec) { b.Force = b.Force.Add(f) }
 
 // AddTorque accumulates a world-frame torque.
+//
+//paraxlint:noalloc
 func (b *Body) AddTorque(t m3.Vec) { b.Torque = b.Torque.Add(t) }
 
 // AddForceAt accumulates a world-frame force applied at world point p.
+//
+//paraxlint:noalloc
 func (b *Body) AddForceAt(f, p m3.Vec) {
 	b.Force = b.Force.Add(f)
 	b.Torque = b.Torque.Add(p.Sub(b.Pos).Cross(f))
@@ -90,6 +98,8 @@ func (b *Body) AddForceAt(f, p m3.Vec) {
 
 // ApplyImpulse changes velocity instantaneously by a world impulse j
 // applied at world point p.
+//
+//paraxlint:noalloc
 func (b *Body) ApplyImpulse(j, p m3.Vec) {
 	b.LinVel = b.LinVel.Add(j.Scale(b.InvMass))
 	b.AngVel = b.AngVel.Add(b.InvInertiaWorld().MulVec(p.Sub(b.Pos).Cross(j)))
@@ -97,12 +107,16 @@ func (b *Body) ApplyImpulse(j, p m3.Vec) {
 
 // VelocityAt returns the world velocity of the material point of b at
 // world position p.
+//
+//paraxlint:noalloc
 func (b *Body) VelocityAt(p m3.Vec) m3.Vec {
 	return b.LinVel.Add(b.AngVel.Cross(p.Sub(b.Pos)))
 }
 
 // IntegrateVelocity applies the accumulated forces over dt using
 // semi-implicit Euler, then clears the accumulators.
+//
+//paraxlint:noalloc
 func (b *Body) IntegrateVelocity(dt float64) {
 	if b.InvMass == 0 || !b.Enabled {
 		b.ClearAccumulators()
@@ -115,6 +129,8 @@ func (b *Body) IntegrateVelocity(dt float64) {
 
 // IntegratePosition advances position and orientation over dt from the
 // current velocities.
+//
+//paraxlint:noalloc
 func (b *Body) IntegratePosition(dt float64) {
 	if b.InvMass == 0 || !b.Enabled {
 		return
@@ -124,6 +140,8 @@ func (b *Body) IntegratePosition(dt float64) {
 }
 
 // ClearAccumulators zeroes the force and torque accumulators.
+//
+//paraxlint:noalloc
 func (b *Body) ClearAccumulators() {
 	b.Force = m3.Zero
 	b.Torque = m3.Zero
@@ -140,6 +158,8 @@ const (
 // UpdateSleep advances the body's sleep state by dt and returns whether
 // the body is now asleep. Immovable bodies never sleep (they are never
 // integrated anyway).
+//
+//paraxlint:noalloc
 func (b *Body) UpdateSleep(dt float64) bool {
 	if b.InvMass == 0 || !b.Enabled {
 		return false
@@ -159,6 +179,8 @@ func (b *Body) UpdateSleep(dt float64) bool {
 }
 
 // Wake clears the sleep state.
+//
+//paraxlint:noalloc
 func (b *Body) Wake() {
 	b.Asleep = false
 	b.idleTime = 0

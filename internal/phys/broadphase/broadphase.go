@@ -50,6 +50,8 @@ type Interface interface {
 }
 
 // shouldPair applies the engine-level pair filter plus the AABB test.
+//
+//paraxlint:noalloc
 func shouldPair(a, b *geom.Geom) bool {
 	return geom.ShouldCollide(a, b) && a.Box.Overlaps(b.Box)
 }
@@ -78,11 +80,13 @@ func NewSweepAndPrune() *SweepAndPrune { return &SweepAndPrune{} }
 func (s *SweepAndPrune) Stats() Stats { return s.stats }
 
 // Pairs implements Interface.
+//
+//paraxlint:noalloc
 func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 	s.stats = Stats{}
 	s.gen++
 	if len(s.mark) < len(geoms) {
-		grown := make([]uint32, len(geoms))
+		grown := make([]uint32, len(geoms)) //paraxlint:allow(alloc) capacity growth, amortized
 		copy(grown, s.mark)
 		s.mark = grown
 	}
@@ -164,13 +168,15 @@ func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 // coherence makes the serial phase cheap, and the counter must not
 // inflate the Fig 2b/3a instruction and memory streams when no work
 // happened).
+//
+//paraxlint:noalloc
 func (s *SweepAndPrune) insertionSort(geoms []*geom.Geom) {
-	key := func(id int32) float64 { return geoms[id].Box.Min.Comp(s.axis) }
+	axis := s.axis
 	for i := 1; i < len(s.order); i++ {
 		v := s.order[i]
-		kv := key(v)
+		kv := geoms[v].Box.Min.Comp(axis)
 		j := i - 1
-		for j >= 0 && key(s.order[j]) > kv {
+		for j >= 0 && geoms[s.order[j]].Box.Min.Comp(axis) > kv {
 			s.order[j+1] = s.order[j]
 			j--
 			s.stats.SortOps++
@@ -179,6 +185,7 @@ func (s *SweepAndPrune) insertionSort(geoms []*geom.Geom) {
 	}
 }
 
+//paraxlint:noalloc
 func bestAxis(geoms []*geom.Geom, order []int32) int {
 	if len(order) == 0 {
 		return 0
@@ -204,6 +211,7 @@ func bestAxis(geoms []*geom.Geom, order []int32) int {
 	return axis
 }
 
+//paraxlint:noalloc
 func appendPair(dst []Pair, a, b int32) []Pair {
 	if a > b {
 		a, b = b, a
@@ -242,6 +250,7 @@ func NewSpatialHash() *SpatialHash {
 // Stats implements Interface.
 func (h *SpatialHash) Stats() Stats { return h.stats }
 
+//paraxlint:noalloc
 func cellKey(x, y, z int32) uint64 {
 	// Morton-ish mix of the three signed cell coordinates.
 	const p1, p2, p3 = 73856093, 19349663, 83492791
@@ -249,6 +258,8 @@ func cellKey(x, y, z int32) uint64 {
 }
 
 // Pairs implements Interface.
+//
+//paraxlint:noalloc
 func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 	h.stats = Stats{}
 	h.entries = h.entries[:0]
@@ -363,6 +374,11 @@ func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 	return dst
 }
 
+// fastFloor truncates toward negative infinity. The != below is an
+// exact-representation check (did int conversion lose anything), not a
+// value comparison, so it is a legitimate exact float compare.
+//
+//paraxlint:tolerance
 func fastFloor(x float64) int {
 	i := int(x)
 	if x < 0 && float64(i) != x {
@@ -373,6 +389,8 @@ func fastFloor(x float64) int {
 
 // sortPairs orders pairs deterministically; determinism keeps
 // simulation results reproducible across runs and thread counts.
+//
+//paraxlint:noalloc
 func sortPairs(p []Pair) {
 	slices.SortFunc(p, func(a, b Pair) int {
 		if a.A != b.A {

@@ -120,6 +120,8 @@ func (c *Cloth) PinToBody(p, bodyIdx int32, local m3.Vec) {
 }
 
 // UpdateBox refreshes the cloth bounding volume, expanded by thickness.
+//
+//paraxlint:noalloc
 func (c *Cloth) UpdateBox() {
 	box := m3.EmptyAABB()
 	for i := range c.Particles {
@@ -132,6 +134,8 @@ func (c *Cloth) UpdateBox() {
 // Integrate performs the Verlet step for all particles under the given
 // acceleration (typically gravity). Each vertex is independent — this is
 // the cloth phase's fine-grain parallelism.
+//
+//paraxlint:noalloc
 func (c *Cloth) Integrate(dt float64, accel m3.Vec) {
 	st := &c.LastStats
 	*st = Stats{}
@@ -150,6 +154,8 @@ func (c *Cloth) Integrate(dt float64, accel m3.Vec) {
 }
 
 // Relax runs the constraint relaxation sweeps.
+//
+//paraxlint:noalloc
 func (c *Cloth) Relax() {
 	st := &c.LastStats
 	for it := 0; it < c.Iterations; it++ {
@@ -176,6 +182,8 @@ func (c *Cloth) Relax() {
 // CollideGeom projects penetrating particles out of a rigid geom. Fast
 // vertices (moving more than the geom's extent) are ray cast from their
 // previous position to catch tunneling.
+//
+//paraxlint:noalloc
 func (c *Cloth) CollideGeom(g *geom.Geom) {
 	st := &c.LastStats
 	if !c.Box.Overlaps(g.Box) {
@@ -210,6 +218,8 @@ func (c *Cloth) CollideGeom(g *geom.Geom) {
 // that its implied velocity loses the normal component entirely and a
 // Friction fraction of the tangential component (the vertex projection
 // scheme's contact response).
+//
+//paraxlint:noalloc
 func (c *Cloth) applyFriction(p *Particle, n m3.Vec) {
 	vel := p.Pos.Sub(p.Prev)
 	vt := vel.Sub(n.Scale(vel.Dot(n)))
@@ -217,6 +227,8 @@ func (c *Cloth) applyFriction(p *Particle, n m3.Vec) {
 }
 
 // projectOut pushes a single particle out of the geom if penetrating.
+//
+//paraxlint:noalloc
 func (c *Cloth) projectOut(p *Particle, g *geom.Geom) {
 	switch s := g.Shape.(type) {
 	case geom.Sphere:
@@ -284,6 +296,8 @@ func (c *Cloth) projectOut(p *Particle, g *geom.Geom) {
 
 // closestOnBox is like the narrow-phase helper but keeps interior
 // resolution on the surface.
+//
+//paraxlint:noalloc
 func closestOnBox(p m3.Vec, g *geom.Geom, b geom.Box) (m3.Vec, bool) {
 	l := g.Rot.TMulVec(p.Sub(g.Pos))
 	inside := true
@@ -316,6 +330,7 @@ func closestOnBox(p m3.Vec, g *geom.Geom, b geom.Box) (m3.Vec, bool) {
 	return g.Rot.MulVec(cl).Add(g.Pos), inside
 }
 
+//paraxlint:noalloc
 func closestPointTri(p, a, b, cc m3.Vec) m3.Vec {
 	// Delegate to the same math as the narrow phase (re-derived here to
 	// avoid exporting internals): project onto the plane, clamp to edges.
@@ -359,6 +374,8 @@ func closestPointTri(p, a, b, cc m3.Vec) m3.Vec {
 
 // SatisfyPins re-seats pinned particles; bodyPose returns the world pose
 // of a body index.
+//
+//paraxlint:noalloc
 func (c *Cloth) SatisfyPins(bodyPose func(int32) (m3.Vec, m3.Quat)) {
 	for _, pin := range c.Pins {
 		pos, rot := bodyPose(pin.Body)

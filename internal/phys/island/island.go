@@ -108,6 +108,8 @@ type Builder struct {
 }
 
 // find returns the set representative of x with path compression.
+//
+//paraxlint:noalloc
 func (b *Builder) find(x int32) int32 {
 	root := x
 	for b.parent[root] != root {
@@ -121,6 +123,8 @@ func (b *Builder) find(x int32) int32 {
 }
 
 // union merges the sets containing a and b.
+//
+//paraxlint:noalloc
 func (b *Builder) union(x, y int32) {
 	rx, ry := b.find(x), b.find(y)
 	if rx == ry {
@@ -151,15 +155,23 @@ func (b *Builder) addIsland() *Island {
 	return &b.islands[len(b.islands)-1]
 }
 
+// on reports whether i is a valid, active body index for this Build.
+//
+//paraxlint:noalloc
+func (b *Builder) on(i int32) bool { return i >= 0 && b.act[i] }
+
 // Build implements the same grouping as the package-level Build over
 // reused storage. The result is deterministic: islands appear in order
 // of their lowest body index, members in ascending order.
+//
+//paraxlint:noalloc
 func (b *Builder) Build(numBodies int, edges []Edge, active func(int32) bool) ([]Island, int) {
 	if cap(b.parent) < numBodies {
-		b.parent = make([]int32, numBodies)
-		b.rank = make([]int8, numBodies)
-		b.act = make([]bool, numBodies)
-		b.slot = make([]int32, numBodies)
+		// Capacity growth to the largest body count seen, then reused.
+		b.parent = make([]int32, numBodies) //paraxlint:allow(alloc)
+		b.rank = make([]int8, numBodies)    //paraxlint:allow(alloc)
+		b.act = make([]bool, numBodies)     //paraxlint:allow(alloc)
+		b.slot = make([]int32, numBodies)   //paraxlint:allow(alloc)
 	}
 	b.parent = b.parent[:numBodies]
 	b.rank = b.rank[:numBodies]
@@ -173,9 +185,8 @@ func (b *Builder) Build(numBodies int, edges []Edge, active func(int32) bool) ([
 		b.slot[i] = 0
 		b.act[i] = active(i)
 	}
-	on := func(i int32) bool { return i >= 0 && b.act[i] }
 	for _, e := range edges {
-		if on(e.A) && on(e.B) {
+		if b.on(e.A) && b.on(e.B) {
 			b.union(e.A, e.B)
 		}
 	}
@@ -197,9 +208,9 @@ func (b *Builder) Build(numBodies int, edges []Edge, active func(int32) bool) ([
 	for _, e := range edges {
 		var owner int32 = -1
 		switch {
-		case on(e.A):
+		case b.on(e.A):
 			owner = e.A
-		case on(e.B):
+		case b.on(e.B):
 			owner = e.B
 		default:
 			continue

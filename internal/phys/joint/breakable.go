@@ -26,6 +26,8 @@ func NewBreakable(j Joint, threshold, fatigueLimit float64) *Breakable {
 }
 
 // Rows implements Joint; broken joints produce nothing.
+//
+//paraxlint:noalloc
 func (b *Breakable) Rows(bs []*body.Body, p Params, idx int32, dst []Row) []Row {
 	if b.Broken {
 		return dst
@@ -34,6 +36,8 @@ func (b *Breakable) Rows(bs []*body.Body, p Params, idx int32, dst []Row) []Row 
 }
 
 // NumRows implements Joint.
+//
+//paraxlint:noalloc
 func (b *Breakable) NumRows() int {
 	if b.Broken {
 		return 0
@@ -43,6 +47,8 @@ func (b *Breakable) NumRows() int {
 
 // ApplyLoad records the constraint force magnitude from one step and
 // returns true if the joint just broke.
+//
+//paraxlint:noalloc
 func (b *Breakable) ApplyLoad(force float64) bool {
 	if b.Broken {
 		return false

@@ -34,6 +34,8 @@ type Stats struct {
 // Collide computes the contact manifold for the pair (a, b) and appends
 // it to dst. Pairs involving blast volumes or cloth proxies produce no
 // rigid contacts here; the engine handles them separately.
+//
+//paraxlint:noalloc
 func Collide(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	if st != nil {
 		st.PairsTested++
@@ -63,6 +65,7 @@ func Collide(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	return dst
 }
 
+//paraxlint:noalloc
 func collideOrdered(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	switch a.Shape.Kind() {
 	case geom.KindSphere:
@@ -143,12 +146,14 @@ func flipped(fn func(a, b *geom.Geom, dst []Contact, st *Stats) []Contact) func(
 	}
 }
 
+//paraxlint:noalloc
 func primTest(st *Stats) {
 	if st != nil {
 		st.PrimTests++
 	}
 }
 
+//paraxlint:noalloc
 func triTest(st *Stats) {
 	if st != nil {
 		st.TriTests++
@@ -157,6 +162,7 @@ func triTest(st *Stats) {
 
 // ---- sphere pairs ----
 
+//paraxlint:noalloc
 func sphereSphere(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -179,6 +185,7 @@ func sphereSphere(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
+//paraxlint:noalloc
 func sphereBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -206,6 +213,7 @@ func sphereBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
+//paraxlint:noalloc
 func sphereCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -233,6 +241,7 @@ func sphereCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
+//paraxlint:noalloc
 func spherePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -253,6 +262,7 @@ func spherePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 
 // ---- capsule pairs ----
 
+//paraxlint:noalloc
 func capsuleCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ca := a.Shape.(geom.Capsule)
@@ -278,6 +288,7 @@ func capsuleCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
+//paraxlint:noalloc
 func capsulePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ca := a.Shape.(geom.Capsule)
@@ -298,6 +309,7 @@ func capsulePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	return dst
 }
 
+//paraxlint:noalloc
 func boxCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ba := a.Shape.(geom.Box)
@@ -343,6 +355,7 @@ func boxCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 
 // ---- box pairs ----
 
+//paraxlint:noalloc
 func boxPlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ba := a.Shape.(geom.Box)
@@ -370,6 +383,8 @@ func boxPlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 
 // capManifold keeps at most MaxContactsPerPair deepest contacts among
 // dst[start:].
+//
+//paraxlint:noalloc
 func capManifold(dst []Contact, start int) []Contact {
 	n := len(dst) - start
 	if n <= MaxContactsPerPair {

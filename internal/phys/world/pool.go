@@ -38,6 +38,8 @@ func newPool(n int) *pool {
 // post enqueues fn(worker, arg) for every arg. It is the single place
 // in the engine that pairs wg.Add with the worker-side wg.Done; every
 // parallel phase funnels through it via World.dispatch.
+//
+//paraxlint:noalloc
 func (p *pool) post(fn func(worker, arg int), args []int32) {
 	p.wg.Add(len(args))
 	for _, a := range args {
@@ -46,6 +48,8 @@ func (p *pool) post(fn func(worker, arg int), args []int32) {
 }
 
 // wait blocks until all posted tasks have completed.
+//
+//paraxlint:noalloc
 func (p *pool) wait() { p.wg.Wait() }
 
 // close stops the workers.
@@ -74,6 +78,8 @@ func (w *World) ensurePool() *pool {
 // fn(worker, arg) for every queued arg on the pool workers and
 // fn(0, arg) for every main arg on the calling goroutine, returning when
 // everything has completed. With Threads <= 1 all work runs inline.
+//
+//paraxlint:noalloc
 func (w *World) dispatch(fn func(worker, arg int), queued, main []int32) {
 	p := w.ensurePool()
 	if p == nil {
@@ -98,6 +104,8 @@ func (w *World) dispatch(fn func(worker, arg int), queued, main []int32) {
 // per worker thread). Chunk indices — not worker ids — are passed to fn
 // so per-chunk result buffers merge deterministically whatever worker
 // ran them.
+//
+//paraxlint:noalloc
 func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
 	t := w.Threads
 	if t <= 1 || n == 0 {
@@ -112,7 +120,7 @@ func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
 	sc.chunkSize = (n + t - 1) / t
 	sc.chunkN = n
 	if w.runChunkFn == nil {
-		w.runChunkFn = w.runChunk
+		w.runChunkFn = w.runChunk //paraxlint:allow(alloc) bound once, reused every step
 	}
 	q := sc.chunkIdx[:0]
 	for i := 1; i < t; i++ {
@@ -128,6 +136,8 @@ func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
 
 // runChunk adapts one chunk index to the chunk function set by
 // parallelChunks.
+//
+//paraxlint:noalloc
 func (w *World) runChunk(_, chunk int) {
 	sc := &w.scratch
 	lo := chunk * sc.chunkSize

@@ -85,11 +85,14 @@ type frameScratch struct {
 
 // beginStep resizes the arena for the current scene, reusing all prior
 // capacity.
+//
+//paraxlint:noalloc
 func (sc *frameScratch) beginStep(threads, numJoints int) {
 	if threads < 1 {
 		threads = 1
 	}
 	if cap(sc.narrow) < threads {
+		//paraxlint:allow(alloc) capacity growth, amortized to zero in steady state
 		sc.narrow = append(sc.narrow[:cap(sc.narrow)], make([]narrowEvents, threads-cap(sc.narrow))...)
 	}
 	sc.narrow = sc.narrow[:threads]
@@ -103,7 +106,7 @@ func (sc *frameScratch) beginStep(threads, numJoints int) {
 	}
 	sc.contacts = sc.contacts[:0]
 	if sc.seenExpl == nil {
-		sc.seenExpl = make(map[int32]bool)
+		sc.seenExpl = make(map[int32]bool) //paraxlint:allow(alloc) lazy one-time map
 	}
 	clear(sc.seenExpl)
 	sc.edges = sc.edges[:0]
@@ -112,7 +115,9 @@ func (sc *frameScratch) beginStep(threads, numJoints int) {
 	clear(sc.jointLoad)
 
 	if cap(sc.rows) < threads {
+		//paraxlint:allow(alloc) capacity growth, amortized to zero in steady state
 		sc.rows = append(sc.rows[:cap(sc.rows)], make([][]joint.Row, threads-cap(sc.rows))...)
+		//paraxlint:allow(alloc) capacity growth, amortized to zero in steady state
 		sc.ws = append(sc.ws[:cap(sc.ws)], make([]solver.Workspace, threads-cap(sc.ws))...)
 	}
 	sc.rows = sc.rows[:threads]
@@ -120,6 +125,8 @@ func (sc *frameScratch) beginStep(threads, numJoints int) {
 }
 
 // beginIslands sizes the per-island and per-contact working sets.
+//
+//paraxlint:noalloc
 func (sc *frameScratch) beginIslands(numIslands, numContacts int, warm bool) {
 	sc.solverStats = growStats(sc.solverStats, numIslands)
 	for i := range sc.solverStats {
@@ -135,7 +142,7 @@ func (sc *frameScratch) beginIslands(numIslands, numContacts int, warm bool) {
 		sc.warmLambda = growFloat(sc.warmLambda, numContacts*joint.RowsPerContact)
 		clear(sc.warmLambda)
 		if sc.ordCount == nil {
-			sc.ordCount = make(map[uint64]int32)
+			sc.ordCount = make(map[uint64]int32) //paraxlint:allow(alloc) lazy one-time map
 		}
 		clear(sc.ordCount)
 	}
@@ -143,30 +150,34 @@ func (sc *frameScratch) beginIslands(numIslands, numContacts int, warm bool) {
 	sc.main = sc.main[:0]
 }
 
+//paraxlint:noalloc
 func growFloat(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //paraxlint:allow(alloc) capacity growth, amortized
 	}
 	return s[:n]
 }
 
+//paraxlint:noalloc
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
-		return make([]int32, n)
+		return make([]int32, n) //paraxlint:allow(alloc) capacity growth, amortized
 	}
 	return s[:n]
 }
 
+//paraxlint:noalloc
 func growUint64(s []uint64, n int) []uint64 {
 	if cap(s) < n {
-		return make([]uint64, n)
+		return make([]uint64, n) //paraxlint:allow(alloc) capacity growth, amortized
 	}
 	return s[:n]
 }
 
+//paraxlint:noalloc
 func growStats(s []solver.Stats, n int) []solver.Stats {
 	if cap(s) < n {
-		return make([]solver.Stats, n)
+		return make([]solver.Stats, n) //paraxlint:allow(alloc) capacity growth, amortized
 	}
 	return s[:n]
 }

@@ -21,6 +21,8 @@ const StepsPerFrame = 3
 // allocation-free: all per-step working storage lives in the World's
 // scratch arena and is reused across steps (see DESIGN.md
 // "Scratch-arena memory model").
+//
+//paraxlint:noalloc
 func (w *World) Step() {
 	w.Profile.reset()
 	prof := &w.Profile
@@ -54,7 +56,7 @@ func (w *World) Step() {
 	// its own contact buffer (the engine modification described in the
 	// paper that removes ODE's single-joint-group serialization).
 	if w.narrowFn == nil {
-		w.narrowFn = w.narrowChunk
+		w.narrowFn = w.narrowChunk //paraxlint:allow(alloc) bound once, reused every step
 	}
 	w.parallelChunks(len(w.pairBuf), w.narrowFn)
 
@@ -96,19 +98,13 @@ func (w *World) Step() {
 	// Wake sleeping bodies hit by something that is actually moving;
 	// resting contacts must not keep bodies awake forever.
 	if w.EnableSleep {
-		moving := func(bi int) bool {
-			b := w.Bodies[bi]
-			return !b.Asleep &&
-				(b.LinVel.Len2() > body.SleepLinVel*body.SleepLinVel ||
-					b.AngVel.Len2() > body.SleepAngVel*body.SleepAngVel)
-		}
 		for i := range contacts {
 			c := &contacts[i]
 			ba, bb := w.Geoms[c.A].Body, w.Geoms[c.B].Body
-			if ba >= 0 && w.Bodies[ba].Asleep && bb >= 0 && moving(bb) {
+			if ba >= 0 && w.Bodies[ba].Asleep && bb >= 0 && w.bodyMoving(bb) {
 				w.Bodies[ba].Wake()
 			}
-			if bb >= 0 && w.Bodies[bb].Asleep && ba >= 0 && moving(ba) {
+			if bb >= 0 && w.Bodies[bb].Asleep && ba >= 0 && w.bodyMoving(ba) {
 				w.Bodies[bb].Wake()
 			}
 		}
@@ -135,6 +131,7 @@ func (w *World) Step() {
 	}
 	sc.edges = edges
 	if w.activeFn == nil {
+		//paraxlint:allow(alloc) closure built once, reused every step
 		w.activeFn = func(i int32) bool {
 			b := w.Bodies[i]
 			return b.Enabled && b.InvMass > 0 && !b.Asleep
@@ -152,17 +149,18 @@ func (w *World) Step() {
 	if w.RecordDetail {
 		// Detail copies are freshly allocated: they are retained by the
 		// architecture model far beyond this step, so they must not alias
-		// the scratch arena.
-		prof.PairList = append([]broadphase.Pair(nil), w.pairBuf...)
-		prof.ContactGeoms = make([][2]int32, len(contacts))
+		// the scratch arena. RecordDetail is a capture-mode flag, never
+		// set on the real-time path, hence the allocation waivers.
+		prof.PairList = append([]broadphase.Pair(nil), w.pairBuf...) //paraxlint:allow(alloc)
+		prof.ContactGeoms = make([][2]int32, len(contacts))          //paraxlint:allow(alloc)
 		for i := range contacts {
 			prof.ContactGeoms[i] = [2]int32{contacts[i].A, contacts[i].B}
 		}
-		prof.IslandBodies = make([][]int32, len(islands))
-		prof.IslandRowsOf = make([][]int32, len(islands))
+		prof.IslandBodies = make([][]int32, len(islands)) //paraxlint:allow(alloc)
+		prof.IslandRowsOf = make([][]int32, len(islands)) //paraxlint:allow(alloc)
 		for i, is := range islands {
-			prof.IslandBodies[i] = append([]int32(nil), is.Bodies...)
-			prof.IslandRowsOf[i] = append([]int32(nil), is.Joints...)
+			prof.IslandBodies[i] = append([]int32(nil), is.Bodies...) //paraxlint:allow(alloc)
+			prof.IslandRowsOf[i] = append([]int32(nil), is.Joints...) //paraxlint:allow(alloc)
 		}
 	}
 
@@ -181,7 +179,7 @@ func (w *World) Step() {
 			sc.ordCount[k]++
 		}
 		if w.warmCache == nil {
-			w.warmCache = make(map[warmKey][joint.RowsPerContact]float64)
+			w.warmCache = make(map[warmKey][joint.RowsPerContact]float64) //paraxlint:allow(alloc) lazy one-time cache
 		}
 	}
 
@@ -193,7 +191,7 @@ func (w *World) Step() {
 		}
 	}
 	if w.islandFn == nil {
-		w.islandFn = w.solveIsland
+		w.islandFn = w.solveIsland //paraxlint:allow(alloc) bound once, reused every step
 	}
 	w.dispatch(w.islandFn, sc.queued, sc.main)
 
@@ -260,7 +258,13 @@ func (w *World) Step() {
 			prof.ClothVerts = append(prof.ClothVerts, w.Cloths[ci].NumVertices())
 		}
 		if w.clothFn == nil {
-			w.clothFn = w.stepCloth
+			w.clothFn = w.stepCloth //paraxlint:allow(alloc) bound once, reused every step
+		}
+		if w.poseFn == nil {
+			// Bound here, on the serial path, so the concurrent cloth
+			// workers never bind it themselves (a per-call method value
+			// would also allocate on every cloth step).
+			w.poseFn = w.bodyPose //paraxlint:allow(alloc) bound once, reused every step
 		}
 		w.dispatch(w.clothFn, sc.clothIdx, nil)
 		for i := range sc.clothStats {
@@ -294,6 +298,8 @@ func (w *World) Step() {
 
 // narrowChunk is the narrow-phase worker: it tests one chunk of the
 // candidate pair list, writing into that chunk's event buffers.
+//
+//paraxlint:noalloc
 func (w *World) narrowChunk(chunk, lo, hi int) {
 	e := &w.scratch.narrow[chunk]
 	for _, pr := range w.pairBuf[lo:hi] {
@@ -345,6 +351,8 @@ func (w *World) narrowChunk(chunk, lo, hi int) {
 // worker's workspace, and position integration. Islands touch disjoint
 // bodies, joints and contacts, so concurrent island solves never share
 // mutable state.
+//
+//paraxlint:noalloc
 func (w *World) solveIsland(worker, idx int) {
 	sc := &w.scratch
 	is := &sc.islands[idx]
@@ -391,9 +399,11 @@ func (w *World) solveIsland(worker, idx int) {
 }
 
 // stepCloth forward-steps one cloth object.
+//
+//paraxlint:noalloc
 func (w *World) stepCloth(_, ci int) {
 	c := w.Cloths[ci]
-	c.SatisfyPins(w.bodyPose)
+	c.SatisfyPins(w.poseFn)
 	c.Integrate(w.Dt, w.Gravity)
 	c.Relax()
 	for _, gi := range w.clothContacts[ci] {
@@ -406,7 +416,21 @@ func (w *World) stepCloth(_, ci int) {
 	w.scratch.clothStats[ci] = c.LastStats
 }
 
+// bodyMoving reports whether a body is awake and above the sleep speed
+// thresholds — the "is the thing that hit me actually moving" test for
+// waking sleeping bodies.
+//
+//paraxlint:noalloc
+func (w *World) bodyMoving(bi int) bool {
+	b := w.Bodies[bi]
+	return !b.Asleep &&
+		(b.LinVel.Len2() > body.SleepLinVel*body.SleepLinVel ||
+			b.AngVel.Len2() > body.SleepAngVel*body.SleepAngVel)
+}
+
 // bodyPose reports a body's pose for cloth pinning.
+//
+//paraxlint:noalloc
 func (w *World) bodyPose(bi int32) (m3.Vec, m3.Quat) {
 	b := w.Bodies[bi]
 	return b.Pos, b.Rot

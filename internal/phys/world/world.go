@@ -132,6 +132,7 @@ type World struct {
 	clothFn    func(worker, arg int)
 	runChunkFn func(worker, arg int)
 	activeFn   func(int32) bool
+	poseFn     func(int32) (m3.Vec, m3.Quat)
 }
 
 // New returns an empty world with the paper's default parameters:
