@@ -149,19 +149,28 @@ func wallRubbleWorld(threads int, warmStart bool) *World {
 // BenchmarkStep measures one steady-state Step on the wall/rubble
 // scene; ReportAllocs makes allocs/op the tracked regression metric
 // (the hot loop must not churn the GC — the engine is both the workload
-// and the profiler feeding the architecture model).
+// and the profiler feeding the architecture model). The traced variants
+// run with the span tracer and metrics registry attached: the
+// observability layer's contract is that recording costs ring-buffer
+// writes and atomic adds only, so allocs/op must stay 0 there too.
 func BenchmarkStep(b *testing.B) {
 	for _, cfg := range []struct {
 		name    string
 		threads int
 		warm    bool
+		traced  bool
 	}{
-		{"threads=1", 1, false},
-		{"threads=4", 4, false},
-		{"threads=1/warmstart", 1, true},
+		{"threads=1", 1, false, false},
+		{"threads=4", 4, false, false},
+		{"threads=1/warmstart", 1, true, false},
+		{"threads=1/traced", 1, false, true},
+		{"threads=4/traced", 4, false, true},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			w := wallRubbleWorld(cfg.threads, cfg.warm)
+			if cfg.traced {
+				w.SetObs(NewTracer(), NewMetrics(), "bench")
+			}
 			for i := 0; i < 120; i++ { // settle into steady state
 				w.Step()
 			}

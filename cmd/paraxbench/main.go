@@ -9,19 +9,31 @@
 // sections merge to stdout in paper order — byte-identical to a
 // -threads=1 run except for the "# timing:" lines.
 //
+// Observability: -trace exports the run's span timeline (engine phases,
+// architecture models, harness captures/experiments) as Chrome
+// trace-event JSON for Perfetto (ui.perfetto.dev); -metrics writes the
+// deterministic text snapshot of the run's counters. -cpuprofile,
+// -memprofile and -pprof expose the standard Go profilers.
+//
 // Usage:
 //
 //	paraxbench -list
 //	paraxbench -exp fig10b
 //	paraxbench -exp all -scale 1.0 -threads 8
 //	paraxbench -exp fig2a,fig2b -scale 0.5 -bench Explosions,Mix
+//	paraxbench -exp all -scale 0.25 -trace trace.json -metrics metrics.txt
+//	paraxbench -exp all -cpuprofile cpu.pprof -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,7 +48,12 @@ func main() {
 			"harness worker threads (1 = fully serial; default GOMAXPROCS)")
 		bench = flag.String("bench", "",
 			"comma list of benchmarks to restrict the suite to (default: all)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		traceFile  = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `file`")
+		metricsOut = flag.String("metrics", "", "write the metrics snapshot to `file`")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+		memProfile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -54,6 +71,27 @@ func main() {
 	if *threads < 1 {
 		fmt.Fprintf(os.Stderr, "invalid -threads %d: must be >= 1\n", *threads)
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "# pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	s := exp.NewSuite(*scale)
@@ -88,4 +126,32 @@ func main() {
 	fmt.Printf("# timing: capture benchmarks=%d cpu=%s\n", captured, captureTime.Round(time.Millisecond))
 	fmt.Printf("# timing: total experiments=%d threads=%d wall=%s\n",
 		len(ids), *threads, time.Since(t0).Round(time.Millisecond))
+
+	if *traceFile != "" {
+		writeTo(*traceFile, s.Tracer().WriteTrace)
+	}
+	if *metricsOut != "" {
+		writeTo(*metricsOut, s.Metrics().WriteSnapshot)
+	}
+	if *memProfile != "" {
+		runtime.GC()
+		writeTo(*memProfile, pprof.WriteHeapProfile)
+	}
+}
+
+// writeTo creates path and streams write into it, exiting on error.
+func writeTo(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

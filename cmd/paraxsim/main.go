@@ -2,21 +2,35 @@
 // per-phase workload statistics: pairs, contacts, islands, fine-grain
 // task counts, and the modeled per-frame instruction totals.
 //
+// Observability: -trace exports the run's engine phase/worker spans
+// (and, with -eval, the architecture-model spans) as Chrome trace-event
+// JSON for Perfetto (ui.perfetto.dev); -metrics writes the text
+// snapshot of the run's counters. -cpuprofile, -memprofile and -pprof
+// expose the standard Go profilers.
+//
 // Usage:
 //
 //	paraxsim -bench Mix -frames 5 -scale 1.0 -threads 4
+//	paraxsim -bench Explosions -trace trace.json -metrics metrics.txt
+//	paraxsim -bench Mix -cpuprofile cpu.pprof -pprof localhost:6060
 //	paraxsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
 	"github.com/parallax-arch/parallax/internal/arch/kernels"
 	archpx "github.com/parallax-arch/parallax/internal/arch/parallax"
+	"github.com/parallax-arch/parallax/internal/obs"
 	"github.com/parallax-arch/parallax/internal/phys/workload"
 	"github.com/parallax-arch/parallax/internal/phys/world"
 )
@@ -29,6 +43,12 @@ func main() {
 		threads = flag.Int("threads", 1, "worker threads for parallel phases")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		eval    = flag.Bool("eval", false, "also evaluate the ParallAX reference system on this benchmark")
+
+		traceFile  = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `file`")
+		metricsOut = flag.String("metrics", "", "write the metrics snapshot to `file`")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+		memProfile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -45,9 +65,36 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "# pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// One tracer + registry observe the interactive run; exports are
+	// written at exit when -trace/-metrics name files.
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+
 	fmt.Printf("building %s at scale %.2f...\n", b.Name, *scale)
 	w := b.Build(*scale)
 	w.Threads = *threads
+	w.SetObs(tr, reg, "engine/"+b.Name)
 	fmt.Printf("bodies=%d geoms=%d joints=%d cloths=%d\n",
 		len(w.Bodies), len(w.Geoms), len(w.Joints), len(w.Cloths))
 
@@ -93,11 +140,42 @@ func main() {
 
 	if *eval {
 		fmt.Println("\nevaluating the ParallAX reference system (4 CG + 12MB partitioned L2 + 150 shaders on-chip)...")
-		wl := archpx.Capture(b.Name, b.Build(*scale), 1, 3)
+		ew := b.Build(*scale)
+		ew.SetObs(tr, reg, "engine/eval/"+b.Name)
+		wl := archpx.Capture(b.Name, ew, 1, 3)
+		wl.SetObs(tr, reg, "arch/"+b.Name)
 		bd := wl.Evaluate(archpx.Reference())
 		fmt.Printf("  serial %.2f ms + CG %.2f ms + FG %.2f ms = %.2f ms (%.1f FPS, %t for 30 FPS)\n",
 			bd.SerialTime*1e3, bd.CGParallelTime*1e3, bd.FGTime*1e3,
 			bd.Total()*1e3, bd.FPS(), bd.MeetsRealTime())
 		fmt.Printf("  estimated area: %.0f mm2 at 90nm\n", bd.AreaMM2)
+	}
+
+	if *traceFile != "" {
+		writeTo(*traceFile, tr.WriteTrace)
+	}
+	if *metricsOut != "" {
+		writeTo(*metricsOut, reg.WriteSnapshot)
+	}
+	if *memProfile != "" {
+		runtime.GC()
+		writeTo(*memProfile, pprof.WriteHeapProfile)
+	}
+}
+
+// writeTo creates path and streams write into it, exiting on error.
+func writeTo(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -40,6 +40,15 @@ type Result struct {
 	// in their submitter's home group.
 	LocalityFraction float64
 	TasksRun         int
+	// QueueDepthSum accumulates, over scheduling decisions, the number
+	// of tasks still waiting in the deciding arbiter's visible queues at
+	// the moment a core was assigned work (including the task being
+	// scheduled); MaxQueueDepth is the deepest such backlog. Static
+	// arbiters see only their own group's queue; a dynamic arbiter scans
+	// every CG queue. Both are exact integers, so the observability
+	// layer can aggregate them deterministically.
+	QueueDepthSum int64
+	MaxQueueDepth int
 }
 
 // coreHeap orders FG cores by availability time.
@@ -94,7 +103,12 @@ func simulateStatic(nCG, nFG int, queues [][]Task) Result {
 		}
 		h := make(coreHeap, cores)
 		heap.Init(&h)
-		for _, t := range queues[g] {
+		for ti, t := range queues[g] {
+			depth := len(queues[g]) - ti
+			res.QueueDepthSum += int64(depth)
+			if depth > res.MaxQueueDepth {
+				res.MaxQueueDepth = depth
+			}
 			it := heap.Pop(&h).(coreItem)
 			it.free += t.Compute
 			totalWork += t.Compute
@@ -124,8 +138,14 @@ func simulateDynamic(nCG, nFG int, queues [][]Task) Result {
 	}
 	heap.Init(&h)
 
+	remaining := 0
+	for _, q := range queues {
+		remaining += len(q)
+	}
+
 	var totalWork, makespan float64
 	local, run := 0, 0
+	var res Result
 	for {
 		pickable := false
 		for cg := 0; cg < nCG && !pickable; cg++ {
@@ -136,6 +156,11 @@ func simulateDynamic(nCG, nFG int, queues [][]Task) Result {
 		if !pickable {
 			break
 		}
+		res.QueueDepthSum += int64(remaining)
+		if remaining > res.MaxQueueDepth {
+			res.MaxQueueDepth = remaining
+		}
+		remaining--
 		it := heap.Pop(&h).(coreItem)
 		grp := groupOf(it.id)
 		pick := -1
@@ -160,7 +185,7 @@ func simulateDynamic(nCG, nFG int, queues [][]Task) Result {
 		heap.Push(&h, it)
 	}
 
-	res := Result{Makespan: makespan, TasksRun: run}
+	res.Makespan, res.TasksRun = makespan, run
 	if makespan > 0 {
 		res.Utilization = totalWork / (float64(nFG) * makespan)
 	}

@@ -112,6 +112,7 @@ func sharedOverlap(k kernels.Kernel) float64 {
 // common to sibling tasks crosses the interconnect once per cluster
 // instead of once per core. cluster = 1 reproduces the baseline design.
 func (wl *Workload) FGTimeSharedLocal(fg cpu.Config, nFG int, lk link.Kind, cluster int) FGResult {
+	obsStart := wl.obs.tr.Now()
 	var res FGResult
 	if nFG < 1 {
 		return res
@@ -173,6 +174,14 @@ func (wl *Workload) FGTimeSharedLocal(fg cpu.Config, nFG int, lk link.Kind, clus
 		res.ComputeTime += compute
 		res.CommTime += comm
 	}
+	// Link occupancy: modeled FG compute vs exposed communication time,
+	// in integer nanoseconds so concurrent accumulation stays
+	// deterministic.
+	if r := wl.obs.reg; r != nil {
+		r.Add(wl.obs.linkComputeNs, int64(res.ComputeTime*1e9))
+		r.Add(wl.obs.linkCommNs, int64(res.CommTime*1e9))
+	}
+	wl.obs.lane.Complete(wl.obs.fgSpan, obsStart)
 	return res
 }
 

@@ -69,6 +69,7 @@ func (m MemResult) TotalL2Misses() (user, kernel uint64) {
 // stall cycles. The solver's and cloth's iterative sweeps are sampled
 // (cold + steady) and scaled by the iteration count.
 func (wl *Workload) SimulateMemory(cfg MemConfig) MemResult {
+	obsStart := wl.obs.tr.Now()
 	if cfg.Cores < 1 {
 		cfg.Cores = 1
 	}
@@ -231,6 +232,21 @@ func (wl *Workload) SimulateMemory(cfg MemConfig) MemResult {
 			})
 		}
 	}
+	if r := wl.obs.reg; r != nil {
+		var l1h, l1m uint64
+		for _, l1 := range h.L1s {
+			l1h += l1.Stats.Hits
+			l1m += l1.Stats.Misses
+		}
+		r.Add(wl.obs.l1Hits, int64(l1h))
+		r.Add(wl.obs.l1Misses, int64(l1m))
+		l2 := &h.L2.Stats
+		r.Add(wl.obs.l2Hits, int64(l2.Hits))
+		r.Add(wl.obs.l2Misses, int64(l2.Misses))
+		r.Add(wl.obs.l2Writebacks, int64(l2.Writebacks))
+		r.Add(wl.obs.l2Invals, int64(l2.Invalidations))
+	}
+	wl.obs.lane.Complete(wl.obs.memsimSpan, obsStart)
 	return res
 }
 

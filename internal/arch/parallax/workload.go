@@ -16,6 +16,7 @@ import (
 	"github.com/parallax-arch/parallax/internal/arch/cpu"
 	"github.com/parallax-arch/parallax/internal/arch/kernels"
 	"github.com/parallax-arch/parallax/internal/arch/mem"
+	"github.com/parallax-arch/parallax/internal/obs"
 	"github.com/parallax-arch/parallax/internal/phys/world"
 )
 
@@ -36,6 +37,55 @@ type Workload struct {
 	// singleflight semantics for concurrent evaluation.
 	ipcMu    sync.Mutex
 	ipcCache map[cpu.Config]*ipcOnce
+
+	// obs holds the workload's observability hooks (SetObs); zero when
+	// observability is off.
+	obs wobs
+}
+
+// wobs carries the workload's tracer lane and pre-registered metric IDs
+// for the architecture models. Model evaluations run concurrently from
+// the harness worker pool, so spans go to a shared lane as Complete
+// records (B/E nesting cannot be guaranteed across goroutines) and all
+// metrics are commutative integer adds.
+type wobs struct {
+	tr   *obs.Tracer
+	reg  *obs.Registry
+	lane *obs.Lane
+
+	memsimSpan obs.SpanID
+	fgSpan     obs.SpanID
+
+	l1Hits, l1Misses          obs.CounterID
+	l2Hits, l2Misses          obs.CounterID
+	l2Writebacks, l2Invals    obs.CounterID
+	linkComputeNs, linkCommNs obs.CounterID
+}
+
+// SetObs attaches an observability sink to the workload's architecture
+// models: SimulateMemory records the cache hierarchy's hit/miss/
+// writeback/invalidation totals and a complete "memsim" span on the
+// lane named label; the FG interconnect model records its per-call
+// compute and exposed-communication time (in integer nanoseconds, so
+// the totals stay deterministic) and a "fg-model" span. Either argument
+// may be nil.
+func (wl *Workload) SetObs(tr *obs.Tracer, reg *obs.Registry, label string) {
+	wl.obs = wobs{tr: tr, reg: reg}
+	if tr != nil {
+		wl.obs.lane = tr.Lane(label, obs.DefaultLaneEvents)
+		wl.obs.memsimSpan = tr.Span("memsim")
+		wl.obs.fgSpan = tr.Span("fg-model")
+	}
+	if reg != nil {
+		wl.obs.l1Hits = reg.Counter("arch/cache/l1_hits")
+		wl.obs.l1Misses = reg.Counter("arch/cache/l1_misses")
+		wl.obs.l2Hits = reg.Counter("arch/cache/l2_hits")
+		wl.obs.l2Misses = reg.Counter("arch/cache/l2_misses")
+		wl.obs.l2Writebacks = reg.Counter("arch/cache/l2_writebacks")
+		wl.obs.l2Invals = reg.Counter("arch/cache/l2_invalidations")
+		wl.obs.linkComputeNs = reg.Counter("arch/link/compute_ns")
+		wl.obs.linkCommNs = reg.Counter("arch/link/comm_ns")
+	}
 }
 
 type ipcOnce struct {
@@ -175,9 +225,7 @@ func (wl *Workload) LargestClothVerts() int {
 func (wl *Workload) IslandDOFsSorted() []int {
 	var out []int
 	for i := range wl.Frame.Steps {
-		for _, is := range wl.Frame.Steps[i].Islands {
-			out = append(out, is.DOF)
-		}
+		out = wl.Frame.Steps[i].AppendIslandDOFs(out)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(out)))
 	return out

@@ -221,6 +221,13 @@ func (s *Suite) Sec721(w io.Writer) {
 	d := arbiter.Simulate(arbiter.Dynamic, nCG, nd, queues)
 	fmt.Fprintf(w, "dynamic utilization %.0f%%, locality %.0f%%\n",
 		d.Utilization*100, d.LocalityFraction*100)
+	// Arbiter queue-depth accounting for the observability snapshot:
+	// exact integers from a deterministic simulation, so the metrics
+	// stay thread-count invariant.
+	reg := s.Metrics()
+	reg.Add(reg.Counter("arch/arbiter/tasks_run"), int64(d.TasksRun))
+	reg.Add(reg.Counter("arch/arbiter/queue_depth_sum"), d.QueueDepthSum)
+	reg.SetGauge(reg.Gauge("arch/arbiter/max_queue_depth"), float64(d.MaxQueueDepth))
 }
 
 // Sec822: filtering small islands and cloths to hide off-chip latency.

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// obsIDs is the experiment subset of the observability tests: fig2a
+// drives the CG memory simulation (memsim spans, cache counters),
+// fig10b the FG model (fg-model spans, link counters) and sec721 the
+// arbiter simulation (queue-depth metrics) — all on the Mix benchmark,
+// so a single-benchmark suite exercises every instrumented layer.
+var obsIDs = []string{"fig2a", "fig10b", "sec721"}
+
+func obsSuite(t *testing.T, threads int) *Suite {
+	t.Helper()
+	s, err := NewSuiteOf(0.25, "Mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Threads = threads
+	if err := s.RunIDs(io.Discard, obsIDs...); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+type suiteTraceEvent struct {
+	Ph   string  `json:"ph"`
+	Name string  `json:"name"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+type suiteTraceDoc struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	TraceEvents     []suiteTraceEvent `json:"traceEvents"`
+}
+
+// TestSuiteTraceCoversRun is the acceptance-criteria trace test: a
+// scale-0.25 suite run exports valid Chrome trace-event JSON whose
+// spans cover all five engine phases, the architecture models, and the
+// harness's own capture/experiment spans.
+func TestSuiteTraceCoversRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := obsSuite(t, 4)
+
+	var buf bytes.Buffer
+	if err := s.Tracer().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc suiteTraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	seen := map[string]bool{}
+	lastTs := map[int]float64{}
+	stacks := map[int][]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		seen[e.Name] = true
+		switch e.Ph {
+		case "B", "E":
+			// B/E events are recorded at their own timestamps, so each
+			// lane's stream is nondecreasing. Complete (X) records carry
+			// their start time but land in completion order — Perfetto
+			// sorts by ts — so they are exempt.
+			if ts, ok := lastTs[e.Tid]; ok && e.Ts < ts {
+				t.Fatalf("tid %d timestamps not monotonic: %f after %f (%s)", e.Tid, e.Ts, ts, e.Name)
+			}
+			lastTs[e.Tid] = e.Ts
+			if e.Ph == "B" {
+				stacks[e.Tid] = append(stacks[e.Tid], e.Name)
+				break
+			}
+			st := stacks[e.Tid]
+			if len(st) == 0 || st[len(st)-1] != e.Name {
+				t.Fatalf("tid %d: E %q does not match open span stack %v", e.Tid, e.Name, st)
+			}
+			stacks[e.Tid] = st[:len(st)-1]
+		case "X":
+			if e.Dur < 0 {
+				t.Errorf("X event %q has negative duration %f", e.Name, e.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("tid %d exported unbalanced spans, still open: %v", tid, st)
+		}
+	}
+
+	// The five engine pipeline phases, the two architecture models, and
+	// the harness's own spans must all appear in one export.
+	want := []string{
+		"step", "broadphase", "narrowphase", "island-creation",
+		"island-processing", "cloth",
+		"memsim", "fg-model",
+		"capture:Mix", "exp:fig2a", "exp:fig10b", "exp:sec721",
+	}
+	for _, name := range want {
+		if !seen[name] {
+			t.Errorf("trace missing span %q", name)
+		}
+	}
+}
+
+// TestSuiteMetricsThreadCountDeterminism pins satellite (d): the
+// metrics snapshot of a run — engine counters, cache/link/arbiter
+// model counters, harness memo and pool counters — is byte-identical
+// whatever the harness thread count is.
+func TestSuiteMetricsThreadCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	snap := func(threads int) string {
+		return obsSuite(t, threads).Metrics().Snapshot()
+	}
+	serial := snap(1)
+	parallel := snap(8)
+	if serial != parallel {
+		t.Fatalf("metrics snapshot differs across thread counts:\n--- threads=1 ---\n%s\n--- threads=8 ---\n%s",
+			serial, parallel)
+	}
+	for _, name := range []string{
+		"counter engine/steps",
+		"counter arch/cache/l1_hits",
+		"counter arch/link/compute_ns",
+		"counter arch/arbiter/tasks_run",
+		"gauge arch/arbiter/max_queue_depth",
+		"counter harness/pool_tasks",
+		"counter harness/cg_requests",
+		"hist engine/island_dof",
+	} {
+		if !strings.Contains(serial, name) {
+			t.Errorf("snapshot missing %q:\n%s", name, serial)
+		}
+	}
+}

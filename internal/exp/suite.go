@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/parallax-arch/parallax/internal/arch/parallax"
+	"github.com/parallax-arch/parallax/internal/obs"
 	"github.com/parallax-arch/parallax/internal/phys/workload"
 )
 
@@ -51,6 +52,22 @@ type Suite struct {
 	// one computation instead of repeating it.
 	cgMu    sync.Mutex
 	cgCache map[cgKey]*cgOnce
+
+	// Observability (lazily initialized): one tracer and one metrics
+	// registry shared by the harness, every captured engine world, and
+	// the architecture models, so a single export shows the whole run.
+	// The harness's own spans — per-benchmark captures, per-experiment
+	// runs — go to a shared lane as Complete records (they finish on
+	// whatever pool worker ran them), and those spans are the single
+	// timing source behind both the trace export and the "# timing:"
+	// output lines.
+	obsOnce    sync.Once
+	trace      *obs.Tracer
+	metrics    *obs.Registry
+	hLane      *obs.Lane
+	poolTasks  obs.CounterID
+	cgRequests obs.CounterID
+	cgComputed obs.CounterID
 }
 
 type suiteEntry struct {
@@ -112,6 +129,40 @@ func newSuite(scale float64) *Suite {
 	return &Suite{Scale: scale, cgCache: make(map[cgKey]*cgOnce)}
 }
 
+// obsInit creates the suite's shared observability sinks.
+func (s *Suite) obsInit() {
+	s.obsOnce.Do(func() {
+		s.trace = obs.NewTracer()
+		s.metrics = obs.NewRegistry()
+		s.hLane = s.trace.Lane("harness", 2048)
+		s.poolTasks = s.metrics.Counter("harness/pool_tasks")
+		s.cgRequests = s.metrics.Counter("harness/cg_requests")
+		s.cgComputed = s.metrics.Counter("harness/cg_computed")
+	})
+}
+
+// Tracer returns the suite's span tracer: harness capture/experiment
+// spans, every captured world's engine phase spans, and the arch-model
+// spans all land here. Export with Tracer().WriteTrace.
+func (s *Suite) Tracer() *obs.Tracer {
+	s.obsInit()
+	return s.trace
+}
+
+// Metrics returns the suite's metrics registry. Every value in it is a
+// commutative integer aggregate of deterministic per-call values, so
+// Metrics().Snapshot() is byte-identical whatever Threads is.
+func (s *Suite) Metrics() *obs.Registry {
+	s.obsInit()
+	return s.metrics
+}
+
+// harnessLane returns the shared lane carrying capture/experiment spans.
+func (s *Suite) harnessLane() *obs.Lane {
+	s.obsInit()
+	return s.hLane
+}
+
 // threads returns the effective worker-pool width.
 func (s *Suite) threads() int {
 	if s.Threads > 0 {
@@ -120,14 +171,21 @@ func (s *Suite) threads() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// capture forces one entry's workload.
+// capture forces one entry's workload. The captured world and the
+// resulting workload's architecture models are wired to the suite's
+// shared tracer and registry, and the whole capture is one span whose
+// duration also feeds CaptureStats — wall-clock reaches only span
+// timestamps and "# timing:" diagnostics, both of which StripTimings
+// and the snapshot exclude from determinism comparisons.
 func (s *Suite) capture(e *suiteEntry) *parallax.Workload {
 	e.once.Do(func() {
-		// Capture wall-clock feeds only the "# timing:" diagnostics that
-		// StripTimings removes before any byte comparison.
-		t0 := time.Now() //paraxlint:allow(time)
-		e.wl = parallax.Capture(e.bench.Name, e.bench.Build(s.Scale), 1, 3)
-		s.captureNanos.Add(int64(time.Since(t0)))
+		tr := s.Tracer()
+		start := tr.Now()
+		w := e.bench.Build(s.Scale)
+		w.SetObs(tr, s.Metrics(), "engine/"+e.bench.Name)
+		e.wl = parallax.Capture(e.bench.Name, w, 1, 3)
+		e.wl.SetObs(tr, s.Metrics(), "arch/"+e.bench.Name)
+		s.captureNanos.Add(s.harnessLane().Complete(tr.Span("capture:"+e.bench.Name), start))
 		s.captured.Add(1)
 	})
 	return e.wl
@@ -189,6 +247,10 @@ func (s *Suite) byName(name string) *parallax.Workload {
 // l2MB, partitioned) point is computed exactly once even when many
 // experiment goroutines request it at the same time.
 func (s *Suite) cgOnly(wl *parallax.Workload, cores, l2MB int, part bool) parallax.CGResult {
+	// Memo hit rate = 1 - cg_computed/cg_requests. Both counts are
+	// deterministic under singleflight: requests is the fixed number of
+	// call sites executed, computed is the number of unique keys.
+	s.Metrics().Add(s.cgRequests, 1)
 	key := cgKey{wl.Name, cores, l2MB, part}
 	s.cgMu.Lock()
 	c, ok := s.cgCache[key]
@@ -197,7 +259,10 @@ func (s *Suite) cgOnly(wl *parallax.Workload, cores, l2MB int, part bool) parall
 		s.cgCache[key] = c
 	}
 	s.cgMu.Unlock()
-	c.once.Do(func() { c.res = wl.CGOnly(cores, l2MB, part) })
+	c.once.Do(func() {
+		s.metrics.Add(s.cgComputed, 1)
+		c.res = wl.CGOnly(cores, l2MB, part)
+	})
 	return c.res
 }
 
@@ -205,6 +270,7 @@ func (s *Suite) cgOnly(wl *parallax.Workload, cores, l2MB int, part bool) parall
 // of them. Callers write results into index-addressed slices so the
 // rendered output is independent of scheduling order.
 func (s *Suite) pool(n int, fn func(i int)) {
+	s.Metrics().Add(s.poolTasks, int64(n))
 	t := s.threads()
 	if t > n {
 		t = n
@@ -352,21 +418,24 @@ func (s *Suite) RunIDs(w io.Writer, ids ...string) error {
 // run renders each experiment into its own buffer on the worker pool,
 // then writes the buffers in order with a per-experiment "# timing:"
 // line. The sections' bytes are identical whatever Threads is; only the
-// timing lines vary run to run.
+// timing lines vary run to run. Each experiment is one "exp:<id>" span
+// on the harness lane; the span's measured duration is also what the
+// timing line prints, so the trace export and the text output share one
+// source of truth.
 func (s *Suite) run(w io.Writer, exps []Experiment) {
 	bufs := make([]bytes.Buffer, len(exps))
-	durs := make([]time.Duration, len(exps))
+	durs := make([]int64, len(exps))
 	s.pool(len(exps), func(i int) {
-		// Wall-clock goes only to the "# timing:" line below, which
-		// StripTimings filters out of determinism comparisons.
-		t0 := time.Now() //paraxlint:allow(time)
+		tr := s.Tracer()
+		start := tr.Now()
 		e := exps[i]
 		fmt.Fprintf(&bufs[i], "==== %s — %s ====\n", e.ID, e.Title)
 		e.Run(s, &bufs[i])
-		durs[i] = time.Since(t0)
+		durs[i] = s.harnessLane().Complete(tr.Span("exp:"+e.ID), start)
 	})
 	for i, e := range exps {
 		w.Write(bufs[i].Bytes())
-		fmt.Fprintf(w, "%s exp=%s wall=%s\n\n", TimingPrefix, e.ID, durs[i].Round(time.Microsecond))
+		fmt.Fprintf(w, "%s exp=%s wall=%s\n\n", TimingPrefix, e.ID,
+			time.Duration(durs[i]).Round(time.Microsecond))
 	}
 }

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// traceDoc mirrors the exported Chrome trace-event JSON for parsing.
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	Name string  `json:"name"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+func exportDoc(t *testing.T, tr *Tracer) traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+// checkBalanced walks one tid's B/E events with a stack: every E must
+// close the innermost open B of the same name, timestamps must be
+// nondecreasing, and nothing may remain open.
+func checkBalanced(t *testing.T, events []traceEvent) {
+	t.Helper()
+	var stack []string
+	lastTs := -1.0
+	for _, e := range events {
+		if e.Ph != "B" && e.Ph != "E" {
+			continue
+		}
+		if e.Ts < lastTs {
+			t.Fatalf("timestamps not monotonic: %v after %v", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		switch e.Ph {
+		case "B":
+			stack = append(stack, e.Name)
+		case "E":
+			if len(stack) == 0 {
+				t.Fatalf("E %q with no open span", e.Name)
+			}
+			if top := stack[len(stack)-1]; top != e.Name {
+				t.Fatalf("E %q closes open span %q (improper nesting)", e.Name, top)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unmatched B events remain open: %v", stack)
+	}
+}
+
+func byTid(doc traceDoc) map[int][]traceEvent {
+	out := map[int][]traceEvent{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		out[e.Tid] = append(out[e.Tid], e)
+	}
+	return out
+}
+
+func TestSpanRegistrationIdempotent(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Span("step")
+	b := tr.Span("broad")
+	if a == b {
+		t.Fatal("distinct names share an ID")
+	}
+	if got := tr.Span("step"); got != a {
+		t.Fatalf("re-registering returned %d, want %d", got, a)
+	}
+}
+
+func TestBeginEndDuration(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.Lane("main", 64)
+	id := tr.Span("work")
+	lane.Begin(id)
+	dur := lane.End(id)
+	if dur < 0 {
+		t.Fatalf("negative duration %d", dur)
+	}
+	doc := exportDoc(t, tr)
+	events := byTid(doc)[0]
+	if len(events) != 2 || events[0].Ph != "B" || events[1].Ph != "E" {
+		t.Fatalf("want one B/E pair, got %+v", events)
+	}
+	checkBalanced(t, events)
+}
+
+func TestNestedSpansExportBalanced(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.Lane("main", 256)
+	step := tr.Span("step")
+	inner := tr.Span("inner")
+	for i := 0; i < 10; i++ {
+		lane.Begin(step)
+		for j := 0; j < 3; j++ {
+			lane.Begin(inner)
+			lane.End(inner)
+		}
+		lane.End(step)
+	}
+	doc := exportDoc(t, tr)
+	events := byTid(doc)[0]
+	if len(events) != 10*2+10*3*2 {
+		t.Fatalf("got %d events, want %d", len(events), 10*2+10*3*2)
+	}
+	checkBalanced(t, events)
+}
+
+// TestRingWraparound floods a small ring far past its capacity: the
+// lane must keep accepting records without allocating or corrupting,
+// and the export must still be balanced (pairs split by the wrap are
+// dropped, not emitted dangling).
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.Lane("wrap", 64) // ring of 64 events
+	id := tr.Span("s")
+	const spans = 10_000
+	for i := 0; i < spans; i++ {
+		lane.Begin(id)
+		lane.End(id)
+	}
+	if _, over := lane.Dropped(); over != 2*spans-64 {
+		t.Fatalf("ring overwrites = %d, want %d", over, 2*spans-64)
+	}
+	doc := exportDoc(t, tr)
+	events := byTid(doc)[0]
+	if len(events) == 0 || len(events) > 64 {
+		t.Fatalf("exported %d events from a 64-slot ring", len(events))
+	}
+	checkBalanced(t, events)
+}
+
+// TestRingWraparoundOpenSpan: a Begin overwritten by the wrap must not
+// leave its End dangling in the export.
+func TestRingWraparoundOpenSpan(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.Lane("wrap", 64)
+	outer := tr.Span("outer")
+	tick := tr.Span("tick")
+	lane.Begin(outer)
+	for i := 0; i < 500; i++ { // push the outer B out of the ring
+		lane.Begin(tick)
+		lane.End(tick)
+	}
+	lane.End(outer)
+	doc := exportDoc(t, tr)
+	checkBalanced(t, byTid(doc)[0])
+	for _, e := range byTid(doc)[0] {
+		if e.Name == "outer" {
+			t.Fatal("outer span emitted although its Begin was overwritten")
+		}
+	}
+}
+
+func TestCompleteEvents(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.Lane("arch", 64)
+	id := tr.Span("memsim")
+	start := tr.Now()
+	if d := lane.Complete(id, start); d < 0 {
+		t.Fatalf("negative duration %d", d)
+	}
+	doc := exportDoc(t, tr)
+	events := byTid(doc)[0]
+	if len(events) != 1 || events[0].Ph != "X" || events[0].Name != "memsim" {
+		t.Fatalf("want one X event, got %+v", events)
+	}
+	if events[0].Dur < 0 {
+		t.Fatalf("X event carries negative dur %v", events[0].Dur)
+	}
+}
+
+// TestConcurrentLanes exercises the intended concurrency model under
+// -race: one lane per worker recording spans, plus a shared lane taking
+// Complete records from every worker, plus shared registry counters.
+func TestConcurrentLanes(t *testing.T) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	c := reg.Counter("test/ops")
+	h := reg.Histogram("test/size", []int64{10, 100})
+	shared := tr.Lane("shared", 1024)
+	cid := tr.Span("complete")
+	sid := tr.Span("work")
+
+	const workers = 8
+	lanes := make([]*Lane, workers)
+	for i := range lanes {
+		lanes[i] = tr.Lane("worker", 256)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				lanes[w].Begin(sid)
+				reg.Add(c, 1)
+				reg.ObserveInt(h, int64(i))
+				start := tr.Now()
+				shared.Complete(cid, start)
+				lanes[w].End(sid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.CounterValue(c); got != workers*500 {
+		t.Fatalf("counter = %d, want %d", got, workers*500)
+	}
+	doc := exportDoc(t, tr)
+	for tid, events := range byTid(doc) {
+		_ = tid
+		checkBalanced(t, events)
+	}
+}
+
+func TestSnapshotSortedAndOrderIndependent(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n)
+		}
+		r.Add(r.Counter("b/two"), 2)
+		r.Add(r.Counter("a/one"), 1)
+		r.Add(r.Counter("c/three"), 3)
+		return r
+	}
+	s1 := build([]string{"a/one", "b/two", "c/three"}).Snapshot()
+	s2 := build([]string{"c/three", "a/one", "b/two"}).Snapshot()
+	if s1 != s2 {
+		t.Fatalf("snapshot depends on registration order:\n%s\nvs\n%s", s1, s2)
+	}
+	lines := strings.Split(strings.TrimSpace(s1), "\n")
+	want := []string{"counter a/one 1", "counter b/two 2", "counter c/three 3"}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dof", []int64{8, 32, 128})
+	for _, v := range []int64{1, 8, 9, 32, 33, 128, 129, 100000} {
+		r.ObserveInt(h, v)
+	}
+	got := r.Snapshot()
+	want := "hist dof le8:2 le32:2 le128:2 inf:2 total:8\n"
+	if got != want {
+		t.Fatalf("snapshot = %q, want %q", got, want)
+	}
+}
+
+// TestNilSafety: the disabled tracer/registry is a nil pointer and
+// every instrumented call site must be a no-op through it.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	var lane *Lane
+	var reg *Registry
+	if tr.Span("x") != 0 || tr.Now() != 0 || tr.Lane("x", 64) != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	lane.Begin(0)
+	if lane.End(0) != 0 || lane.Complete(0, 0) != 0 || lane.Name() != "" {
+		t.Fatal("nil lane not inert")
+	}
+	if s, o := lane.Dropped(); s != 0 || o != 0 {
+		t.Fatal("nil lane reports drops")
+	}
+	reg.Add(0, 1)
+	reg.SetGauge(0, 1)
+	reg.ObserveInt(0, 1)
+	if reg.CounterValue(0) != 0 || reg.Snapshot() != "" {
+		t.Fatal("nil registry not inert")
+	}
+	if err := tr.WriteTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteSnapshot(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordingAllocFree pins the noalloc contract at runtime: Begin,
+// End, Complete, Now, Add and ObserveInt must not touch the heap.
+func TestRecordingAllocFree(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.Lane("hot", 256)
+	id := tr.Span("s")
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h", []int64{10, 100})
+	avg := testing.AllocsPerRun(200, func() {
+		lane.Begin(id)
+		reg.Add(c, 1)
+		reg.ObserveInt(h, 42)
+		start := tr.Now()
+		lane.Complete(id, start)
+		lane.End(id)
+	})
+	if avg != 0 {
+		t.Fatalf("hot-path recording allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestConcurrentRegistrationAndRecording pins that registration may
+// interleave with recording: the harness captures benchmarks lazily,
+// so a capture registers its metrics while other goroutines are
+// already hammering previously registered counters. Registration must
+// never move a live value (a slice append would, losing concurrent
+// atomic adds on the old backing array).
+func TestConcurrentRegistrationAndRecording(t *testing.T) {
+	reg := NewRegistry()
+	base := reg.Counter("base")
+	hbase := reg.Histogram("hbase", []int64{10})
+
+	const adds = 50000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < adds; i++ {
+			reg.Add(base, 1)
+			reg.ObserveInt(hbase, int64(i%20))
+		}
+	}()
+
+	ids := make([]CounterID, 100)
+	for i := range ids {
+		ids[i] = reg.Counter(fmt.Sprintf("c%03d", i))
+		reg.Add(ids[i], 2)
+		if i < maxHists-1 {
+			reg.Histogram(fmt.Sprintf("h%03d", i), []int64{1, 2})
+		}
+	}
+	<-done
+
+	if got := reg.CounterValue(base); got != adds {
+		t.Errorf("base counter lost updates during registration: got %d, want %d", got, adds)
+	}
+	for i, id := range ids {
+		if got := reg.CounterValue(id); got != 2 {
+			t.Errorf("counter c%03d = %d, want 2", i, got)
+		}
+	}
+	if want := fmt.Sprintf("hist hbase le10:%d inf:%d total:%d\n", adds/20*11, adds/20*9, adds); !strings.Contains(reg.Snapshot(), want) {
+		t.Errorf("hbase lost samples: snapshot lacks %q:\n%s", want, reg.Snapshot())
+	}
+}

@@ -1,0 +1,254 @@
+// Package obs is the engine's zero-allocation observability layer: a
+// span tracer backed by preallocated per-lane ring buffers, a typed
+// metrics registry (counters, gauges, fixed-bucket histograms) indexed
+// by pre-registered IDs, and exporters — Chrome trace-event JSON
+// (loadable in Perfetto) for the spans and a deterministic sorted text
+// snapshot for the metrics.
+//
+// The hot-path contract (see DESIGN.md "Observability"):
+//
+//   - Recording a span (Lane.Begin / Lane.End / Lane.Complete) or a
+//     metric sample (Registry.Add / Registry.ObserveInt) never touches
+//     the heap: storage is preallocated at registration time and
+//     records are fixed-size writes into a ring buffer or
+//     slice-indexed counters. The record methods carry
+//     //paraxlint:noalloc and are enforced by the repo's own analyzer.
+//   - Every record method is nil-receiver safe, so instrumented code
+//     needs no "is tracing on?" branches: a disabled tracer is a nil
+//     pointer and the call is a single predicted-taken test.
+//   - Span names and metric IDs are registered up front (Tracer.Span,
+//     Registry.Counter, ...) on mutex-protected cold paths; the hot
+//     path deals only in integer IDs.
+//
+// Timestamps are wall-clock and therefore nondeterministic; spans are
+// diagnostics and must never feed experiment output. The metrics
+// registry holds only order-independent integer aggregates, so its
+// snapshot is byte-identical whatever the thread count.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanID names a registered span type.
+type SpanID int32
+
+// Event kinds stored in a lane's ring buffer.
+const (
+	evBegin uint8 = iota
+	evEnd
+	evComplete
+)
+
+// maxOpenSpans bounds a lane's open-span stack (nesting depth).
+const maxOpenSpans = 32
+
+// DefaultLaneEvents is the default ring capacity per lane.
+const DefaultLaneEvents = 4096
+
+// event is one fixed-size ring record.
+type event struct {
+	id   SpanID
+	kind uint8
+	ts   int64 // nanoseconds since tracer start
+	dur  int64 // evComplete only
+}
+
+type openSpan struct {
+	id SpanID
+	ts int64
+}
+
+// Tracer owns the span-name table and the lanes. One Tracer is shared
+// by the engine, the architecture models and the harness so a single
+// export shows the whole pipeline on one timeline.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	names   []string
+	nameIdx map[string]SpanID
+	lanes   []*Lane
+}
+
+// NewTracer returns an enabled tracer. A nil *Tracer is the disabled
+// tracer: every method on it (and on its nil lanes) is a no-op.
+func NewTracer() *Tracer {
+	return &Tracer{
+		start:   time.Now(), //paraxlint:allow(time) span timestamps are diagnostics, never experiment output
+		nameIdx: make(map[string]SpanID),
+	}
+}
+
+// Span registers (or finds) a span name and returns its ID. Cold path:
+// call at setup time, not per record.
+func (t *Tracer) Span(name string) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.nameIdx[name]; ok {
+		return id
+	}
+	id := SpanID(len(t.names))
+	t.names = append(t.names, name)
+	t.nameIdx[name] = id
+	return id
+}
+
+// Lane allocates a new lane (one Perfetto track) with a ring of at
+// least `events` records (rounded up to a power of two, minimum 64).
+// Lanes are single-writer by convention — one per worker goroutine —
+// but a small per-lane mutex makes sharing safe where convenient (the
+// arch models record complete spans from pool workers).
+func (t *Tracer) Lane(name string, events int) *Lane {
+	if t == nil {
+		return nil
+	}
+	if events < 64 {
+		events = 64
+	}
+	size := 64
+	for size < events {
+		size *= 2
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := &Lane{
+		tr:   t,
+		id:   int32(len(t.lanes)),
+		name: name,
+		buf:  make([]event, size),
+		mask: int64(size - 1),
+	}
+	t.lanes = append(t.lanes, l)
+	return l
+}
+
+// Now returns nanoseconds since the tracer started (0 for a nil
+// tracer). Pair with Lane.Complete for spans measured by the caller.
+//
+//paraxlint:noalloc
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Nanoseconds()
+}
+
+// Lane is one track of span records with a private ring buffer.
+type Lane struct {
+	mu   sync.Mutex
+	tr   *Tracer
+	id   int32
+	name string
+	buf  []event
+	mask int64
+	head int64 // total records ever written; buf[head&mask] is next
+
+	stack [maxOpenSpans]openSpan
+	depth int32
+	// dropped counts Begin records whose stack slot was exhausted.
+	dropped int64
+}
+
+// Name returns the lane's track name.
+func (l *Lane) Name() string {
+	if l == nil {
+		return ""
+	}
+	return l.name
+}
+
+// Begin records the start of a span on this lane.
+//
+//paraxlint:noalloc
+func (l *Lane) Begin(id SpanID) {
+	if l == nil {
+		return
+	}
+	ts := l.tr.Now()
+	l.mu.Lock()
+	if l.depth < maxOpenSpans {
+		l.stack[l.depth] = openSpan{id: id, ts: ts}
+		l.depth++
+	} else {
+		l.dropped++
+	}
+	l.buf[l.head&l.mask] = event{id: id, kind: evBegin, ts: ts}
+	l.head++
+	l.mu.Unlock()
+}
+
+// End records the end of the innermost open span with this ID and
+// returns its duration in nanoseconds (0 if the matching Begin was
+// lost to stack overflow or ring reuse).
+//
+//paraxlint:noalloc
+func (l *Lane) End(id SpanID) int64 {
+	if l == nil {
+		return 0
+	}
+	ts := l.tr.Now()
+	var dur int64
+	l.mu.Lock()
+	if l.depth > 0 && l.stack[l.depth-1].id == id {
+		l.depth--
+		dur = ts - l.stack[l.depth].ts
+	}
+	l.buf[l.head&l.mask] = event{id: id, kind: evEnd, ts: ts}
+	l.head++
+	l.mu.Unlock()
+	return dur
+}
+
+// Complete records a whole span in one write: started at startNanos
+// (from Tracer.Now), ending now. Safe for lanes shared across
+// goroutines, where Begin/End nesting cannot be guaranteed.
+//
+//paraxlint:noalloc
+func (l *Lane) Complete(id SpanID, startNanos int64) int64 {
+	if l == nil {
+		return 0
+	}
+	dur := l.tr.Now() - startNanos
+	if dur < 0 {
+		dur = 0
+	}
+	l.mu.Lock()
+	l.buf[l.head&l.mask] = event{id: id, kind: evComplete, ts: startNanos, dur: dur}
+	l.head++
+	l.mu.Unlock()
+	return dur
+}
+
+// Dropped reports how many Begin records overflowed the open-span
+// stack, and how many ring records have been overwritten by wraparound.
+func (l *Lane) Dropped() (stackDrops, ringOverwrites int64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	over := l.head - int64(len(l.buf))
+	if over < 0 {
+		over = 0
+	}
+	return l.dropped, over
+}
+
+// snapshotEvents copies the lane's live ring contents, oldest first.
+func (l *Lane) snapshotEvents() []event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.head
+	if n > int64(len(l.buf)) {
+		n = int64(len(l.buf))
+	}
+	out := make([]event, 0, n)
+	for i := l.head - n; i < l.head; i++ {
+		out = append(out, l.buf[i&l.mask])
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package world
+
+import (
+	"fmt"
+
+	"github.com/parallax-arch/parallax/internal/obs"
+)
+
+// stepSpans holds the pre-registered span IDs for the Step hot path:
+// the five phases (paper Fig 1) on the main-thread lane, plus the
+// per-worker task spans (narrow-phase chunks, island solves, cloth
+// objects).
+type stepSpans struct {
+	step       obs.SpanID
+	broad      obs.SpanID
+	narrow     obs.SpanID
+	islandGen  obs.SpanID
+	islandProc obs.SpanID
+	cloth      obs.SpanID
+
+	narrowChunk obs.SpanID
+	island      obs.SpanID
+	solve       obs.SpanID
+	clothObj    obs.SpanID
+}
+
+// stepMetrics holds the pre-registered metric IDs harvested from the
+// StepProfile at the end of every step. All are commutative integer
+// aggregates of values that are themselves deterministic per step
+// (per-chunk results merge in chunk order), so the metrics snapshot is
+// byte-identical whatever the thread count.
+type stepMetrics struct {
+	steps            obs.CounterID
+	pairs            obs.CounterID
+	contacts         obs.CounterID
+	islands          obs.CounterID
+	findSteps        obs.CounterID
+	solverRows       obs.CounterID
+	solverRowUpdates obs.CounterID
+	bodiesIntegrated obs.CounterID
+	explosions       obs.CounterID
+	fractureHits     obs.CounterID
+	jointBreaks      obs.CounterID
+	clothVertUpdates obs.CounterID
+
+	islandDOF obs.HistID
+}
+
+// islandDOFBounds buckets the per-island DOF histogram: SmallIslandDOF
+// sits inside the first bounds so the main-thread/work-queue split is
+// readable straight off the snapshot.
+var islandDOFBounds = []int64{SmallIslandDOF, 64, 256, 1024, 4096}
+
+// SetObs attaches an observability sink to the world: spans for the
+// five Step phases and the per-worker tasks go to tr, work counters to
+// reg. label prefixes the lane (Perfetto track) names so several worlds
+// can share one tracer. Both arguments may be nil (tracing and metrics
+// are independently optional); calling SetObs(nil, nil, "") detaches.
+//
+// Call it after setting Threads: one lane is created per worker. Lanes
+// are grown automatically if Threads is raised later (a cold path —
+// steady-state stepping stays allocation-free).
+func (w *World) SetObs(tr *obs.Tracer, reg *obs.Registry, label string) {
+	w.trace = tr
+	w.metrics = reg
+	w.obsLabel = label
+	w.obsLanes = w.obsLanes[:0]
+	if tr != nil {
+		w.spans = stepSpans{
+			step:        tr.Span("step"),
+			broad:       tr.Span("broadphase"),
+			narrow:      tr.Span("narrowphase"),
+			islandGen:   tr.Span("island-creation"),
+			islandProc:  tr.Span("island-processing"),
+			cloth:       tr.Span("cloth"),
+			narrowChunk: tr.Span("narrow-chunk"),
+			island:      tr.Span("island"),
+			solve:       tr.Span("solve"),
+			clothObj:    tr.Span("cloth-object"),
+		}
+		w.growObsLanes()
+	}
+	if reg != nil {
+		w.met = stepMetrics{
+			steps:            reg.Counter("engine/steps"),
+			pairs:            reg.Counter("engine/pairs"),
+			contacts:         reg.Counter("engine/contacts"),
+			islands:          reg.Counter("engine/islands"),
+			findSteps:        reg.Counter("engine/find_steps"),
+			solverRows:       reg.Counter("engine/solver_rows"),
+			solverRowUpdates: reg.Counter("engine/solver_row_updates"),
+			bodiesIntegrated: reg.Counter("engine/bodies_integrated"),
+			explosions:       reg.Counter("engine/explosions"),
+			fractureHits:     reg.Counter("engine/fracture_hits"),
+			jointBreaks:      reg.Counter("engine/joint_breaks"),
+			clothVertUpdates: reg.Counter("engine/cloth_vertex_updates"),
+			islandDOF:        reg.Histogram("engine/island_dof", islandDOFBounds),
+		}
+	}
+}
+
+// growObsLanes creates the missing per-worker lanes. Cold path: runs at
+// SetObs time and again only if Threads is raised.
+func (w *World) growObsLanes() {
+	want := w.Threads
+	if want < 1 {
+		want = 1
+	}
+	for i := len(w.obsLanes); i < want; i++ {
+		events := obs.DefaultLaneEvents
+		if i == 0 {
+			// The main-thread lane carries the phase spans on top of its
+			// share of task spans; give it more history before the ring
+			// wraps.
+			events *= 4
+		}
+		w.obsLanes = append(w.obsLanes, w.trace.Lane(fmt.Sprintf("%s/worker%d", w.obsLabel, i), events))
+	}
+}
+
+// laneFor returns worker i's span lane, or nil when tracing is off (the
+// nil-check fast path: every Lane method is a no-op on nil).
+//
+//paraxlint:noalloc
+func (w *World) laneFor(worker int) *obs.Lane {
+	if worker >= len(w.obsLanes) {
+		return nil
+	}
+	return w.obsLanes[worker]
+}
+
+// recordStepMetrics harvests the finished step's profile into the
+// metrics registry.
+//
+//paraxlint:noalloc
+func (w *World) recordStepMetrics(prof *StepProfile) {
+	m := w.metrics
+	if m == nil {
+		return
+	}
+	m.Add(w.met.steps, 1)
+	m.Add(w.met.pairs, int64(prof.Pairs))
+	m.Add(w.met.contacts, int64(prof.Contacts))
+	m.Add(w.met.islands, int64(len(prof.Islands)))
+	m.Add(w.met.findSteps, int64(prof.FindSteps))
+	m.Add(w.met.solverRows, int64(prof.Solver.Rows))
+	m.Add(w.met.solverRowUpdates, int64(prof.Solver.RowUpdates))
+	m.Add(w.met.bodiesIntegrated, int64(prof.BodiesIntegrated))
+	m.Add(w.met.explosions, int64(prof.Explosions))
+	m.Add(w.met.fractureHits, int64(prof.FractureHit))
+	m.Add(w.met.jointBreaks, int64(prof.JointBreaks))
+	m.Add(w.met.clothVertUpdates, int64(prof.Cloth.VertexUpdates))
+	for i := range prof.Islands {
+		m.ObserveInt(w.met.islandDOF, int64(prof.Islands[i].DOF))
+	}
+}

@@ -138,7 +138,9 @@ func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
 // parallelChunks.
 //
 //paraxlint:noalloc
-func (w *World) runChunk(_, chunk int) {
+func (w *World) runChunk(worker, chunk int) {
+	lane := w.laneFor(worker)
+	lane.Begin(w.spans.narrowChunk)
 	sc := &w.scratch
 	lo := chunk * sc.chunkSize
 	hi := lo + sc.chunkSize
@@ -149,4 +151,5 @@ func (w *World) runChunk(_, chunk int) {
 		hi = sc.chunkN
 	}
 	sc.chunkFn(chunk, lo, hi)
+	lane.End(w.spans.narrowChunk)
 }

@@ -100,13 +100,22 @@ func (p *StepProfile) reset() {
 	*p = StepProfile{Islands: islands, ClothVerts: clothVerts}
 }
 
-// IslandDOFs returns the per-island fine-grain task counts.
-func (p *StepProfile) IslandDOFs() []int {
-	out := make([]int, len(p.Islands))
-	for i, is := range p.Islands {
-		out[i] = is.DOF
+// AppendIslandDOFs appends the per-island fine-grain task counts to dst
+// and returns the extended slice. It allocates only when dst lacks
+// capacity, so profiling loops can reuse one buffer across steps.
+//
+//paraxlint:noalloc
+func (p *StepProfile) AppendIslandDOFs(dst []int) []int {
+	for _, is := range p.Islands {
+		dst = append(dst, is.DOF)
 	}
-	return out
+	return dst
+}
+
+// IslandDOFs returns the per-island fine-grain task counts in a fresh
+// slice. Hot loops should use AppendIslandDOFs with a reused buffer.
+func (p *StepProfile) IslandDOFs() []int {
+	return p.AppendIslandDOFs(make([]int, 0, len(p.Islands)))
 }
 
 // FrameProfile aggregates the steps of one rendered frame (the paper

@@ -28,6 +28,11 @@ func (w *World) Step() {
 	prof := &w.Profile
 	sc := &w.scratch
 	sc.beginStep(w.Threads, len(w.Joints))
+	if w.trace != nil && len(w.obsLanes) < w.Threads {
+		w.growObsLanes() // cold path: Threads was raised after SetObs
+	}
+	l0 := w.laneFor(0)
+	l0.Begin(w.spans.step)
 
 	// (a) Apply external forces (gravity).
 	for _, b := range w.Bodies {
@@ -46,15 +51,18 @@ func (w *World) Step() {
 	}
 
 	// (b) Broad-phase: candidate pairs. Serial phase.
+	l0.Begin(w.spans.broad)
 	w.pairBuf = w.Broad.Pairs(w.Geoms, w.pairBuf[:0])
 	prof.Broad = w.Broad.Stats()
 	prof.Pairs = len(w.pairBuf)
+	l0.End(w.spans.broad)
 
 	// (c) Narrow-phase: contacts plus the special-contact events
 	// (explosions, blast hits, cloth contact lists). Massively parallel:
 	// pairs are partitioned into equal sets per worker thread, each with
 	// its own contact buffer (the engine modification described in the
 	// paper that removes ODE's single-joint-group serialization).
+	l0.Begin(w.spans.narrow)
 	if w.narrowFn == nil {
 		w.narrowFn = w.narrowChunk //paraxlint:allow(alloc) bound once, reused every step
 	}
@@ -109,8 +117,10 @@ func (w *World) Step() {
 			}
 		}
 	}
+	l0.End(w.spans.narrow)
 
 	// (d) Island creation: group interacting objects. Serial phase.
+	l0.Begin(w.spans.islandGen)
 	edges := sc.edges
 	for ji, j := range w.Joints {
 		nr := j.NumRows()
@@ -163,10 +173,12 @@ func (w *World) Step() {
 			prof.IslandRowsOf[i] = append([]int32(nil), is.Joints...) //paraxlint:allow(alloc)
 		}
 	}
+	l0.End(w.spans.islandGen)
 
 	// (e) Island processing: forward-simulate each island. Islands are
 	// independent; big ones go on the work queue, small ones run on the
 	// main thread.
+	l0.Begin(w.spans.islandProc)
 	sc.beginIslands(len(islands), len(contacts), w.WarmStart)
 
 	// Warm starting: match this step's contacts to last step's impulses
@@ -219,6 +231,7 @@ func (w *World) Step() {
 	for _, b := range w.Bodies {
 		b.ClearAccumulators()
 	}
+	l0.End(w.spans.islandProc)
 
 	// (f) Check breakable joints: a joint whose applied load exceeded its
 	// threshold breaks (serial, cheap).
@@ -248,7 +261,9 @@ func (w *World) Step() {
 	}
 
 	// (g) Cloth: forward-step every cloth object. Parallel per cloth;
-	// vertices are the fine-grain tasks.
+	// vertices are the fine-grain tasks. The span is recorded even with
+	// no cloth in the scene so every trace carries all five phases.
+	l0.Begin(w.spans.cloth)
 	if len(w.Cloths) > 0 {
 		sc.clothStats = sc.clothStats[:0]
 		sc.clothIdx = sc.clothIdx[:0]
@@ -275,6 +290,7 @@ func (w *World) Step() {
 			prof.Cloth.RayCasts += st.RayCasts
 		}
 	}
+	l0.End(w.spans.cloth)
 
 	// Blast volume lifetimes.
 	live := w.Blasts[:0]
@@ -294,6 +310,8 @@ func (w *World) Step() {
 
 	// (h) Advance time.
 	w.Time += w.Dt
+	w.recordStepMetrics(prof)
+	l0.End(w.spans.step)
 }
 
 // narrowChunk is the narrow-phase worker: it tests one chunk of the
@@ -354,6 +372,8 @@ func (w *World) narrowChunk(chunk, lo, hi int) {
 //
 //paraxlint:noalloc
 func (w *World) solveIsland(worker, idx int) {
+	lane := w.laneFor(worker)
+	lane.Begin(w.spans.island)
 	sc := &w.scratch
 	is := &sc.islands[idx]
 	p := w.params()
@@ -381,8 +401,10 @@ func (w *World) solveIsland(worker, idx int) {
 		}
 	}
 	sc.rows[worker] = rows // keep the grown capacity for the next island
+	lane.Begin(w.spans.solve)
 	lam := w.Solver.Solve(w.Bodies, rows, w.Dt, sc.jointLoad,
 		&sc.solverStats[idx], &sc.ws[worker])
+	lane.End(w.spans.solve)
 	if w.WarmStart {
 		for _, ci := range is.Contacts {
 			base := sc.rowBase[ci]
@@ -396,12 +418,15 @@ func (w *World) solveIsland(worker, idx int) {
 			w.Bodies[bi].UpdateSleep(w.Dt)
 		}
 	}
+	lane.End(w.spans.island)
 }
 
 // stepCloth forward-steps one cloth object.
 //
 //paraxlint:noalloc
-func (w *World) stepCloth(_, ci int) {
+func (w *World) stepCloth(worker, ci int) {
+	lane := w.laneFor(worker)
+	lane.Begin(w.spans.clothObj)
 	c := w.Cloths[ci]
 	c.SatisfyPins(w.poseFn)
 	c.Integrate(w.Dt, w.Gravity)
@@ -414,6 +439,7 @@ func (w *World) stepCloth(_, ci int) {
 	}
 	c.UpdateBox()
 	w.scratch.clothStats[ci] = c.LastStats
+	lane.End(w.spans.clothObj)
 }
 
 // bodyMoving reports whether a body is awake and above the sleep speed

@@ -13,6 +13,7 @@
 package world
 
 import (
+	"github.com/parallax-arch/parallax/internal/obs"
 	"github.com/parallax-arch/parallax/internal/phys/body"
 	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 	"github.com/parallax-arch/parallax/internal/phys/cloth"
@@ -122,6 +123,16 @@ type World struct {
 	// warmCache holds last step's contact impulses keyed by (geom pair,
 	// ordinal within the pair's manifold): normal + two friction values.
 	warmCache map[warmKey][joint.RowsPerContact]float64
+
+	// Observability sink (SetObs): span tracer lanes, per-step metric
+	// harvesting. All nil/zero when tracing is off — the hot path pays
+	// only nil checks.
+	trace    *obs.Tracer
+	metrics  *obs.Registry
+	obsLabel string
+	obsLanes []*obs.Lane
+	spans    stepSpans
+	met      stepMetrics
 
 	// scratch is the reusable per-step arena; see frameScratch.
 	scratch frameScratch

@@ -30,6 +30,7 @@ import (
 	"github.com/parallax-arch/parallax/internal/arch/link"
 	archpx "github.com/parallax-arch/parallax/internal/arch/parallax"
 	"github.com/parallax-arch/parallax/internal/exp"
+	"github.com/parallax-arch/parallax/internal/obs"
 	"github.com/parallax-arch/parallax/internal/phys/cloth"
 	"github.com/parallax-arch/parallax/internal/phys/export"
 	"github.com/parallax-arch/parallax/internal/phys/geom"
@@ -204,6 +205,25 @@ func Capture(name string, w *World, warmFrames, measureFrames int) *Workload {
 // ReferenceSystem returns the paper's proposed configuration: 4 CG
 // cores, 12MB partitioned L2, 150 shader-class FG cores on-chip.
 func ReferenceSystem() System { return archpx.Reference() }
+
+// ---- observability ----
+
+// Tracer is the zero-allocation span tracer (see DESIGN.md
+// "Observability"): attach one to a World with World.SetObs and export
+// the spans as Chrome trace-event JSON with Tracer.WriteTrace — the
+// file loads directly in Perfetto (ui.perfetto.dev).
+type Tracer = obs.Tracer
+
+// Metrics is the typed metrics registry paired with the tracer; its
+// Snapshot output is sorted and deterministic across thread counts.
+type Metrics = obs.Registry
+
+// NewTracer returns an enabled span tracer. A nil *Tracer disables
+// tracing at zero cost.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // ---- experiments ----
 
