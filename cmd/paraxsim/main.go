@@ -8,11 +8,20 @@
 // snapshot of the run's counters. -cpuprofile, -memprofile and -pprof
 // expose the standard Go profilers.
 //
+// Determinism: -save records the run's end state plus the profile
+// digests of the following -frames worth of steps to a replay file;
+// -load starts the run from a saved world state instead of building the
+// benchmark; -replay re-steps a recording and exits non-zero on the
+// first divergent step (-inject N corrupts digest N first, to prove the
+// gate trips).
+//
 // Usage:
 //
 //	paraxsim -bench Mix -frames 5 -scale 1.0 -threads 4
 //	paraxsim -bench Explosions -trace trace.json -metrics metrics.txt
 //	paraxsim -bench Mix -cpuprofile cpu.pprof -pprof localhost:6060
+//	paraxsim -bench Breakable -frames 10 -save run.paxr
+//	paraxsim -replay run.paxr -threads 8
 //	paraxsim -list
 package main
 
@@ -31,6 +40,7 @@ import (
 	"github.com/parallax-arch/parallax/internal/arch/kernels"
 	archpx "github.com/parallax-arch/parallax/internal/arch/parallax"
 	"github.com/parallax-arch/parallax/internal/obs"
+	"github.com/parallax-arch/parallax/internal/phys/replay"
 	"github.com/parallax-arch/parallax/internal/phys/workload"
 	"github.com/parallax-arch/parallax/internal/phys/world"
 )
@@ -44,6 +54,11 @@ func main() {
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		eval    = flag.Bool("eval", false, "also evaluate the ParallAX reference system on this benchmark")
 
+		saveFile   = flag.String("save", "", "after the run, record a replay (snapshot + digests) to `file`")
+		loadFile   = flag.String("load", "", "start from the world snapshot in replay `file` instead of building")
+		replayFile = flag.String("replay", "", "verify replay `file` step by step and exit (non-zero on divergence)")
+		injectStep = flag.Int("inject", -1, "with -replay: corrupt the recorded digest of step `N` first")
+
 		traceFile  = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `file`")
 		metricsOut = flag.String("metrics", "", "write the metrics snapshot to `file`")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
@@ -56,6 +71,31 @@ func main() {
 		for _, b := range workload.All {
 			fmt.Printf("%-12s %-22s %s\n", b.Name, "("+b.Genre+")", b.Desc)
 		}
+		return
+	}
+
+	if *replayFile != "" {
+		rec, err := replay.Load(*replayFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *injectStep >= 0 {
+			if *injectStep >= len(rec.Digests) {
+				fmt.Fprintf(os.Stderr, "-inject %d out of range (%d recorded steps)\n",
+					*injectStep, len(rec.Digests))
+				os.Exit(1)
+			}
+			rec.Digests[*injectStep] ^= 0x1
+			fmt.Printf("injected divergence into step %d\n", *injectStep)
+		}
+		fmt.Printf("replaying %q: %d steps at %d threads...\n",
+			rec.Label, len(rec.Digests), *threads)
+		if _, err := replay.Verify(rec, *threads); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("replay ok: %d steps bit-identical\n", len(rec.Digests))
 		return
 	}
 
@@ -91,8 +131,23 @@ func main() {
 	tr := obs.NewTracer()
 	reg := obs.NewRegistry()
 
-	fmt.Printf("building %s at scale %.2f...\n", b.Name, *scale)
-	w := b.Build(*scale)
+	var w *world.World
+	if *loadFile != "" {
+		rec, err := replay.Load(*loadFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loading world state from %s (%q)...\n", *loadFile, rec.Label)
+		w = world.New()
+		if err := w.Restore(rec.Snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("building %s at scale %.2f...\n", b.Name, *scale)
+		w = b.Build(*scale)
+	}
 	w.Threads = *threads
 	w.SetObs(tr, reg, "engine/"+b.Name)
 	fmt.Printf("bodies=%d geoms=%d joints=%d cloths=%d\n",
@@ -136,7 +191,17 @@ func main() {
 		"islandgen[finds=%d] solver[rows=%d updates=%d] cloth[verts=%d]\n",
 		p.Broad.Geoms, p.Broad.SortOps, p.Narrow.PrimTests, p.Narrow.TriTests,
 		p.FindSteps, p.Solver.Rows, p.Solver.RowUpdates, p.Cloth.VertexUpdates)
-	_ = world.StepsPerFrame
+
+	if *saveFile != "" {
+		label := fmt.Sprintf("%s scale=%.2f threads=%d", b.Name, *scale, *threads)
+		steps := *frames * world.StepsPerFrame
+		fmt.Printf("recording %d more steps to %s...\n", steps, *saveFile)
+		rec := replay.Record(w, label, steps)
+		if err := rec.Save(*saveFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *eval {
 		fmt.Println("\nevaluating the ParallAX reference system (4 CG + 12MB partitioned L2 + 150 shaders on-chip)...")

@@ -186,6 +186,14 @@ func (b *Body) Wake() {
 	b.idleTime = 0
 }
 
+// SleepClock returns the accumulated idle time driving the sleep
+// decision — part of the body's dynamic state, exposed so snapshots can
+// capture it.
+func (b *Body) SleepClock() float64 { return b.idleTime }
+
+// SetSleepClock restores the idle-time accumulator (snapshot restore).
+func (b *Body) SetSleepClock(t float64) { b.idleTime = t }
+
 // KineticEnergy returns the body's kinetic energy.
 func (b *Body) KineticEnergy() float64 {
 	if b.InvMass == 0 {

@@ -153,6 +153,38 @@ func (c *Cloth) Integrate(dt float64, accel m3.Vec) {
 	}
 }
 
+// ApplyBlast kicks every free particle inside the blast sphere at
+// center with the given radius: a radial velocity change of magnitude
+// impulse*InvMass, scaled down linearly with distance from the center
+// (matching the engine's rigid-body shockwave). Verlet state stores
+// velocity implicitly as Pos-Prev, so the kick is applied by moving
+// Prev backwards along the kick direction. It returns the number of
+// particles hit.
+//
+//paraxlint:noalloc
+func (c *Cloth) ApplyBlast(center m3.Vec, radius, impulse, dt float64) int {
+	hit := 0
+	for i := range c.Particles {
+		p := &c.Particles[i]
+		if p.InvMass == 0 {
+			continue
+		}
+		d := p.Pos.Sub(center)
+		dist := d.Len()
+		if dist >= radius {
+			continue
+		}
+		dir := d.Norm()
+		if dir == m3.Zero {
+			dir = m3.V(0, 1, 0)
+		}
+		dv := dir.Scale(impulse * (1 - dist/radius) * p.InvMass)
+		p.Prev = p.Prev.Sub(dv.Scale(dt))
+		hit++
+	}
+	return hit
+}
+
 // Relax runs the constraint relaxation sweeps.
 //
 //paraxlint:noalloc

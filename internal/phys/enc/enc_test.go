@@ -1,0 +1,111 @@
+package enc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(0xab)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I32(-7)
+	w.I64(-1 << 40)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Copysign(0, -1))
+	w.F64(math.Pi)
+	w.Vec(m3.V(1, -2, 3))
+	w.Quat(m3.Quat{W: 0.5, X: -0.5, Y: 0.5, Z: -0.5})
+	w.AABB(m3.AABB{Min: m3.V(-1, -1, -1), Max: m3.V(2, 2, 2)})
+	w.I32s([]int32{3, -1, 4})
+	w.F64s([]float64{1.5, -2.5})
+	w.Vecs([]m3.Vec{{X: 1}, {Y: 2}})
+	w.String("hello")
+
+	r := NewReader(w.Bytes())
+	if r.U8() != 0xab || r.U16() != 0xbeef || r.U32() != 0xdeadbeef {
+		t.Fatal("unsigned round trip failed")
+	}
+	if r.U64() != 0x0123456789abcdef || r.I32() != -7 || r.I64() != -1<<40 {
+		t.Fatal("wide round trip failed")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if math.Float64bits(r.F64()) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatal("negative zero not preserved bit-exactly")
+	}
+	if r.F64() != math.Pi {
+		t.Fatal("float round trip failed")
+	}
+	if r.Vec() != m3.V(1, -2, 3) {
+		t.Fatal("vec round trip failed")
+	}
+	if (r.Quat() != m3.Quat{W: 0.5, X: -0.5, Y: 0.5, Z: -0.5}) {
+		t.Fatal("quat round trip failed")
+	}
+	bb := r.AABB()
+	if bb.Min != m3.V(-1, -1, -1) || bb.Max != m3.V(2, 2, 2) {
+		t.Fatal("aabb round trip failed")
+	}
+	is := r.I32s()
+	if len(is) != 3 || is[0] != 3 || is[1] != -1 || is[2] != 4 {
+		t.Fatal("i32 slice round trip failed")
+	}
+	fs := r.F64s()
+	if len(fs) != 2 || fs[0] != 1.5 || fs[1] != -2.5 {
+		t.Fatal("f64 slice round trip failed")
+	}
+	vs := r.Vecs()
+	if len(vs) != 2 || vs[0].X != 1 || vs[1].Y != 2 {
+		t.Fatal("vec slice round trip failed")
+	}
+	if r.String() != "hello" {
+		t.Fatal("string round trip failed")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d after full read", r.Err(), r.Remaining())
+	}
+}
+
+// TestReaderShortInput: reads past the end stick an error and return
+// zero values instead of panicking, including length-prefixed slices
+// whose claimed count exceeds the remaining bytes.
+func TestReaderShortInput(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	if r.U32() != 0 || r.Err() == nil {
+		t.Fatal("short U32 read did not error")
+	}
+	if r.U64() != 0 || r.F64() != 0 || r.String() != "" {
+		t.Fatal("reads after sticky error not zero-valued")
+	}
+
+	var w Writer
+	w.U32(1 << 30) // claims a billion elements
+	r = NewReader(w.Bytes())
+	if s := r.I32s(); s != nil || r.Err() == nil {
+		t.Fatal("oversized count not rejected")
+	}
+}
+
+func TestMatRoundTrip(t *testing.T) {
+	var w Writer
+	m := m3.Mat{}
+	v := 1.0
+	for i := range m.M {
+		for j := range m.M[i] {
+			m.M[i][j] = v
+			v++
+		}
+	}
+	w.Mat(m)
+	r := NewReader(w.Bytes())
+	if got := r.Mat(); got != m {
+		t.Fatalf("mat round trip: got %v want %v", got, m)
+	}
+}

@@ -1,0 +1,128 @@
+package joint
+
+import (
+	"fmt"
+
+	"github.com/parallax-arch/parallax/internal/phys/enc"
+)
+
+// Joint serialization for the world snapshot format: a one-byte type
+// tag followed by the joint's fields. Breakable wraps its inner joint
+// recursively, so its dynamic state (accumulated fatigue, broken flag)
+// rides along with the configuration.
+
+// Joint type tags in the snapshot encoding. Part of the serialized
+// format; never renumber.
+const (
+	tagBall uint8 = iota
+	tagHinge
+	tagSlider
+	tagFixed
+	tagBreakable
+)
+
+// EncodeJoint appends the snapshot encoding of j to w. An unknown Joint
+// implementation is an error.
+func EncodeJoint(w *enc.Writer, j Joint) error {
+	switch t := j.(type) {
+	case *Ball:
+		w.U8(tagBall)
+		w.I32(t.A)
+		w.I32(t.B)
+		w.Vec(t.AnchorA)
+		w.Vec(t.AnchorB)
+	case *Hinge:
+		w.U8(tagHinge)
+		w.I32(t.A)
+		w.I32(t.B)
+		w.Vec(t.AnchorA)
+		w.Vec(t.AnchorB)
+		w.Vec(t.AxisA)
+		w.Vec(t.AxisB)
+		w.F64(t.SoftAnchor)
+	case *Slider:
+		w.U8(tagSlider)
+		w.I32(t.A)
+		w.I32(t.B)
+		w.Vec(t.AxisA)
+		w.Vec(t.RefA)
+		w.Vec(t.RefB)
+		w.Quat(t.RelRot)
+	case *Fixed:
+		w.U8(tagFixed)
+		w.I32(t.A)
+		w.I32(t.B)
+		w.Vec(t.AnchorA)
+		w.Vec(t.AnchorB)
+		w.Quat(t.RelRot)
+	case *Breakable:
+		w.U8(tagBreakable)
+		if err := EncodeJoint(w, t.Joint); err != nil {
+			return err
+		}
+		w.F64(t.Threshold)
+		w.F64(t.FatigueLimit)
+		w.F64(t.Fatigue)
+		w.Bool(t.Broken)
+	default:
+		return fmt.Errorf("joint: cannot encode joint type %T", j)
+	}
+	return nil
+}
+
+// DecodeJoint reads one joint from r.
+func DecodeJoint(r *enc.Reader) (Joint, error) {
+	tag := r.U8()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var j Joint
+	switch tag {
+	case tagBall:
+		t := &Ball{A: r.I32(), B: r.I32()}
+		t.AnchorA = r.Vec()
+		t.AnchorB = r.Vec()
+		j = t
+	case tagHinge:
+		t := &Hinge{A: r.I32(), B: r.I32()}
+		t.AnchorA = r.Vec()
+		t.AnchorB = r.Vec()
+		t.AxisA = r.Vec()
+		t.AxisB = r.Vec()
+		t.SoftAnchor = r.F64()
+		j = t
+	case tagSlider:
+		t := &Slider{A: r.I32(), B: r.I32()}
+		t.AxisA = r.Vec()
+		t.RefA = r.Vec()
+		t.RefB = r.Vec()
+		t.RelRot = r.Quat()
+		j = t
+	case tagFixed:
+		t := &Fixed{A: r.I32(), B: r.I32()}
+		t.AnchorA = r.Vec()
+		t.AnchorB = r.Vec()
+		t.RelRot = r.Quat()
+		j = t
+	case tagBreakable:
+		inner, err := DecodeJoint(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(*Breakable); nested {
+			return nil, fmt.Errorf("joint: nested breakable joint in snapshot")
+		}
+		t := &Breakable{Joint: inner}
+		t.Threshold = r.F64()
+		t.FatigueLimit = r.F64()
+		t.Fatigue = r.F64()
+		t.Broken = r.Bool()
+		j = t
+	default:
+		return nil, fmt.Errorf("joint: unknown joint tag %d", tag)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}

@@ -1,0 +1,141 @@
+// Package replay implements record-replay verification for the
+// simulation: a Recording captures a world snapshot plus the per-step
+// profile digests of the run that followed it, and Verify re-steps the
+// snapshot — at any thread count — checking that every step reproduces
+// the recorded digest. The first mismatch pinpoints the step where a
+// nondeterminism bug (or a behavior change) first became observable.
+package replay
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"github.com/parallax-arch/parallax/internal/phys/enc"
+	"github.com/parallax-arch/parallax/internal/phys/world"
+)
+
+// Magic and version of the recording file format ("PAXR", little
+// endian). The payload reuses the world snapshot encoding and is
+// protected by the same CRC32 scheme.
+const (
+	Magic   = uint32('P') | uint32('A')<<8 | uint32('X')<<16 | uint32('R')<<24
+	Version = 1
+)
+
+// Recording is a deterministic replay artifact: the full world state at
+// the start of the recorded window plus one profile digest per step.
+type Recording struct {
+	// Label is free-form provenance (benchmark name, scale, flags).
+	Label string
+	// Snapshot is the world state the digests were recorded from.
+	Snapshot []byte
+	// Digests holds StepProfile.Digest() for each recorded step.
+	Digests []uint64
+}
+
+// Record snapshots w and then steps it n times, capturing the profile
+// digest of every step. The world is advanced by n steps as a side
+// effect — the recording plays forward from where w was.
+func Record(w *world.World, label string, n int) *Recording {
+	rec := &Recording{
+		Label:    label,
+		Snapshot: w.Snapshot(),
+		Digests:  make([]uint64, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		w.Step()
+		rec.Digests = append(rec.Digests, w.Profile.Digest())
+	}
+	return rec
+}
+
+// Verify restores the recording into a fresh world with the given
+// thread count and re-steps it, comparing digests. It returns the
+// zero-based index of the first divergent step, or -1 if the replay
+// matched end to end.
+func Verify(rec *Recording, threads int) (int, error) {
+	w := world.New()
+	w.Threads = threads
+	if err := w.Restore(rec.Snapshot); err != nil {
+		return -1, fmt.Errorf("replay: restore: %w", err)
+	}
+	for i, want := range rec.Digests {
+		w.Step()
+		if got := w.Profile.Digest(); got != want {
+			return i, fmt.Errorf("replay: step %d diverged: digest %016x, recorded %016x", i, got, want)
+		}
+	}
+	return -1, nil
+}
+
+// Encode serializes the recording.
+func (rec *Recording) Encode() []byte {
+	var w enc.Writer
+	w.U32(Magic)
+	w.U32(Version)
+	w.String(rec.Label)
+	w.U32(uint32(len(rec.Snapshot)))
+	w.Raw(rec.Snapshot)
+	w.U32(uint32(len(rec.Digests)))
+	for _, d := range rec.Digests {
+		w.U64(d)
+	}
+	payload := w.Bytes()
+	w.U32(crc32.ChecksumIEEE(payload))
+	return w.Bytes()
+}
+
+// Decode parses a recording, validating checksum, magic and version.
+func Decode(data []byte) (*Recording, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("replay: recording too short (%d bytes)", len(data))
+	}
+	payload := data[:len(data)-4]
+	r := enc.NewReader(data[len(data)-4:])
+	if sum := crc32.ChecksumIEEE(payload); r.U32() != sum {
+		return nil, fmt.Errorf("replay: checksum mismatch")
+	}
+	r = enc.NewReader(payload)
+	if r.U32() != Magic {
+		return nil, fmt.Errorf("replay: bad magic")
+	}
+	if v := r.U32(); v != Version {
+		return nil, fmt.Errorf("replay: unsupported version %d", v)
+	}
+	rec := &Recording{Label: r.String()}
+	snapLen := int(r.U32())
+	if snapLen < 0 || snapLen > r.Remaining() {
+		return nil, fmt.Errorf("replay: corrupt snapshot length")
+	}
+	rec.Snapshot = append([]byte(nil), r.Raw(snapLen)...)
+	nd := int(r.U32())
+	if nd < 0 || nd*8 > r.Remaining() {
+		return nil, fmt.Errorf("replay: corrupt digest count")
+	}
+	rec.Digests = make([]uint64, nd)
+	for i := range rec.Digests {
+		rec.Digests[i] = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("replay: %d trailing bytes", r.Remaining())
+	}
+	return rec, nil
+}
+
+// Save writes the recording to a file.
+func (rec *Recording) Save(path string) error {
+	return os.WriteFile(path, rec.Encode(), 0o644)
+}
+
+// Load reads a recording from a file.
+func Load(path string) (*Recording, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/obs"
+	"github.com/parallax-arch/parallax/internal/phys/world"
+)
+
+// TestSnapshotRoundTripAllBenchmarks is the acceptance gate for the
+// snapshot subsystem: for every paper benchmark, restoring a mid-run
+// snapshot and stepping on must be bit-identical to the uninterrupted
+// run — profile digest by profile digest and snapshot byte for byte —
+// at 1 and 8 threads, regardless of the thread count that recorded it.
+func TestSnapshotRoundTripAllBenchmarks(t *testing.T) {
+	const (
+		scale     = 0.25
+		warmSteps = 15
+		runSteps  = 30
+	)
+	for _, b := range All {
+		for _, threads := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/threads=%d", b.Name, threads), func(t *testing.T) {
+				w := b.Build(scale)
+				w.Threads = 4
+				for i := 0; i < warmSteps; i++ {
+					w.Step()
+				}
+				w2 := world.New()
+				w2.Threads = threads
+				if err := w2.Restore(w.Snapshot()); err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				for i := 0; i < runSteps; i++ {
+					w.Step()
+					w2.Step()
+					if w.Profile.Digest() != w2.Profile.Digest() {
+						t.Fatalf("profile diverged at step %d after restore", i)
+					}
+				}
+				if !bytes.Equal(w.Snapshot(), w2.Snapshot()) {
+					t.Fatal("world state diverged after restore")
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotPreservesMetrics: two worlds forked via snapshot and given
+// fresh metric registries must log identical metrics while stepping —
+// the observable work stream, not just the end state, survives a
+// restore.
+func TestSnapshotPreservesMetrics(t *testing.T) {
+	b, ok := ByName("Mix")
+	if !ok {
+		t.Fatal("Mix benchmark missing")
+	}
+	w := b.Build(0.25)
+	w.Threads = 2
+	for i := 0; i < 15; i++ {
+		w.Step()
+	}
+	w2 := world.New()
+	w2.Threads = 8
+	if err := w2.Restore(w.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	w.SetObs(nil, r1, "bench")
+	w2.SetObs(nil, r2, "bench")
+	for i := 0; i < 30; i++ {
+		w.Step()
+		w2.Step()
+	}
+	if s1, s2 := r1.Snapshot(), r2.Snapshot(); s1 != s2 {
+		t.Fatalf("metrics diverged after restore:\n--- original ---\n%s\n--- restored ---\n%s", s1, s2)
+	}
+}

@@ -1,0 +1,198 @@
+package world
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/cloth"
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// TestConcurrentQueriesNoRace: RayCast and BodiesIn are read-only and
+// must be safe to run concurrently (CI runs this under -race; before
+// the fix both refreshed the shared geom AABB cache and raced).
+func TestConcurrentQueriesNoRace(t *testing.T) {
+	w := detWorld(2)
+	for i := 0; i < 30; i++ {
+		w.Step()
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			buf := make([]int32, 0, 32)
+			for i := 0; i < 200; i++ {
+				o := m3.V(float64(k)-4, 5, float64(i%7)-3)
+				if hit, ok := w.RayCast(o, m3.V(0, -1, 0), 10); ok && hit.T < 0 {
+					t.Errorf("negative ray parameter %v", hit.T)
+				}
+				buf = w.BodiesIn(m3.AABB{Min: m3.V(-5, 0, -5), Max: m3.V(5, 3, 5)}, buf[:0])
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestQueriesDoNotMutateState: a query between steps must not change
+// the simulation — byte-compare snapshots around a volley of queries.
+func TestQueriesDoNotMutateState(t *testing.T) {
+	w := detWorld(1)
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	before := w.Snapshot()
+	w.RayCast(m3.V(0, 5, 0), m3.V(0, -1, 0), 20)
+	w.BodiesIn(m3.AABB{Min: m3.V(-5, -1, -5), Max: m3.V(5, 5, 5)}, nil)
+	after := w.Snapshot()
+	if string(before) != string(after) {
+		t.Fatal("read-only queries mutated world state")
+	}
+}
+
+// addBomb drops an explosive sphere that detonates on ground contact.
+func addBomb(w *World, x float64, spec ExplosiveSpec) int32 {
+	_, gi := w.AddBody(geom.Sphere{R: 0.3}, 1, m3.V(x, 0.29, 0), m3.QIdent, 0, 0)
+	w.MarkExplosive(gi, spec)
+	return gi
+}
+
+// TestExplosiveSpecConsumed: detonation must delete the consumed spec
+// from w.Explosives (it leaked forever before the fix).
+func TestExplosiveSpecConsumed(t *testing.T) {
+	w := groundWorld()
+	addBomb(w, 0, ExplosiveSpec{Radius: 1, Duration: 0.05, Impulse: 5})
+	if len(w.Explosives) != 1 {
+		t.Fatalf("setup: %d specs", len(w.Explosives))
+	}
+	for i := 0; i < 20 && len(w.Explosives) > 0; i++ {
+		w.Step()
+	}
+	if len(w.Explosives) != 0 {
+		t.Fatal("explosive spec not deleted after detonation")
+	}
+}
+
+// TestGeomSlotsRecycled: detonated explosive geoms and expired blast
+// volumes must return their w.Geoms slots to the free list, and new
+// blasts must reuse them — a long-running explosion scene's geom count
+// stays bounded instead of growing per detonation.
+func TestGeomSlotsRecycled(t *testing.T) {
+	w := groundWorld()
+	spec := ExplosiveSpec{Radius: 1, Duration: 0.03, Impulse: 5}
+	addBomb(w, 0, spec)
+	// Detonate and let the blast expire.
+	for i := 0; i < 30; i++ {
+		w.Step()
+	}
+	if len(w.Blasts) != 0 {
+		t.Fatal("blast did not expire")
+	}
+	if len(w.geomFree) == 0 {
+		t.Fatal("no geom slots freed after detonation + blast expiry")
+	}
+	baseline := len(w.Geoms)
+
+	// A second bomb adds exactly one geom; its blast must reuse a freed
+	// slot instead of appending.
+	addBomb(w, 0.1, spec)
+	if len(w.Geoms) != baseline+1 {
+		t.Fatalf("adding a bomb grew geoms by %d, want 1", len(w.Geoms)-baseline)
+	}
+	for i := 0; i < 30; i++ {
+		w.Step()
+	}
+	if len(w.Blasts) != 0 {
+		t.Fatal("second blast did not expire")
+	}
+	if len(w.Geoms) != baseline+1 {
+		t.Fatalf("second detonation grew geoms to %d, want %d (blast should reuse a freed slot)",
+			len(w.Geoms), baseline+1)
+	}
+	// Steady state: every consumed slot is back on the free list.
+	if len(w.geomFree) < 2 {
+		t.Fatalf("free list has %d slots, want >= 2", len(w.geomFree))
+	}
+}
+
+// TestBlastMovesCloth: an explosion under a cloth must kick its
+// vertices (before the fix the cloth case shadowed the blast case in
+// narrowChunk and explosions could never move cloth).
+func TestBlastMovesCloth(t *testing.T) {
+	w := groundWorld()
+	c := cloth.NewGrid(6, 6, 0.2, m3.V(-0.5, 1, -0.5), 0.5)
+	c.PinParticle(0)
+	c.PinParticle(5)
+	ci := w.AddCloth(c)
+	addBomb(w, 0, ExplosiveSpec{Radius: 3, Duration: 0.1, Impulse: 20})
+
+	maxY := func() float64 {
+		m := -1e300
+		for i := range c.Particles {
+			if c.Particles[i].Pos.Y > m {
+				m = c.Particles[i].Pos.Y
+			}
+		}
+		return m
+	}
+	before := maxY()
+	exploded := false
+	peak := before
+	for i := 0; i < 40; i++ {
+		w.Step()
+		exploded = exploded || w.Profile.Explosions > 0
+		if y := maxY(); y > peak {
+			peak = y
+		}
+	}
+	if !exploded {
+		t.Fatal("bomb never detonated")
+	}
+	if w.Cloths[ci].MaxStretch() > 10 {
+		t.Errorf("blast destroyed the cloth: max stretch %v", w.Cloths[ci].MaxStretch())
+	}
+	// The cloth hangs from its pins, so the shockwave shows up as a
+	// transient: some particle must have been thrown above its start.
+	if peak < before+0.3 {
+		t.Fatalf("blast did not move the cloth: peak particle height %v (started at %v)", peak, before)
+	}
+}
+
+// TestBlastHitsClothOnce: the shockwave reaches each cloth at most once
+// per blast — the kick must not repeat every step of the blast's
+// lifetime.
+func TestBlastHitsClothOnce(t *testing.T) {
+	w := groundWorld()
+	c := cloth.NewGrid(4, 4, 0.2, m3.V(-0.3, 1.2, -0.3), 0.5)
+	w.AddCloth(c)
+	addBomb(w, 0, ExplosiveSpec{Radius: 3, Duration: 1.0, Impulse: 10})
+	for i := 0; i < 3; i++ {
+		w.Step()
+	}
+	if len(w.Blasts) != 1 {
+		t.Fatal("expected a live blast")
+	}
+	if !w.Blasts[0].hitCloth[0] {
+		t.Fatal("blast did not register the cloth hit")
+	}
+	// Velocity right after the hit; with the long-lived blast still
+	// overlapping, further steps must only see gravity-scale changes,
+	// not repeated shockwave kicks.
+	speed := func() float64 {
+		m := 0.0
+		for i := range c.Particles {
+			v := c.Particles[i].Pos.Sub(c.Particles[i].Prev).Len() / w.Dt
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	s0 := speed()
+	w.Step()
+	s1 := speed()
+	if s1 > s0+1 {
+		t.Fatalf("cloth re-kicked by a blast that already hit it: %v -> %v m/s", s0, s1)
+	}
+}

@@ -1,6 +1,8 @@
 package world
 
 import (
+	"math"
+
 	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 	"github.com/parallax-arch/parallax/internal/phys/cloth"
 	"github.com/parallax-arch/parallax/internal/phys/narrowphase"
@@ -116,6 +118,57 @@ func (p *StepProfile) AppendIslandDOFs(dst []int) []int {
 // slice. Hot loops should use AppendIslandDOFs with a reused buffer.
 func (p *StepProfile) IslandDOFs() []int {
 	return p.AppendIslandDOFs(make([]int, 0, len(p.Islands)))
+}
+
+// Digest returns a 64-bit FNV-1a hash over the profile's counters and
+// per-island statistics — everything the step records except the
+// RecordDetail slices. Two steps that did identical work produce the
+// same digest, so comparing digests step by step is how record-replay
+// detects the first divergence between two runs.
+func (p *StepProfile) Digest() uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime
+	}
+	mix(uint64(p.Pairs))
+	mix(uint64(p.Contacts))
+	mix(uint64(p.Broad.Geoms))
+	mix(uint64(p.Broad.AABBUpdates))
+	mix(uint64(p.Broad.SortOps))
+	mix(uint64(p.Broad.OverlapTests))
+	mix(uint64(p.Broad.PairsOut))
+	mix(uint64(p.Narrow.PairsTested))
+	mix(uint64(p.Narrow.ContactsOut))
+	mix(uint64(p.Narrow.TriTests))
+	mix(uint64(p.Narrow.PrimTests))
+	mix(math.Float64bits(p.Narrow.DeepestDepth))
+	mix(uint64(p.FindSteps))
+	mix(uint64(len(p.Islands)))
+	for i := range p.Islands {
+		is := &p.Islands[i]
+		mix(uint64(is.Bodies))
+		mix(uint64(is.Joints))
+		mix(uint64(is.Contacts))
+		mix(uint64(is.DOF))
+	}
+	mix(uint64(p.Solver.Rows))
+	mix(uint64(p.Solver.Iterations))
+	mix(uint64(p.Solver.RowUpdates))
+	mix(uint64(p.Cloth.VertexUpdates))
+	mix(uint64(p.Cloth.ConstraintUpdates))
+	mix(uint64(p.Cloth.CollisionTests))
+	mix(uint64(p.Cloth.RayCasts))
+	mix(uint64(len(p.ClothVerts)))
+	for _, v := range p.ClothVerts {
+		mix(uint64(v))
+	}
+	mix(uint64(p.Explosions))
+	mix(uint64(p.FractureHit))
+	mix(uint64(p.JointBreaks))
+	mix(uint64(p.BodiesIntegrated))
+	return h
 }
 
 // FrameProfile aggregates the steps of one rendered frame (the paper

@@ -24,10 +24,12 @@ func (w *World) RayCast(o, dir m3.Vec, maxT float64) (narrowphase.RayHit, bool) 
 			continue
 		}
 		// Planes have unbounded boxes; everything else is pre-filtered
-		// by the ray's AABB.
+		// by the ray's AABB. The box is computed into a local: queries
+		// are read-only and may run concurrently, so they must not
+		// refresh the shared g.Box cache.
 		if g.Shape.Kind() != geom.KindPlane {
-			g.UpdateAABB()
-			if !g.Box.Overlaps(ray) {
+			box := g.Shape.AABB(g.Pos, g.Rot)
+			if !box.Overlaps(ray) {
 				continue
 			}
 		}
@@ -50,8 +52,10 @@ func (w *World) BodiesIn(box m3.AABB, dst []int32) []int32 {
 		if g.Flags.Has(geom.FlagBlast) || g.Flags.Has(geom.FlagCloth) {
 			continue
 		}
-		g.UpdateAABB()
-		if g.Box.Overlaps(box) {
+		// Read-only query: compute the AABB into a local rather than
+		// refreshing the shared g.Box cache (see RayCast).
+		gb := g.Shape.AABB(g.Pos, g.Rot)
+		if gb.Overlaps(box) {
 			dst = append(dst, int32(g.Body))
 		}
 	}

@@ -18,6 +18,7 @@ type narrowEvents struct {
 	stats      narrowphase.Stats
 	explosions []int32
 	blastHits  [][2]int32 // blast geom, other geom
+	blastCloth [][2]int32 // blast geom, cloth index
 	clothHits  [][2]int32 // cloth index, other geom
 }
 
@@ -102,6 +103,7 @@ func (sc *frameScratch) beginStep(threads, numJoints int) {
 		e.stats = narrowphase.Stats{}
 		e.explosions = e.explosions[:0]
 		e.blastHits = e.blastHits[:0]
+		e.blastCloth = e.blastCloth[:0]
 		e.clothHits = e.clothHits[:0]
 	}
 	sc.contacts = sc.contacts[:0]

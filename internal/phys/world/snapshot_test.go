@@ -1,0 +1,247 @@
+package world
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/phys/cloth"
+	"github.com/parallax-arch/parallax/internal/phys/geom"
+	"github.com/parallax-arch/parallax/internal/phys/joint"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// snapWorld builds a scene that exercises every snapshot section:
+// stacked bodies, a hinge and a breakable fixed joint accumulating
+// fatigue, pinned cloth, an explosive that detonates within a few
+// steps (creating a blast and consuming its spec), a prefractured
+// brick with debris, warm starting, and sleeping enabled.
+func snapWorld(threads int) *World {
+	w := detWorld(threads)
+	w.WarmStart = true
+	w.EnableSleep = true
+
+	a, _ := w.AddBody(geom.Box{Half: m3.V(0.2, 0.2, 0.2)}, 1, m3.V(-4, 0.2, 2), m3.QIdent, 0, 0)
+	b, _ := w.AddBody(geom.Box{Half: m3.V(0.2, 0.2, 0.2)}, 1, m3.V(-4, 0.65, 2), m3.QIdent, 0, 0)
+	w.AddJoint(joint.NewBreakable(
+		joint.NewFixed(w.Bodies, a, b, m3.V(-4, 0.4, 2)), 0, 1e5))
+
+	_, pg := w.AddBody(geom.Box{Half: m3.V(0.4, 0.4, 0.4)}, 4, m3.V(5, 0.4, 2), m3.QIdent, 0, 0)
+	var debris []int32
+	for i := 0; i < 2; i++ {
+		off := m3.V(5+float64(i)*0.4-0.2, 0.6, 2)
+		_, dg := w.AddBody(geom.Box{Half: m3.V(0.2, 0.2, 0.2)}, 1, off, m3.QIdent, geom.FlagDebris, 0)
+		w.DisableBodyGeom(dg)
+		debris = append(debris, dg)
+	}
+	w.RegisterFracture(pg, debris)
+
+	_, bomb := w.AddBody(geom.Sphere{R: 0.2}, 1, m3.V(5.6, 0.3, 2), m3.QIdent, 0, 0)
+	w.MarkExplosive(bomb, ExplosiveSpec{Radius: 2, Duration: 0.2, Impulse: 15})
+	return w
+}
+
+// TestSnapshotRoundTripIdentity: decoding a snapshot into a fresh world
+// and re-encoding must reproduce the exact bytes, including mid-run
+// state with live blasts, consumed explosives, broken fractures and a
+// populated warm-start cache.
+func TestSnapshotRoundTripIdentity(t *testing.T) {
+	w := snapWorld(2)
+	for i := 0; i < 40; i++ {
+		w.Step()
+	}
+	s1 := w.Snapshot()
+	w2 := New()
+	if err := w2.Restore(s1); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	s2 := w2.Snapshot()
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("snapshot not byte-stable through a restore round trip (%d vs %d bytes)", len(s1), len(s2))
+	}
+}
+
+// TestSnapshotRestoreContinuesBitIdentical: Restore(Snapshot(w)) + N
+// steps must match stepping w uninterrupted, profile digest by profile
+// digest and byte for byte, at several thread counts — including a
+// restored thread count different from the recording one.
+func TestSnapshotRestoreContinuesBitIdentical(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		w := snapWorld(2)
+		for i := 0; i < 25; i++ {
+			w.Step()
+		}
+		w2 := New()
+		w2.Threads = threads
+		if err := w2.Restore(w.Snapshot()); err != nil {
+			t.Fatalf("threads=%d: Restore: %v", threads, err)
+		}
+		for i := 0; i < 60; i++ {
+			w.Step()
+			w2.Step()
+			if w.Profile.Digest() != w2.Profile.Digest() {
+				t.Fatalf("threads=%d: profile diverged at step %d after restore", threads, i)
+			}
+		}
+		if !bytes.Equal(w.Snapshot(), w2.Snapshot()) {
+			t.Fatalf("threads=%d: state diverged after 60 post-restore steps", threads)
+		}
+	}
+}
+
+// TestSnapshotPreservesEventState checks the event-system state
+// explicitly: breakable fatigue, consumed explosive specs, live blast
+// hit sets and fracture flags all survive the round trip.
+func TestSnapshotPreservesEventState(t *testing.T) {
+	w := snapWorld(1)
+	detonated := false
+	for i := 0; i < 60 && !detonated; i++ {
+		w.Step()
+		detonated = w.Profile.Explosions > 0
+	}
+	if !detonated {
+		t.Fatal("bomb never detonated; scene no longer exercises blasts")
+	}
+	// One more step so the blast has applied hits but is still alive.
+	w.Step()
+
+	w2 := New()
+	if err := w2.Restore(w.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if len(w2.Explosives) != len(w.Explosives) {
+		t.Errorf("explosive specs: got %d, want %d", len(w2.Explosives), len(w.Explosives))
+	}
+	if len(w2.Blasts) != len(w.Blasts) {
+		t.Fatalf("blasts: got %d, want %d", len(w2.Blasts), len(w.Blasts))
+	}
+	for i := range w.Blasts {
+		if len(w2.Blasts[i].hit) != len(w.Blasts[i].hit) {
+			t.Errorf("blast %d hit set: got %d, want %d", i, len(w2.Blasts[i].hit), len(w.Blasts[i].hit))
+		}
+	}
+	var br, br2 *joint.Breakable
+	for ji := range w.Joints {
+		if b, ok := w.Joints[ji].(*joint.Breakable); ok {
+			br = b
+			br2 = w2.Joints[ji].(*joint.Breakable)
+			break
+		}
+	}
+	if br == nil {
+		t.Fatal("no breakable joint in scene")
+	}
+	if br.Fatigue == 0 {
+		t.Error("breakable joint accumulated no fatigue; scene no longer exercises fatigue")
+	}
+	if br2.Fatigue != br.Fatigue || br2.Broken != br.Broken {
+		t.Errorf("breakable state: got (%v, %v), want (%v, %v)", br2.Fatigue, br2.Broken, br.Fatigue, br.Broken)
+	}
+	for i := range w.Bodies {
+		if w2.Bodies[i].Asleep != w.Bodies[i].Asleep || w2.Bodies[i].SleepClock() != w.Bodies[i].SleepClock() {
+			t.Errorf("body %d sleep state not preserved", i)
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption: a flipped byte anywhere fails the
+// checksum; truncation, bad magic and unknown versions all error
+// without mutating the target world.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	w := snapWorld(1)
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	snap := w.Snapshot()
+
+	fresh := func() *World {
+		nw := New()
+		if err := nw.Restore(snap); err != nil {
+			t.Fatalf("Restore of pristine snapshot: %v", err)
+		}
+		return nw
+	}
+	target := fresh()
+	want := target.Snapshot()
+
+	for _, off := range []int{0, 4, len(snap) / 2, len(snap) - 1} {
+		bad := append([]byte(nil), snap...)
+		bad[off] ^= 0x40
+		if err := target.Restore(bad); err == nil {
+			t.Errorf("corruption at byte %d not detected", off)
+		}
+	}
+	if err := target.Restore(snap[:8]); err == nil {
+		t.Error("truncated snapshot not detected")
+	}
+	if err := target.Restore(nil); err == nil {
+		t.Error("empty snapshot not detected")
+	}
+	if !bytes.Equal(target.Snapshot(), want) {
+		t.Error("failed Restore mutated the world")
+	}
+}
+
+// TestCloneIndependent: a clone shares no mutable state — stepping it
+// must leave the original's snapshot untouched, and both worlds step
+// identically from the fork point.
+func TestCloneIndependent(t *testing.T) {
+	w := snapWorld(2)
+	for i := 0; i < 20; i++ {
+		w.Step()
+	}
+	before := w.Snapshot()
+	cl, err := w.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	if cl.Threads != w.Threads {
+		t.Errorf("clone Threads = %d, want %d", cl.Threads, w.Threads)
+	}
+	for i := 0; i < 30; i++ {
+		cl.Step()
+	}
+	if !bytes.Equal(w.Snapshot(), before) {
+		t.Fatal("stepping the clone mutated the original")
+	}
+	for i := 0; i < 30; i++ {
+		w.Step()
+	}
+	if !bytes.Equal(w.Snapshot(), cl.Snapshot()) {
+		t.Fatal("original and clone diverged while stepping the same inputs")
+	}
+}
+
+// TestSnapshotCloth: a cloth mid-flight (nonzero implied Verlet
+// velocity) restores bit-identically, including the proxy geom
+// aliasing that the per-step resize mutates through.
+func TestSnapshotCloth(t *testing.T) {
+	w := groundWorld()
+	c := cloth.NewGrid(8, 8, 0.2, m3.V(-0.7, 2, -0.7), 0.5)
+	c.PinParticle(0)
+	w.AddCloth(c)
+	bi, _ := w.AddBody(geom.Sphere{R: 0.3}, 1, m3.V(0, 3.5, 0), m3.QIdent, 0, 0)
+	w.Bodies[bi].LinVel = m3.V(0, -2, 0)
+	for i := 0; i < 30; i++ {
+		w.Step()
+	}
+	w2 := New()
+	if err := w2.Restore(w.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := 0; i < 60; i++ {
+		w.Step()
+		w2.Step()
+	}
+	if !bytes.Equal(w.Snapshot(), w2.Snapshot()) {
+		t.Fatal("cloth state diverged after restore")
+	}
+	// The restored proxy must alias the cloth box: stepping must keep
+	// resizing it (regression for the pointer re-establishment).
+	gi := w2.clothProxy[0]
+	if _, ok := w2.Geoms[gi].Shape.(*geom.Box); !ok {
+		t.Fatalf("restored cloth proxy shape is %T, want *geom.Box", w2.Geoms[gi].Shape)
+	}
+	if w2.clothProxyShape[0] != w2.Geoms[gi].Shape.(*geom.Box) {
+		t.Fatal("restored cloth proxy shape does not alias the proxy geom's shape")
+	}
+}

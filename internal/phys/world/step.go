@@ -98,14 +98,32 @@ func (w *World) Step() {
 		for _, hit := range sc.narrow[i].blastHits {
 			w.blastHit(hit[0], hit[1], prof)
 		}
+		for _, hit := range sc.narrow[i].blastCloth {
+			w.blastHitCloth(hit[0], hit[1])
+		}
 		for _, hit := range sc.narrow[i].clothHits {
 			w.clothContacts[hit[0]] = append(w.clothContacts[hit[0]], hit[1])
 		}
 	}
 
 	// Wake sleeping bodies hit by something that is actually moving;
-	// resting contacts must not keep bodies awake forever.
+	// resting contacts must not keep bodies awake forever. Joints
+	// propagate wake the same way: a moving body drags its jointed
+	// partner awake before islands are built, so the partner joins the
+	// island instead of being silently anchored.
 	if w.EnableSleep {
+		for _, j := range w.Joints {
+			if j.NumRows() == 0 {
+				continue
+			}
+			ja, jb := j.Bodies()
+			if ja >= 0 && w.Bodies[ja].Asleep && jb >= 0 && w.bodyMoving(int(jb)) {
+				w.Bodies[ja].Wake()
+			}
+			if jb >= 0 && w.Bodies[jb].Asleep && ja >= 0 && w.bodyMoving(int(ja)) {
+				w.Bodies[jb].Wake()
+			}
+		}
 		for i := range contacts {
 			c := &contacts[i]
 			ba, bb := w.Geoms[c.A].Body, w.Geoms[c.B].Body
@@ -292,7 +310,8 @@ func (w *World) Step() {
 	}
 	l0.End(w.spans.cloth)
 
-	// Blast volume lifetimes.
+	// Blast volume lifetimes. Expired volumes are disabled and their
+	// geom slots staged for reuse by future detonations.
 	live := w.Blasts[:0]
 	for _, bl := range w.Blasts {
 		bl.Remaining -= w.Dt
@@ -304,9 +323,17 @@ func (w *World) Step() {
 		} else {
 			delete(w.blastOfGeom, bl.Geom)
 			w.Geoms[bl.Geom].Flags |= geom.FlagDisabled
+			w.geomFreeStaged = append(w.geomFreeStaged, bl.Geom)
 		}
 	}
 	w.Blasts = live
+
+	// Slots freed this step (consumed explosives, expired blasts) become
+	// reusable now that no in-step reference to them remains.
+	if len(w.geomFreeStaged) > 0 {
+		w.geomFree = append(w.geomFree, w.geomFreeStaged...)
+		w.geomFreeStaged = w.geomFreeStaged[:0]
+	}
 
 	// (h) Advance time.
 	w.Time += w.Dt
@@ -327,7 +354,14 @@ func (w *World) narrowChunk(chunk, lo, hi int) {
 		switch {
 		case aC || bC:
 			// (c.iii) body touching a cloth's bounding volume goes on
-			// the cloth's contact list.
+			// the cloth's contact list; a blast volume overlapping it
+			// instead applies the shockwave to the cloth's vertices.
+			if aC && bB {
+				e.blastCloth = append(e.blastCloth, [2]int32{int32(b.ID), a.Aux})
+			}
+			if bC && aB {
+				e.blastCloth = append(e.blastCloth, [2]int32{int32(a.ID), b.Aux})
+			}
 			if aC && !bB && !bC {
 				e.clothHits = append(e.clothHits, [2]int32{a.Aux, int32(b.ID)})
 			}
@@ -382,12 +416,35 @@ func (w *World) solveIsland(worker, idx int) {
 	}
 	rows := sc.rows[worker][:0]
 	for _, ji := range is.Joints {
+		base := len(rows)
 		rows = w.Joints[ji].Rows(w.Bodies, p, ji, rows)
+		// A joint may reference a body that belongs to no island — asleep
+		// with a partner too slow to wake it, or disabled. Freeze that
+		// endpoint: sleeping zeroes velocity, so treating it as static is
+		// exact, and the solver must never write into a body another
+		// island might also touch.
+		for ri := base; ri < len(rows); ri++ {
+			r := &rows[ri]
+			if r.BodyA >= 0 && !w.bodySolvable(r.BodyA) {
+				r.BodyA = -1
+			}
+			if r.BodyB >= 0 && !w.bodySolvable(r.BodyB) {
+				r.BodyB = -1
+			}
+		}
 	}
 	for _, ci := range is.Contacts {
 		c := &sc.contacts[ci]
 		a := int32(w.Geoms[c.A].Body)
 		b := int32(w.Geoms[c.B].Body)
+		// Same freezing for contacts: a resting touch does not wake a
+		// sleeping body, so the contact anchors against it instead.
+		if a >= 0 && !w.bodySolvable(a) {
+			a = -1
+		}
+		if b >= 0 && !w.bodySolvable(b) {
+			b = -1
+		}
 		base := int32(len(rows))
 		sc.rowBase[ci] = base
 		rows = joint.ContactRows(w.Bodies, a, b, c.Pos, c.Normal, c.Depth,
@@ -442,6 +499,17 @@ func (w *World) stepCloth(worker, ci int) {
 	lane.End(w.spans.clothObj)
 }
 
+// bodySolvable reports whether the solver may read and write a body's
+// velocities: enabled, finite mass, awake. Inactive bodies belong to no
+// island, so two islands solved on different workers could otherwise
+// race on them through shared joint or contact rows.
+//
+//paraxlint:noalloc
+func (w *World) bodySolvable(bi int32) bool {
+	b := w.Bodies[bi]
+	return b.Enabled && b.InvMass > 0 && !b.Asleep
+}
+
 // bodyMoving reports whether a body is awake and above the sleep speed
 // thresholds — the "is the thing that hit me actually moving" test for
 // waking sleeping bodies.
@@ -473,7 +541,13 @@ func (w *World) StepFrame() FrameProfile {
 	return f
 }
 
-// detonate replaces an explosive geom with its blast volume.
+// detonate replaces an explosive geom with its blast volume. The
+// consumed spec is deleted and the explosive's geom slot staged for
+// reuse — a detonated explosive never comes back, and leaving its geom
+// and spec behind would grow the world without bound in long-running
+// explosion scenes. The blast volume itself takes a recycled slot when
+// one is free (from a previous step; slots freed this step are not yet
+// reusable).
 func (w *World) detonate(gidx int32, prof *StepProfile) {
 	g := w.Geoms[gidx]
 	if !g.Enabled() {
@@ -485,8 +559,22 @@ func (w *World) detonate(gidx int32, prof *StepProfile) {
 	}
 	pos := g.Pos
 	w.DisableBodyGeom(gidx)
+	delete(w.Explosives, gidx)
+	// Prefractured explosives keep their slot: the fracture table still
+	// references the parent geom.
+	if !g.Flags.Has(geom.FlagPrefractured) {
+		if g.Body >= 0 {
+			w.bodyGeom[g.Body] = -1
+		}
+		w.geomFreeStaged = append(w.geomFreeStaged, gidx)
+	}
+	id := len(w.Geoms)
+	if n := len(w.geomFree); n > 0 {
+		id = int(w.geomFree[n-1])
+		w.geomFree = w.geomFree[:n-1]
+	}
 	bg := &geom.Geom{
-		ID:    len(w.Geoms),
+		ID:    id,
 		Shape: geom.Sphere{R: spec.Radius},
 		Pos:   pos,
 		Rot:   m3.Ident,
@@ -494,16 +582,47 @@ func (w *World) detonate(gidx int32, prof *StepProfile) {
 		Flags: geom.FlagBlast,
 	}
 	bg.UpdateAABB()
-	w.Geoms = append(w.Geoms, bg)
+	if id == len(w.Geoms) {
+		w.Geoms = append(w.Geoms, bg)
+	} else {
+		w.Geoms[id] = bg
+	}
 	if w.blastOfGeom == nil {
 		w.blastOfGeom = make(map[int32]int32)
 	}
 	w.blastOfGeom[int32(bg.ID)] = int32(len(w.Blasts))
 	w.Blasts = append(w.Blasts, Blast{
 		Geom: int32(bg.ID), Remaining: spec.Duration, Impulse: spec.Impulse,
-		hit: make(map[int32]bool),
+		hit: make(map[int32]bool), hitCloth: make(map[int32]bool),
 	})
 	prof.Explosions++
+}
+
+// blastHitCloth applies a blast volume's shockwave to a cloth whose
+// bounding volume it overlaps: every particle inside the blast sphere
+// gets a radial velocity kick scaled by proximity, with the blast's
+// impulse spread over the cloth's particles. Like rigid bodies, each
+// cloth is hit at most once per blast.
+func (w *World) blastHitCloth(blastGeom, clothIdx int32) {
+	bg := w.Geoms[blastGeom]
+	if !bg.Enabled() {
+		return
+	}
+	bi, ok := w.blastOfGeom[blastGeom]
+	if !ok {
+		return
+	}
+	blast := &w.Blasts[bi]
+	if blast.Impulse == 0 {
+		return
+	}
+	if blast.hitCloth[clothIdx] {
+		return
+	}
+	blast.hitCloth[clothIdx] = true
+	c := w.Cloths[clothIdx]
+	r := bg.Shape.(geom.Sphere).R
+	c.ApplyBlast(bg.Pos, r, blast.Impulse/float64(c.NumVertices()), w.Dt)
 }
 
 // blastHit applies a blast volume's effect to a geom it overlaps:

@@ -40,12 +40,13 @@ type ExplosiveSpec struct {
 }
 
 // Blast is an active blast volume. The shockwave imparts its impulse to
-// each body at most once over the blast's lifetime.
+// each body (and each cloth) at most once over the blast's lifetime.
 type Blast struct {
 	Geom      int32
 	Remaining float64
 	Impulse   float64
-	hit       map[int32]bool
+	hit       map[int32]bool // body index -> shockwave already applied
+	hitCloth  map[int32]bool // cloth index -> shockwave already applied
 }
 
 // FractureGroup links a breakable parent geom to its pre-created debris.
@@ -119,7 +120,16 @@ type World struct {
 
 	pool     *pool
 	pairBuf  []broadphase.Pair
-	bodyGeom []int32 // body index -> geom index
+	bodyGeom []int32 // body index -> geom index (-1 once consumed)
+	// geomFree lists disabled geom slots (consumed explosives, expired
+	// blast volumes) available for reuse, so long-running Explosions/Mix
+	// scenes don't grow w.Geoms without bound. geomFreeStaged collects
+	// the slots freed during the current step; they migrate to geomFree
+	// only when the step completes, so nothing that still references a
+	// geom id this step (cloth contact lists, pending events) can see
+	// the slot repurposed mid-step.
+	geomFree       []int32
+	geomFreeStaged []int32
 	// warmCache holds last step's contact impulses keyed by (geom pair,
 	// ordinal within the pair's manifold): normal + two friction values.
 	warmCache map[warmKey][joint.RowsPerContact]float64
