@@ -116,33 +116,14 @@ func BenchmarkCGOnly(b *testing.B) {
 }
 
 // wallRubbleWorld builds the mid-size wall/rubble scene used to measure
-// steady-state stepping: a brick wall stacked on a ground plane with a
-// field of rubble (spheres and boxes) resting and settling around it.
-// At steady state every step exercises broad phase, narrow phase,
-// island creation and island processing with a stable contact topology.
+// steady-state stepping (workload.BuildWallRubble, shared with
+// paraxsim's -stepbench mode): at steady state every step exercises
+// broad phase, narrow phase, island creation and island processing with
+// a stable contact topology.
 func wallRubbleWorld(threads int, warmStart bool) *World {
-	w := NewWorld()
-	w.Threads = threads
+	w := workload.BuildWallRubble()
+	w.SetThreads(threads)
 	w.WarmStart = warmStart
-	w.AddStatic(Plane{Normal: V(0, 1, 0)}, V(0, 0, 0), QIdent)
-	// Brick wall: 8 columns x 6 rows.
-	for row := 0; row < 6; row++ {
-		for col := 0; col < 8; col++ {
-			x := float64(col)*1.02 + 0.51*float64(row%2)
-			y := 0.5 + float64(row)*1.01
-			w.AddBody(Box{Half: V(0.5, 0.5, 0.25)}, 4.0, V(x, y, 0), QIdent, 0, 0)
-		}
-	}
-	// Rubble field in front of the wall.
-	for i := 0; i < 40; i++ {
-		x := float64(i%10)*0.9 - 0.5
-		z := 2 + float64(i/10)*0.9
-		if i%2 == 0 {
-			w.AddBody(Sphere{R: 0.3}, 1.0, V(x, 0.3, z), QIdent, 0, 0)
-		} else {
-			w.AddBody(Box{Half: V(0.3, 0.2, 0.3)}, 1.5, V(x, 0.2, z), QIdent, 0, 0)
-		}
-	}
 	return w
 }
 

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"github.com/parallax-arch/parallax/internal/exp"
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 )
 
 func main() {
@@ -48,6 +49,8 @@ func main() {
 			"harness worker threads (1 = fully serial; default GOMAXPROCS)")
 		bench = flag.String("bench", "",
 			"comma list of benchmarks to restrict the suite to (default: all)")
+		broad = flag.String("broad", "",
+			"broad-phase algorithm for every captured world: sap|incsap|grid (default: each benchmark's own)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		traceFile  = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `file`")
 		metricsOut = flag.String("metrics", "", "write the metrics snapshot to `file`")
@@ -108,6 +111,19 @@ func main() {
 		}
 	}
 	s.Threads = *threads
+	if *broad != "" {
+		// Validate the name once up front; captures then build a fresh
+		// instance per world (sweep structures carry cross-step state).
+		if _, err := broadphase.NewByName(*broad); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		name := *broad
+		s.Broad = func() broadphase.Interface {
+			bp, _ := broadphase.NewByName(name)
+			return bp
+		}
+	}
 
 	ids := exp.IDs()
 	if *id != "all" {

@@ -15,17 +15,27 @@
 // first divergent step (-inject N corrupts digest N first, to prove the
 // gate trips).
 //
+// Benchmarking: -stepbench runs the steady-state wall/rubble stepping
+// scene (the same scene as the repo's BenchmarkStep) at each listed
+// thread count and reports per-step wall time, per-phase span totals,
+// allocations per step, and the measured serial fraction; -stepjson
+// writes the machine-readable report (see BENCH_step.json at the repo
+// root for the committed baseline and CI's allocation gate).
+//
 // Usage:
 //
 //	paraxsim -bench Mix -frames 5 -scale 1.0 -threads 4
 //	paraxsim -bench Explosions -trace trace.json -metrics metrics.txt
 //	paraxsim -bench Mix -cpuprofile cpu.pprof -pprof localhost:6060
 //	paraxsim -bench Breakable -frames 10 -save run.paxr
+//	paraxsim -bench Mix -broad incsap -frames 5
+//	paraxsim -stepbench 1,2,4,8 -stepjson BENCH_step.json
 //	paraxsim -replay run.paxr -threads 8
 //	paraxsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,12 +44,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"github.com/parallax-arch/parallax/internal/arch/kernels"
 	archpx "github.com/parallax-arch/parallax/internal/arch/parallax"
 	"github.com/parallax-arch/parallax/internal/obs"
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 	"github.com/parallax-arch/parallax/internal/phys/replay"
 	"github.com/parallax-arch/parallax/internal/phys/workload"
 	"github.com/parallax-arch/parallax/internal/phys/world"
@@ -53,6 +66,11 @@ func main() {
 		threads = flag.Int("threads", 1, "worker threads for parallel phases")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		eval    = flag.Bool("eval", false, "also evaluate the ParallAX reference system on this benchmark")
+		broad   = flag.String("broad", "", "broad-phase algorithm: sap|incsap|grid (default: the world's own; with -load, replaces the restored broad phase and discards its saved sweep state)")
+
+		stepBench = flag.String("stepbench", "", "comma list of thread counts (e.g. 1,2,4,8): run the steady-state step benchmark and exit")
+		stepJSON  = flag.String("stepjson", "", "with -stepbench: write the machine-readable report to `file`")
+		stepN     = flag.Int("stepn", 200, "with -stepbench: measured steps per thread count")
 
 		saveFile   = flag.String("save", "", "after the run, record a replay (snapshot + digests) to `file`")
 		loadFile   = flag.String("load", "", "start from the world snapshot in replay `file` instead of building")
@@ -71,6 +89,11 @@ func main() {
 		for _, b := range workload.All {
 			fmt.Printf("%-12s %-22s %s\n", b.Name, "("+b.Genre+")", b.Desc)
 		}
+		return
+	}
+
+	if *stepBench != "" {
+		runStepBench(*stepBench, *stepN, *broad, *stepJSON)
 		return
 	}
 
@@ -148,7 +171,18 @@ func main() {
 		fmt.Printf("building %s at scale %.2f...\n", b.Name, *scale)
 		w = b.Build(*scale)
 	}
-	w.Threads = *threads
+	if *broad != "" {
+		// After a -load Restore this replaces the snapshot's broad phase
+		// (and its saved sweep order / pair set): the run is then a fresh
+		// start for the chosen algorithm, not a bit-exact resume.
+		bp, err := broadphase.NewByName(*broad)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w.Broad = bp
+	}
+	w.SetThreads(*threads)
 	w.SetObs(tr, reg, "engine/"+b.Name)
 	fmt.Printf("bodies=%d geoms=%d joints=%d cloths=%d\n",
 		len(w.Bodies), len(w.Geoms), len(w.Joints), len(w.Cloths))
@@ -226,6 +260,208 @@ func main() {
 		runtime.GC()
 		writeTo(*memProfile, pprof.WriteHeapProfile)
 	}
+}
+
+// benchPhase is one engine phase's share of a measured stepbench run.
+type benchPhase struct {
+	Name      string  `json:"name"`
+	NsPerStep float64 `json:"ns_per_step"`
+	Fraction  float64 `json:"fraction_of_step"`
+}
+
+// benchRun is one thread count's measurement.
+type benchRun struct {
+	Threads        int          `json:"threads"`
+	NsPerStep      float64      `json:"ns_per_step"`
+	AllocsPerStep  float64      `json:"allocs_per_step"`
+	SerialFraction float64      `json:"serial_fraction"`
+	Phases         []benchPhase `json:"phases"`
+}
+
+// benchReport is the machine-readable -stepbench output (the committed
+// baseline lives at BENCH_step.json; CI regenerates it and gates on
+// allocs_per_step staying zero).
+type benchReport struct {
+	Scene       string     `json:"scene"`
+	Broad       string     `json:"broad"`
+	SettleSteps int        `json:"settle_steps"`
+	Steps       int        `json:"steps"`
+	GoMaxProcs  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
+	Runs        []benchRun `json:"runs"`
+}
+
+// stepBenchPhases are the per-step phase spans reported by -stepbench;
+// broadphase and island-creation still contain the step's serial
+// sections (pair emission and the union-find merge), so their combined
+// share of the step span is reported as serial_fraction. The *-chunk
+// entries are the worker-side task spans summed across lanes (CPU
+// time, so at N threads they can exceed the enclosing phase's wall
+// time): refresh-chunk and edge-chunk are the parallelizable portions
+// of broadphase and island-creation, so at 1 thread
+// (phase − chunk) is the residual serial budget of each.
+var stepBenchPhases = []string{
+	"broadphase", "narrowphase", "island-creation", "island-processing", "integrate", "cloth",
+	"refresh-chunk", "narrow-chunk", "edge-chunk", "integrate-chunk", "sync-chunk",
+}
+
+// stepBenchSettle matches BenchmarkStep's settle loop: the scene
+// reaches a steady contact topology before measurement starts.
+const stepBenchSettle = 120
+
+// runStepBench measures steady-state stepping of the wall/rubble scene
+// at each listed thread count: wall time and heap allocations per step,
+// plus each phase's cumulative span time (from the tracer's totals
+// table), and writes the JSON report when jsonPath is set.
+func runStepBench(threadList string, steps int, broadName, jsonPath string) {
+	var counts []int
+	for _, s := range strings.Split(threadList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "invalid -stepbench entry %q: want positive integers\n", s)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	if steps < 1 {
+		fmt.Fprintf(os.Stderr, "invalid -stepn %d: must be >= 1\n", steps)
+		os.Exit(2)
+	}
+
+	rep := benchReport{
+		Scene:       "WallRubble",
+		Broad:       broadName,
+		SettleSteps: stepBenchSettle,
+		Steps:       steps,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+	if rep.Broad == "" {
+		rep.Broad = "default"
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "threads\tns/step\tallocs/step\tserial%\t"+strings.Join(stepBenchPhases, "\t"))
+	for _, n := range counts {
+		run := stepBenchOne(n, steps, broadName)
+		rep.Runs = append(rep.Runs, run)
+		row := fmt.Sprintf("%d\t%.0f\t%.2f\t%.1f%%", run.Threads, run.NsPerStep,
+			run.AllocsPerStep, 100*run.SerialFraction)
+		for _, p := range run.Phases {
+			row += fmt.Sprintf("\t%.0f", p.NsPerStep)
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// stepBenchOne measures one thread count on a freshly built, freshly
+// settled world with its own tracer (so span totals start at zero).
+func stepBenchOne(threads, steps int, broadName string) benchRun {
+	w := workload.BuildWallRubble()
+	if broadName != "" {
+		bp, err := broadphase.NewByName(broadName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w.Broad = bp
+	}
+	w.SetThreads(threads)
+	tr := obs.NewTracer()
+	w.SetObs(tr, nil, "stepbench")
+
+	stepID := tr.Span("step")
+	ids := make([]obs.SpanID, len(stepBenchPhases))
+	for i, name := range stepBenchPhases {
+		ids[i] = tr.Span(name)
+	}
+
+	for i := 0; i < stepBenchSettle; i++ {
+		w.Step()
+	}
+	// The timed loop, retried: runtime background work (scheduler,
+	// finalizers, GC debt from earlier thread counts' setup) can charge
+	// a stray allocation to a pass, so up to five passes run and the
+	// one with the fewest heap allocations wins — the
+	// minimum-over-retries discipline testing.AllocsPerRun uses. The
+	// loop exits on the first clean pass, so retries only cost time
+	// when something actually allocated. Each pass re-reads its own
+	// span-total baselines, so the winning pass's per-phase deltas
+	// cover exactly its own steps.
+	var wall time.Duration
+	var mallocs uint64
+	var stepNs float64
+	phaseNs := make([]float64, len(ids))
+	for attempt := 0; attempt < 5; attempt++ {
+		_, stepNs0 := tr.SpanTotal(stepID)
+		base := make([]int64, len(ids))
+		for i, id := range ids {
+			_, base[i] = tr.SpanTotal(id)
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for i := 0; i < steps; i++ {
+			w.Step()
+		}
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		_, stepNs1 := tr.SpanTotal(stepID)
+		alloc := m1.Mallocs - m0.Mallocs
+		if attempt == 0 || alloc < mallocs {
+			wall, mallocs = d, alloc
+			stepNs = float64(stepNs1 - stepNs0)
+			for i, id := range ids {
+				_, ns1 := tr.SpanTotal(id)
+				phaseNs[i] = float64(ns1 - base[i])
+			}
+		}
+		if mallocs == 0 {
+			break
+		}
+	}
+
+	run := benchRun{
+		Threads:       threads,
+		NsPerStep:     float64(wall.Nanoseconds()) / float64(steps),
+		AllocsPerStep: float64(mallocs) / float64(steps),
+	}
+	var serialNs float64
+	for i, name := range stepBenchPhases {
+		ns := phaseNs[i]
+		frac := 0.0
+		if stepNs > 0 {
+			frac = ns / stepNs
+		}
+		run.Phases = append(run.Phases, benchPhase{
+			Name:      name,
+			NsPerStep: ns / float64(steps),
+			Fraction:  frac,
+		})
+		if name == "broadphase" || name == "island-creation" {
+			serialNs += ns
+		}
+	}
+	if stepNs > 0 {
+		run.SerialFraction = serialNs / stepNs
+	}
+	return run
 }
 
 // writeTo creates path and streams write into it, exiting on error.

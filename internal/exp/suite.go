@@ -25,6 +25,7 @@ import (
 
 	"github.com/parallax-arch/parallax/internal/arch/parallax"
 	"github.com/parallax-arch/parallax/internal/obs"
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 	"github.com/parallax-arch/parallax/internal/phys/workload"
 )
 
@@ -38,6 +39,12 @@ type Suite struct {
 	// concurrently running experiments. <= 0 means GOMAXPROCS.
 	// Threads=1 reproduces the fully serial harness.
 	Threads int
+	// Broad, when non-nil, is called once per captured world to replace
+	// its broad-phase implementation before simulation (paraxbench's
+	// -broad flag). Each capture gets its own instance — the sweep
+	// structures carry cross-step state and must not be shared between
+	// worlds. Nil keeps each benchmark's default.
+	Broad func() broadphase.Interface
 
 	// entries are the suite's benchmarks in paper order; each captures
 	// its workload at most once, on first use.
@@ -182,6 +189,9 @@ func (s *Suite) capture(e *suiteEntry) *parallax.Workload {
 		tr := s.Tracer()
 		start := tr.Now()
 		w := e.bench.Build(s.Scale)
+		if s.Broad != nil {
+			w.Broad = s.Broad()
+		}
 		w.SetObs(tr, s.Metrics(), "engine/"+e.bench.Name)
 		e.wl = parallax.Capture(e.bench.Name, w, 1, 3)
 		e.wl.SetObs(tr, s.Metrics(), "arch/"+e.bench.Name)
@@ -349,7 +359,7 @@ var Registry = []Experiment{
 	{"ext-prefetch", "Extension: L2 prefetching (future work, sec 6.2)", (*Suite).ExtPrefetch},
 	{"ext-sharedmem", "Extension: shared FG local memories (future work, sec 8.2.2)", (*Suite).ExtSharedMem},
 	{"abl-partition", "Ablation: partitioned vs shared L2", (*Suite).AblPartition},
-	{"abl-broadphase", "Ablation: sweep-and-prune vs spatial hash", (*Suite).AblBroadphase},
+	{"abl-broadphase", "Ablation: sweep-and-prune vs incremental SAP vs spatial hash", (*Suite).AblBroadphase},
 	{"abl-iterations", "Ablation: solver iteration count", (*Suite).AblIterations},
 	{"abl-warmstart", "Ablation: contact warm starting vs iteration count", (*Suite).AblWarmstart},
 	{"ref-system", "Bottom line: the proposed ParallAX system vs 30 FPS", (*Suite).RefSystem},

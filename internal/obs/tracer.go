@@ -28,6 +28,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,6 +47,19 @@ const maxOpenSpans = 32
 
 // DefaultLaneEvents is the default ring capacity per lane.
 const DefaultLaneEvents = 4096
+
+// maxSpanTotals bounds the per-span cumulative totals table. A fixed
+// array — not a grown slice — so registering a span never moves the
+// storage that hot-path atomic adds race against.
+const maxSpanTotals = 512
+
+// spanTotal accumulates the matched-span count and summed duration for
+// one span ID across all lanes. Updated with atomics from the record
+// hot path; read with SpanTotal.
+type spanTotal struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
 
 // event is one fixed-size ring record.
 type event struct {
@@ -69,6 +83,7 @@ type Tracer struct {
 	names   []string
 	nameIdx map[string]SpanID
 	lanes   []*Lane
+	totals  [maxSpanTotals]spanTotal
 }
 
 // NewTracer returns an enabled tracer. A nil *Tracer is the disabled
@@ -196,6 +211,7 @@ func (l *Lane) End(id SpanID) int64 {
 	if l.depth > 0 && l.stack[l.depth-1].id == id {
 		l.depth--
 		dur = ts - l.stack[l.depth].ts
+		l.tr.addTotal(id, dur)
 	}
 	l.buf[l.head&l.mask] = event{id: id, kind: evEnd, ts: ts}
 	l.head++
@@ -220,7 +236,34 @@ func (l *Lane) Complete(id SpanID, startNanos int64) int64 {
 	l.buf[l.head&l.mask] = event{id: id, kind: evComplete, ts: startNanos, dur: dur}
 	l.head++
 	l.mu.Unlock()
+	l.tr.addTotal(id, dur)
 	return dur
+}
+
+// addTotal folds one finished span into the cumulative totals table.
+//
+//paraxlint:noalloc
+func (t *Tracer) addTotal(id SpanID, dur int64) {
+	if id < 0 || int(id) >= maxSpanTotals {
+		return
+	}
+	tt := &t.totals[id]
+	tt.count.Add(1)
+	tt.ns.Add(dur)
+}
+
+// SpanTotal returns the cumulative count and summed duration (in
+// nanoseconds) of finished spans with this ID across all lanes —
+// End records that matched their Begin, plus Complete records. The
+// totals are wall-clock aggregates for performance reporting (e.g.
+// per-phase time in a benchmark run), not experiment output. Zero for
+// a nil tracer or an unregistered ID.
+func (t *Tracer) SpanTotal(id SpanID) (count, nanos int64) {
+	if t == nil || id < 0 || int(id) >= maxSpanTotals {
+		return 0, 0
+	}
+	tt := &t.totals[id]
+	return tt.count.Load(), tt.ns.Load()
 }
 
 // Dropped reports how many Begin records overflowed the open-span

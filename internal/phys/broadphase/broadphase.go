@@ -10,6 +10,7 @@
 package broadphase
 
 import (
+	"fmt"
 	"slices"
 
 	"github.com/parallax-arch/parallax/internal/phys/geom"
@@ -37,6 +38,10 @@ type Stats struct {
 	OverlapTests int
 	// PairsOut is the number of candidate pairs produced.
 	PairsOut int
+	// Rebuilds counts full-structure rebuilds by incremental algorithms
+	// (coherence-collapse fallbacks); always zero for the full-sweep
+	// implementations.
+	Rebuilds int
 }
 
 // Interface is a broad-phase algorithm. Implementations keep persistent
@@ -47,6 +52,32 @@ type Interface interface {
 	Pairs(geoms []*geom.Geom, dst []Pair) []Pair
 	// Stats returns counters for the most recent Pairs call.
 	Stats() Stats
+}
+
+// Prerefreshed is implemented by broad phases that can skip their
+// internal AABB refresh when the caller has already updated every
+// enabled geom's bounding box (e.g. World.Step's chunk-parallel refresh
+// pass). Stats.Geoms and Stats.AABBUpdates are left zero on this path;
+// the caller accounts for the refresh work itself.
+type Prerefreshed interface {
+	Interface
+	// PairsPrerefreshed is Pairs without the per-geom UpdateAABB calls.
+	PairsPrerefreshed(geoms []*geom.Geom, dst []Pair) []Pair
+}
+
+// NewByName constructs a broad phase by its command-line name.
+func NewByName(name string) (Interface, error) {
+	switch name {
+	case "sap":
+		return NewSweepAndPrune(), nil
+	case "incsap":
+		return NewIncrementalSAP(), nil
+	case "grid", "hash":
+		return NewSpatialHash(), nil
+	case "brute":
+		return NewBruteForce(), nil
+	}
+	return nil, fmt.Errorf("unknown broad phase %q (want sap, incsap, grid or brute)", name)
 }
 
 // shouldPair applies the engine-level pair filter plus the AABB test.
@@ -83,6 +114,18 @@ func (s *SweepAndPrune) Stats() Stats { return s.stats }
 //
 //paraxlint:noalloc
 func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
+	return s.run(geoms, dst, true)
+}
+
+// PairsPrerefreshed implements Prerefreshed.
+//
+//paraxlint:noalloc
+func (s *SweepAndPrune) PairsPrerefreshed(geoms []*geom.Geom, dst []Pair) []Pair {
+	return s.run(geoms, dst, false)
+}
+
+//paraxlint:noalloc
+func (s *SweepAndPrune) run(geoms []*geom.Geom, dst []Pair, refresh bool) []Pair {
 	s.stats = Stats{}
 	s.gen++
 	if len(s.mark) < len(geoms) {
@@ -107,9 +150,11 @@ func (s *SweepAndPrune) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 		if !g.Enabled() {
 			continue
 		}
-		s.stats.Geoms++
-		g.UpdateAABB()
-		s.stats.AABBUpdates++
+		if refresh {
+			s.stats.Geoms++
+			g.UpdateAABB()
+			s.stats.AABBUpdates++
+		}
 		if g.Shape.Kind() == geom.KindPlane {
 			unbounded = append(unbounded, int32(g.ID))
 			continue
@@ -261,6 +306,18 @@ func cellKey(x, y, z int32) uint64 {
 //
 //paraxlint:noalloc
 func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
+	return h.run(geoms, dst, true)
+}
+
+// PairsPrerefreshed implements Prerefreshed.
+//
+//paraxlint:noalloc
+func (h *SpatialHash) PairsPrerefreshed(geoms []*geom.Geom, dst []Pair) []Pair {
+	return h.run(geoms, dst, false)
+}
+
+//paraxlint:noalloc
+func (h *SpatialHash) run(geoms []*geom.Geom, dst []Pair, refresh bool) []Pair {
 	h.stats = Stats{}
 	h.entries = h.entries[:0]
 	clear(h.seen)
@@ -273,9 +330,11 @@ func (h *SpatialHash) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
 		if !g.Enabled() {
 			continue
 		}
-		h.stats.Geoms++
-		g.UpdateAABB()
-		h.stats.AABBUpdates++
+		if refresh {
+			h.stats.Geoms++
+			g.UpdateAABB()
+			h.stats.AABBUpdates++
+		}
 		if g.Shape.Kind() == geom.KindPlane {
 			unbounded = append(unbounded, int32(g.ID))
 			continue
@@ -392,12 +451,15 @@ func fastFloor(x float64) int {
 //
 //paraxlint:noalloc
 func sortPairs(p []Pair) {
-	slices.SortFunc(p, func(a, b Pair) int {
-		if a.A != b.A {
-			return int(a.A) - int(b.A)
-		}
-		return int(a.B) - int(b.B)
-	})
+	slices.SortFunc(p, cmpPair)
+}
+
+// cmpPair is the canonical (A, B) pair ordering.
+func cmpPair(a, b Pair) int {
+	if a.A != b.A {
+		return int(a.A) - int(b.A)
+	}
+	return int(a.B) - int(b.B)
 }
 
 // BruteForce is the O(n^2) reference implementation used by tests to
@@ -415,15 +477,26 @@ func (bf *BruteForce) Stats() Stats { return bf.stats }
 
 // Pairs implements Interface.
 func (bf *BruteForce) Pairs(geoms []*geom.Geom, dst []Pair) []Pair {
+	return bf.run(geoms, dst, true)
+}
+
+// PairsPrerefreshed implements Prerefreshed.
+func (bf *BruteForce) PairsPrerefreshed(geoms []*geom.Geom, dst []Pair) []Pair {
+	return bf.run(geoms, dst, false)
+}
+
+func (bf *BruteForce) run(geoms []*geom.Geom, dst []Pair, refresh bool) []Pair {
 	bf.stats = Stats{}
 	live := bf.live[:0]
 	for _, g := range geoms {
 		if !g.Enabled() {
 			continue
 		}
-		bf.stats.Geoms++
-		g.UpdateAABB()
-		bf.stats.AABBUpdates++
+		if refresh {
+			bf.stats.Geoms++
+			g.UpdateAABB()
+			bf.stats.AABBUpdates++
+		}
 		live = append(live, g)
 	}
 	bf.live = live

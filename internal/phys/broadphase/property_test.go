@@ -77,6 +77,58 @@ func TestSAPHandlesGrowth(t *testing.T) {
 	}
 }
 
+// TestBroadphaseAgreementUnderMixedChurn drives every persistent
+// implementation — full SAP, incremental SAP, spatial hash — through
+// one long sequence mixing random walks, teleport storms and
+// mass-detonation debris bursts, checking each emits exactly the
+// brute-force pair list at every frame. This is the cross-check oracle
+// for the incremental structure's swap-maintained pair set: any missed
+// endpoint swap or stale set entry diverges here.
+func TestBroadphaseAgreementUnderMixedChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	gs := randomScene(r, 60, 10)
+	impls := []Interface{NewSweepAndPrune(), NewIncrementalSAP(), NewSpatialHash()}
+	names := []string{"sap", "incsap", "hash"}
+	bf := NewBruteForce()
+	for frame := 0; frame < 120; frame++ {
+		switch {
+		case frame%40 == 25:
+			// Teleport storm: coherence collapses completely.
+			for _, g := range gs[1:] {
+				g.Pos = m3.V(r.Float64()*40-20, r.Float64()*40-20, r.Float64()*40-20)
+			}
+		case frame%30 == 15:
+			// Mass detonation: a burst of debris spawns at one point.
+			c := m3.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+			for i := 0; i < 10; i++ {
+				id := len(gs)
+				gs = append(gs, &geom.Geom{
+					ID:    id,
+					Shape: geom.Sphere{R: 0.15 + r.Float64()*0.2},
+					Pos:   c.Add(m3.V(r.Float64()-0.5, r.Float64()-0.5, r.Float64()-0.5)),
+					Rot:   m3.Ident,
+					Body:  id,
+				})
+			}
+		default:
+			for _, g := range gs[1:] {
+				g.Pos = g.Pos.Add(m3.V(
+					(r.Float64()-0.5)*0.4,
+					(r.Float64()-0.5)*0.4,
+					(r.Float64()-0.5)*0.4,
+				))
+			}
+		}
+		want := bf.Pairs(gs, nil)
+		for i, impl := range impls {
+			got := impl.Pairs(gs, nil)
+			if !pairsEqual(got, want) {
+				t.Fatalf("frame %d: %s diverged (%d vs %d pairs)", frame, names[i], len(got), len(want))
+			}
+		}
+	}
+}
+
 // TestHashCellSizeOverride checks explicit cell sizing still matches the
 // reference.
 func TestHashCellSizeOverride(t *testing.T) {

@@ -310,3 +310,36 @@ func BuildMix(scale float64) *world.World {
 	}
 	return w
 }
+
+// BuildWallRubble is the steady-state stepping scene shared by the
+// repo's BenchmarkStep and paraxsim's -stepbench mode: a brick wall
+// stacked on a ground plane with a field of rubble (spheres and boxes)
+// settling around it. It is deliberately not part of All — it is a
+// measurement scene, not a paper benchmark. At steady state every step
+// exercises broad phase, narrow phase, island creation and island
+// processing with a stable contact topology and no event paths (no
+// explosives, fracture or cloth), so steady-state stepping stays
+// allocation-free.
+func BuildWallRubble() *world.World {
+	w := world.New()
+	w.AddStatic(geom.Plane{Normal: m3.V(0, 1, 0)}, m3.Zero, m3.QIdent)
+	// Brick wall: 8 columns x 6 rows.
+	for row := 0; row < 6; row++ {
+		for col := 0; col < 8; col++ {
+			x := float64(col)*1.02 + 0.51*float64(row%2)
+			y := 0.5 + float64(row)*1.01
+			w.AddBody(geom.Box{Half: m3.V(0.5, 0.5, 0.25)}, 4.0, m3.V(x, y, 0), m3.QIdent, 0, 0)
+		}
+	}
+	// Rubble field in front of the wall.
+	for i := 0; i < 40; i++ {
+		x := float64(i%10)*0.9 - 0.5
+		z := 2 + float64(i/10)*0.9
+		if i%2 == 0 {
+			w.AddBody(geom.Sphere{R: 0.3}, 1.0, m3.V(x, 0.3, z), m3.QIdent, 0, 0)
+		} else {
+			w.AddBody(geom.Box{Half: m3.V(0.3, 0.2, 0.3)}, 1.5, m3.V(x, 0.2, z), m3.QIdent, 0, 0)
+		}
+	}
+	return w
+}

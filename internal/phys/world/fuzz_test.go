@@ -2,8 +2,10 @@ package world
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 	"github.com/parallax-arch/parallax/internal/phys/cloth"
 	"github.com/parallax-arch/parallax/internal/phys/geom"
 	"github.com/parallax-arch/parallax/internal/phys/joint"
@@ -35,10 +37,14 @@ func (f *fuzzOps) unit() float64 { return float64(f.byte()) / 256 }
 func (f *fuzzOps) span(lo, hi float64) float64 { return lo + (hi-lo)*f.unit() }
 
 // buildFuzzWorld replays the op stream into a fresh world with the
-// given thread count. The same bytes always build the same scene.
-func buildFuzzWorld(data []byte, threads int) *World {
+// given thread count and broad-phase implementation (nil keeps the
+// default full sweep). The same bytes always build the same scene.
+func buildFuzzWorld(data []byte, threads int, broad broadphase.Interface) *World {
 	w := New()
 	w.Threads = threads
+	if broad != nil {
+		w.Broad = broad
+	}
 	w.WarmStart = true
 	w.EnableSleep = true
 	w.AddStatic(geom.Plane{Normal: m3.V(0, 1, 0)}, m3.V(0, 0, 0), m3.QIdent)
@@ -136,7 +142,12 @@ func buildFuzzWorld(data []byte, threads int) *World {
 //     Restore(Snapshot()) and stepping both copies keeps them
 //     byte-identical, profile digest by profile digest;
 //  3. encode stability — a snapshot re-encoded through a restore round
-//     trip reproduces its exact bytes.
+//     trip reproduces its exact bytes;
+//  4. broad-phase equivalence — the same program run with the
+//     incremental SAP passes oracles 1-3 too, and ends with body state
+//     bit-identical to the full-sweep run (profile digests differ
+//     between implementations only in maintenance counters, so the
+//     comparison is on the simulated state itself).
 func FuzzWorldStep(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 10, 1, 20, 7, 7, 7})
@@ -148,8 +159,8 @@ func FuzzWorldStep(f *testing.F) {
 		if len(data) > 256 {
 			t.Skip("op stream longer than budget")
 		}
-		w1 := buildFuzzWorld(data, 1)
-		wN := buildFuzzWorld(data, 3)
+		w1 := buildFuzzWorld(data, 1, nil)
+		wN := buildFuzzWorld(data, 3, nil)
 
 		for i := 0; i < 10; i++ {
 			w1.Step()
@@ -180,5 +191,62 @@ func FuzzWorldStep(f *testing.F) {
 		if !bytes.Equal(w1.Snapshot(), w2.Snapshot()) {
 			t.Fatal("restored world end state differs from original")
 		}
+
+		// Oracle 4: the incremental SAP through the same gauntlet.
+		i1 := buildFuzzWorld(data, 1, broadphase.NewIncrementalSAP())
+		iN := buildFuzzWorld(data, 3, broadphase.NewIncrementalSAP())
+		for i := 0; i < 10; i++ {
+			i1.Step()
+			iN.Step()
+			if i1.Profile.Digest() != iN.Profile.Digest() {
+				t.Fatalf("incsap: 1-thread and 3-thread profiles diverged at step %d", i)
+			}
+		}
+		si := i1.Snapshot()
+		if !bytes.Equal(si, iN.Snapshot()) {
+			t.Fatal("incsap: 1-thread and 3-thread end states differ")
+		}
+		i2 := New()
+		if err := i2.Restore(si); err != nil {
+			t.Fatalf("incsap: Restore of own snapshot failed: %v", err)
+		}
+		if !bytes.Equal(i2.Snapshot(), si) {
+			t.Fatal("incsap: snapshot not byte-stable through restore")
+		}
+		for i := 0; i < 8; i++ {
+			i1.Step()
+			i2.Step()
+			if i1.Profile.Digest() != i2.Profile.Digest() {
+				t.Fatalf("incsap: restored world diverged at step %d", i)
+			}
+		}
+		// w1 and i1 have now run the same program for the same number of
+		// steps under different broad phases; the simulated state must be
+		// bit-identical.
+		if len(w1.Bodies) != len(i1.Bodies) {
+			t.Fatalf("body count differs between broad phases: %d vs %d", len(w1.Bodies), len(i1.Bodies))
+		}
+		for bi := range w1.Bodies {
+			a, b := w1.Bodies[bi], i1.Bodies[bi]
+			if !sameVec(a.Pos, b.Pos) || !sameQuat(a.Rot, b.Rot) ||
+				!sameVec(a.LinVel, b.LinVel) || !sameVec(a.AngVel, b.AngVel) {
+				t.Fatalf("body %d state differs between full and incremental SAP", bi)
+			}
+		}
 	})
+}
+
+// sameVec and sameQuat compare by IEEE-754 bit pattern, so a shared
+// NaN cannot mask (or fake) a divergence the way float equality would.
+func sameVec(a, b m3.Vec) bool {
+	return math.Float64bits(a.X) == math.Float64bits(b.X) &&
+		math.Float64bits(a.Y) == math.Float64bits(b.Y) &&
+		math.Float64bits(a.Z) == math.Float64bits(b.Z)
+}
+
+func sameQuat(a, b m3.Quat) bool {
+	return math.Float64bits(a.W) == math.Float64bits(b.W) &&
+		math.Float64bits(a.X) == math.Float64bits(b.X) &&
+		math.Float64bits(a.Y) == math.Float64bits(b.Y) &&
+		math.Float64bits(a.Z) == math.Float64bits(b.Z)
 }

@@ -16,12 +16,17 @@ type stepSpans struct {
 	narrow     obs.SpanID
 	islandGen  obs.SpanID
 	islandProc obs.SpanID
+	integrate  obs.SpanID
 	cloth      obs.SpanID
 
-	narrowChunk obs.SpanID
-	island      obs.SpanID
-	solve       obs.SpanID
-	clothObj    obs.SpanID
+	narrowChunk  obs.SpanID
+	refreshChunk obs.SpanID
+	edgeChunk    obs.SpanID
+	integChunk   obs.SpanID
+	syncChunk    obs.SpanID
+	island       obs.SpanID
+	solve        obs.SpanID
+	clothObj     obs.SpanID
 }
 
 // stepMetrics holds the pre-registered metric IDs harvested from the
@@ -42,6 +47,9 @@ type stepMetrics struct {
 	fractureHits     obs.CounterID
 	jointBreaks      obs.CounterID
 	clothVertUpdates obs.CounterID
+	aabbUpdates      obs.CounterID
+	broadSortOps     obs.CounterID
+	broadRebuilds    obs.CounterID
 
 	islandDOF obs.HistID
 }
@@ -67,16 +75,21 @@ func (w *World) SetObs(tr *obs.Tracer, reg *obs.Registry, label string) {
 	w.obsLanes = w.obsLanes[:0]
 	if tr != nil {
 		w.spans = stepSpans{
-			step:        tr.Span("step"),
-			broad:       tr.Span("broadphase"),
-			narrow:      tr.Span("narrowphase"),
-			islandGen:   tr.Span("island-creation"),
-			islandProc:  tr.Span("island-processing"),
-			cloth:       tr.Span("cloth"),
-			narrowChunk: tr.Span("narrow-chunk"),
-			island:      tr.Span("island"),
-			solve:       tr.Span("solve"),
-			clothObj:    tr.Span("cloth-object"),
+			step:         tr.Span("step"),
+			broad:        tr.Span("broadphase"),
+			narrow:       tr.Span("narrowphase"),
+			islandGen:    tr.Span("island-creation"),
+			islandProc:   tr.Span("island-processing"),
+			integrate:    tr.Span("integrate"),
+			cloth:        tr.Span("cloth"),
+			narrowChunk:  tr.Span("narrow-chunk"),
+			refreshChunk: tr.Span("refresh-chunk"),
+			edgeChunk:    tr.Span("edge-chunk"),
+			integChunk:   tr.Span("integrate-chunk"),
+			syncChunk:    tr.Span("sync-chunk"),
+			island:       tr.Span("island"),
+			solve:        tr.Span("solve"),
+			clothObj:     tr.Span("cloth-object"),
 		}
 		w.growObsLanes()
 	}
@@ -94,6 +107,9 @@ func (w *World) SetObs(tr *obs.Tracer, reg *obs.Registry, label string) {
 			fractureHits:     reg.Counter("engine/fracture_hits"),
 			jointBreaks:      reg.Counter("engine/joint_breaks"),
 			clothVertUpdates: reg.Counter("engine/cloth_vertex_updates"),
+			aabbUpdates:      reg.Counter("engine/aabb_updates"),
+			broadSortOps:     reg.Counter("engine/broad_sort_ops"),
+			broadRebuilds:    reg.Counter("engine/broad_rebuilds"),
 			islandDOF:        reg.Histogram("engine/island_dof", islandDOFBounds),
 		}
 	}
@@ -150,6 +166,9 @@ func (w *World) recordStepMetrics(prof *StepProfile) {
 	m.Add(w.met.fractureHits, int64(prof.FractureHit))
 	m.Add(w.met.jointBreaks, int64(prof.JointBreaks))
 	m.Add(w.met.clothVertUpdates, int64(prof.Cloth.VertexUpdates))
+	m.Add(w.met.aabbUpdates, int64(prof.Broad.AABBUpdates))
+	m.Add(w.met.broadSortOps, int64(prof.Broad.SortOps))
+	m.Add(w.met.broadRebuilds, int64(prof.Broad.Rebuilds))
 	for i := range prof.Islands {
 		m.ObserveInt(w.met.islandDOF, int64(prof.Islands[i].DOF))
 	}

@@ -41,11 +41,18 @@ func TestStepTraceCoversPhases(t *testing.T) {
 	}
 	for _, want := range []string{
 		"step", "broadphase", "narrowphase", "island-creation",
-		"island-processing", "cloth", "island", "solve", "cloth-object",
+		"island-processing", "integrate", "cloth", "island", "solve",
+		"cloth-object", "narrow-chunk", "refresh-chunk", "edge-chunk",
+		"integrate-chunk", "sync-chunk",
 	} {
 		if !seen[want] {
 			t.Errorf("trace missing span %q (have %v)", want, seen)
 		}
+	}
+	// The tracer's cumulative totals must agree with the stepping we did:
+	// exactly one matched "step" span per Step call.
+	if n, ns := tr.SpanTotal(tr.Span("step")); n != 5 || ns <= 0 {
+		t.Errorf("SpanTotal(step) = (%d, %d), want 5 matched spans with positive time", n, ns)
 	}
 }
 

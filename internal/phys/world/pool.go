@@ -1,6 +1,10 @@
 package world
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/parallax-arch/parallax/internal/obs"
+)
 
 // task is one unit of pool work: fn(worker, arg), where worker is the
 // id of the executing thread (0 = the main/calling thread, 1..n = pool
@@ -103,10 +107,10 @@ func (w *World) dispatch(fn func(worker, arg int), queued, main []int32) {
 // rest on the pool (the paper partitions object-pairs into equal sets
 // per worker thread). Chunk indices — not worker ids — are passed to fn
 // so per-chunk result buffers merge deterministically whatever worker
-// ran them.
+// ran them. span labels each chunk execution on its worker's lane.
 //
 //paraxlint:noalloc
-func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
+func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int), span obs.SpanID) {
 	t := w.Threads
 	if t <= 1 || n == 0 {
 		fn(0, 0, n)
@@ -119,9 +123,7 @@ func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
 	sc.chunkFn = fn
 	sc.chunkSize = (n + t - 1) / t
 	sc.chunkN = n
-	if w.runChunkFn == nil {
-		w.runChunkFn = w.runChunk //paraxlint:allow(alloc) bound once, reused every step
-	}
+	sc.chunkSpan = span
 	q := sc.chunkIdx[:0]
 	for i := 1; i < t; i++ {
 		q = append(q, int32(i))
@@ -140,8 +142,9 @@ func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int)) {
 //paraxlint:noalloc
 func (w *World) runChunk(worker, chunk int) {
 	lane := w.laneFor(worker)
-	lane.Begin(w.spans.narrowChunk)
 	sc := &w.scratch
+	span := sc.chunkSpan
+	lane.Begin(span)
 	lo := chunk * sc.chunkSize
 	hi := lo + sc.chunkSize
 	if lo > sc.chunkN {
@@ -151,5 +154,5 @@ func (w *World) runChunk(worker, chunk int) {
 		hi = sc.chunkN
 	}
 	sc.chunkFn(chunk, lo, hi)
-	lane.End(w.spans.narrowChunk)
+	lane.End(span)
 }

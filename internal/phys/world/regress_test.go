@@ -1,10 +1,12 @@
 package world
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
 
+	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 	"github.com/parallax-arch/parallax/internal/phys/cloth"
 	"github.com/parallax-arch/parallax/internal/phys/geom"
 	"github.com/parallax-arch/parallax/internal/phys/joint"
@@ -231,6 +233,85 @@ func TestThreadCountDeterminism(t *testing.T) {
 func TestStepSteadyStateAllocs(t *testing.T) {
 	for _, th := range []int{1, 2} {
 		w := detWorld(th)
+		for i := 0; i < 150; i++ {
+			w.Step()
+		}
+		avg := testing.AllocsPerRun(50, func() { w.Step() })
+		if avg != 0 {
+			t.Errorf("threads=%d: steady-state Step allocates %.1f objects/op, want 0", th, avg)
+		}
+	}
+}
+
+// incSAPWorld is detWorld running on the incremental sweep-and-prune.
+func incSAPWorld(threads int) *World {
+	w := detWorld(threads)
+	w.Broad = broadphase.NewIncrementalSAP()
+	return w
+}
+
+// TestIncSAPThreadCountDeterminism runs the 1-vs-8-thread oracle with
+// the incremental broad phase: its pair emission (map iteration +
+// canonical sort) and the chunk-parallel phases around it must stay
+// byte-deterministic, profile digest by profile digest.
+func TestIncSAPThreadCountDeterminism(t *testing.T) {
+	w1, w8 := incSAPWorld(1), incSAPWorld(8)
+	for s := 0; s < 90; s++ {
+		w1.Step()
+		w8.Step()
+		if w1.Profile.Digest() != w8.Profile.Digest() {
+			t.Fatalf("step %d: profile digests differ between 1 and 8 threads", s)
+		}
+	}
+	for i := range w1.Bodies {
+		if w1.Bodies[i].Pos != w8.Bodies[i].Pos || w1.Bodies[i].Rot != w8.Bodies[i].Rot {
+			t.Fatalf("body %d state differs between 1 and 8 threads", i)
+		}
+	}
+}
+
+// TestIncSAPWorldSnapshotRoundTrip snapshots a world mid-run on the
+// incremental broad phase, restores it into a fresh world, and checks
+// (a) the snapshot is byte-stable through the round trip, (b) the
+// restored world runs on an IncrementalSAP, and (c) both worlds step
+// on in lockstep — the saved endpoint order and pair set preserve the
+// structure's temporal coherence, which is observable in the profile's
+// SortOps/Rebuilds counters and hence in the digests.
+func TestIncSAPWorldSnapshotRoundTrip(t *testing.T) {
+	w := incSAPWorld(2)
+	for i := 0; i < 40; i++ {
+		w.Step()
+	}
+	s := w.Snapshot()
+	w2 := New()
+	if err := w2.Restore(s); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if _, ok := w2.Broad.(*broadphase.IncrementalSAP); !ok {
+		t.Fatalf("restored broad phase is %T, want *IncrementalSAP", w2.Broad)
+	}
+	if !bytes.Equal(w2.Snapshot(), s) {
+		t.Fatal("snapshot not byte-stable through restore")
+	}
+	w2.Threads = 2
+	for i := 0; i < 25; i++ {
+		w.Step()
+		w2.Step()
+		if w.Profile.Digest() != w2.Profile.Digest() {
+			t.Fatalf("restored world diverged at step %d", i)
+		}
+	}
+	if !bytes.Equal(w.Snapshot(), w2.Snapshot()) {
+		t.Fatal("end states differ after restore")
+	}
+}
+
+// TestIncSAPStepSteadyStateAllocs: the incremental broad phase must
+// keep the steady-state Step allocation-free — the persistent pair set
+// and endpoint array reuse their capacity across passes.
+func TestIncSAPStepSteadyStateAllocs(t *testing.T) {
+	for _, th := range []int{1, 2} {
+		w := incSAPWorld(th)
 		for i := 0; i < 150; i++ {
 			w.Step()
 		}

@@ -1,6 +1,7 @@
 package world
 
 import (
+	"github.com/parallax-arch/parallax/internal/obs"
 	"github.com/parallax-arch/parallax/internal/phys/cloth"
 	"github.com/parallax-arch/parallax/internal/phys/island"
 	"github.com/parallax-arch/parallax/internal/phys/joint"
@@ -82,13 +83,25 @@ type frameScratch struct {
 	chunkN    int
 	chunkIdx  []int32
 	chunkMain []int32
+	// chunkSpan is the span recorded around each chunk execution, set by
+	// parallelChunks per dispatch (refresh, narrow, edge, integrate...).
+	chunkSpan obs.SpanID
+
+	// Chunk-parallel phase merge buffers, indexed by chunk (count <=
+	// threads); merged serially in chunk order so results are
+	// deterministic whatever worker ran each chunk.
+	refresh    [][2]int        // refreshChunk: (geoms seen, AABBs updated)
+	edgeChunks [][]island.Edge // edgeChunk: per-chunk island edge lists
+	integ      []int           // posChunk: bodies integrated per chunk
 }
 
 // beginStep resizes the arena for the current scene, reusing all prior
-// capacity.
+// capacity. edgeHint pre-sizes the island edge list from the previous
+// step's count so the first steps after a snapshot Restore don't regrow
+// it incrementally.
 //
 //paraxlint:noalloc
-func (sc *frameScratch) beginStep(threads, numJoints int) {
+func (sc *frameScratch) beginStep(threads, numJoints, edgeHint int) {
 	if threads < 1 {
 		threads = 1
 	}
@@ -112,9 +125,33 @@ func (sc *frameScratch) beginStep(threads, numJoints int) {
 	}
 	clear(sc.seenExpl)
 	sc.edges = sc.edges[:0]
+	if cap(sc.edges) < edgeHint {
+		sc.edges = make([]island.Edge, 0, edgeHint) //paraxlint:allow(alloc) pre-sized from the previous step's count
+	}
 
 	sc.jointLoad = growFloat(sc.jointLoad, numJoints)
 	clear(sc.jointLoad)
+
+	if cap(sc.refresh) < threads {
+		sc.refresh = make([][2]int, threads) //paraxlint:allow(alloc) capacity growth, amortized
+	}
+	sc.refresh = sc.refresh[:threads]
+	for i := range sc.refresh {
+		sc.refresh[i] = [2]int{}
+	}
+	if cap(sc.edgeChunks) < threads {
+		//paraxlint:allow(alloc) capacity growth, amortized to zero in steady state
+		sc.edgeChunks = append(sc.edgeChunks[:cap(sc.edgeChunks)], make([][]island.Edge, threads-cap(sc.edgeChunks))...)
+	}
+	sc.edgeChunks = sc.edgeChunks[:threads]
+	for i := range sc.edgeChunks {
+		sc.edgeChunks[i] = sc.edgeChunks[i][:0]
+	}
+	if cap(sc.integ) < threads {
+		sc.integ = make([]int, threads) //paraxlint:allow(alloc) capacity growth, amortized
+	}
+	sc.integ = sc.integ[:threads]
+	clear(sc.integ)
 
 	if cap(sc.rows) < threads {
 		//paraxlint:allow(alloc) capacity growth, amortized to zero in steady state

@@ -29,9 +29,11 @@ import (
 // joints including Breakable fatigue and broken flags; explosive specs,
 // active blasts with their already-hit sets, and fracture tables;
 // cloths (particle positions and Verlet previous positions, pins,
-// constraints); the warm-start impulse cache; and the sweep-and-prune
-// order (its temporal coherence is observable in the step profile's
-// SortOps counter).
+// constraints); the warm-start impulse cache; and the broad phase's
+// cross-step state — the sweep-and-prune order, or the incremental
+// SAP's endpoint order plus persistent overlap-pair set (their
+// temporal coherence is observable in the step profile's SortOps and
+// Rebuilds counters).
 //
 // Intentionally excluded (execution configuration and derived scratch,
 // not simulation state): Threads, RecordDetail, the observability
@@ -52,6 +54,7 @@ const (
 	bpSweep uint8 = iota
 	bpHash
 	bpBrute
+	bpIncSweep
 	bpOther = uint8(255)
 )
 
@@ -237,6 +240,16 @@ func (w *World) Snapshot() []byte {
 	case *broadphase.SweepAndPrune:
 		e.U8(bpSweep)
 		e.I32s(bp.SaveOrder(nil))
+	case *broadphase.IncrementalSAP:
+		e.U8(bpIncSweep)
+		st := bp.SaveState()
+		e.I32(st.Axis)
+		e.I32s(st.Endpoints)
+		e.U32(uint32(len(st.Pairs)))
+		for _, k := range st.Pairs {
+			e.U64(k)
+		}
+		e.Bool(st.Rebuild)
 	case *broadphase.SpatialHash:
 		e.U8(bpHash)
 		e.F64(bp.CellSize)
@@ -276,6 +289,7 @@ type worldState struct {
 	warmCache                map[warmKey][joint.RowsPerContact]float64
 	bpTag                    uint8
 	bpOrder                  []int32
+	bpInc                    broadphase.IncSAPState
 	bpCellSize               float64
 }
 
@@ -634,6 +648,51 @@ func decodeState(r *enc.Reader) (*worldState, error) {
 				return nil, fmt.Errorf("world: broadphase order entry %d out of range", gi)
 			}
 		}
+	case bpIncSweep:
+		st.bpInc.Axis = r.I32()
+		st.bpInc.Endpoints = r.I32s()
+		nPairs := int(r.U32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nPairs > r.Remaining() {
+			return nil, enc.ErrShort
+		}
+		st.bpInc.Pairs = make([]uint64, 0, nPairs)
+		for i := 0; i < nPairs; i++ {
+			st.bpInc.Pairs = append(st.bpInc.Pairs, r.U64())
+		}
+		st.bpInc.Rebuild = r.Bool()
+		if st.bpInc.Axis < 0 || st.bpInc.Axis > 2 {
+			return nil, fmt.Errorf("world: broadphase sweep axis %d out of range", st.bpInc.Axis)
+		}
+		// Each geom in the endpoint array must contribute exactly one min
+		// and one max, min first — RestoreState and the next pass's sort
+		// assume a well-formed permutation.
+		seen := make(map[int32]int32, len(st.bpInc.Endpoints)/2)
+		done := 0
+		for _, packed := range st.bpInc.Endpoints {
+			id, side := packed>>1, packed&1
+			if id < 0 || int(id) >= nGeoms {
+				return nil, fmt.Errorf("world: broadphase endpoint geom %d (of %d)", id, nGeoms)
+			}
+			if seen[id] != side {
+				return nil, fmt.Errorf("world: broadphase endpoints of geom %d malformed", id)
+			}
+			seen[id] = side + 1
+			if side == 1 {
+				done++
+			}
+		}
+		if 2*done != len(st.bpInc.Endpoints) {
+			return nil, fmt.Errorf("world: broadphase endpoint array incomplete (%d endpoints, %d closed)", len(st.bpInc.Endpoints), done)
+		}
+		for _, k := range st.bpInc.Pairs {
+			a, b := int32(k>>32), int32(k&0xffffffff)
+			if a >= b || seen[a] != 2 || seen[b] != 2 {
+				return nil, fmt.Errorf("world: broadphase pair key (%d,%d) malformed", a, b)
+			}
+		}
 	case bpHash:
 		st.bpCellSize = r.F64()
 	case bpBrute, bpOther:
@@ -694,6 +753,13 @@ func (w *World) commit(st *worldState) {
 			w.Broad = sap
 		}
 		sap.RestoreOrder(st.bpOrder)
+	case bpIncSweep:
+		inc, ok := w.Broad.(*broadphase.IncrementalSAP)
+		if !ok {
+			inc = broadphase.NewIncrementalSAP()
+			w.Broad = inc
+		}
+		inc.RestoreState(st.bpInc)
 	case bpHash:
 		h, ok := w.Broad.(*broadphase.SpatialHash)
 		if !ok {
@@ -709,6 +775,16 @@ func (w *World) commit(st *worldState) {
 		// The source world ran a custom broad phase whose state the
 		// snapshot cannot carry; keep whatever the target world has.
 	}
+
+	// Seed the pair/edge pre-size hints so the first post-restore step
+	// doesn't regrow its scratch buffers incrementally. The incremental
+	// SAP's saved pair set gives a real count; otherwise estimate from
+	// the scene size.
+	w.prevPairs = len(st.bpInc.Pairs)
+	if w.prevPairs == 0 {
+		w.prevPairs = 4 * len(st.geoms)
+	}
+	w.prevEdges = w.prevPairs + len(st.joints)
 
 	// The last step's profile described the pre-restore state.
 	w.Profile = StepProfile{}

@@ -27,7 +27,7 @@ func (w *World) Step() {
 	w.Profile.reset()
 	prof := &w.Profile
 	sc := &w.scratch
-	sc.beginStep(w.Threads, len(w.Joints))
+	sc.beginStep(w.Threads, len(w.Joints), w.prevEdges)
 	if w.trace != nil && len(w.obsLanes) < w.Threads {
 		w.growObsLanes() // cold path: Threads was raised after SetObs
 	}
@@ -50,10 +50,29 @@ func (w *World) Step() {
 		w.clothContacts[ci] = w.clothContacts[ci][:0]
 	}
 
-	// (b) Broad-phase: candidate pairs. Serial phase.
+	// (b) Broad-phase: candidate pairs. The AABB refresh runs
+	// chunk-parallel when the implementation supports an external
+	// refresh (all built-ins do); the pair pass itself stays serial —
+	// with the incremental sweep it is O(swaps), no longer the
+	// re-sweep that made this phase the Amdahl bottleneck. Per-chunk
+	// refresh counters merge in chunk order, so the profile (and its
+	// replay digest) is byte-identical to the serial pass.
 	l0.Begin(w.spans.broad)
-	w.pairBuf = w.Broad.Pairs(w.Geoms, w.pairBuf[:0])
-	prof.Broad = w.Broad.Stats()
+	if cap(w.pairBuf) < w.prevPairs {
+		w.pairBuf = make([]broadphase.Pair, 0, w.prevPairs) //paraxlint:allow(alloc) pre-sized from the previous step's count
+	}
+	if pre, ok := w.Broad.(broadphase.Prerefreshed); ok {
+		w.parallelChunks(len(w.Geoms), w.refreshFn, w.spans.refreshChunk)
+		w.pairBuf = pre.PairsPrerefreshed(w.Geoms, w.pairBuf[:0])
+		prof.Broad = w.Broad.Stats()
+		for _, r := range sc.refresh {
+			prof.Broad.Geoms += r[0]
+			prof.Broad.AABBUpdates += r[1]
+		}
+	} else {
+		w.pairBuf = w.Broad.Pairs(w.Geoms, w.pairBuf[:0])
+		prof.Broad = w.Broad.Stats()
+	}
 	prof.Pairs = len(w.pairBuf)
 	l0.End(w.spans.broad)
 
@@ -63,10 +82,7 @@ func (w *World) Step() {
 	// its own contact buffer (the engine modification described in the
 	// paper that removes ODE's single-joint-group serialization).
 	l0.Begin(w.spans.narrow)
-	if w.narrowFn == nil {
-		w.narrowFn = w.narrowChunk //paraxlint:allow(alloc) bound once, reused every step
-	}
-	w.parallelChunks(len(w.pairBuf), w.narrowFn)
+	w.parallelChunks(len(w.pairBuf), w.narrowFn, w.spans.narrowChunk)
 
 	// Merge per-chunk results in chunk order (deterministic).
 	contacts := sc.contacts
@@ -137,34 +153,19 @@ func (w *World) Step() {
 	}
 	l0.End(w.spans.narrow)
 
-	// (d) Island creation: group interacting objects. Serial phase.
+	// (d) Island creation. Edge collection runs chunk-parallel over the
+	// combined joint+contact domain into per-chunk buffers; chunks are
+	// contiguous ranges of the serial iteration order, so concatenating
+	// them in chunk order reproduces the serial edge list exactly. The
+	// union-find merge itself stays serial (the paper's irreducible
+	// serial core), but it is now the only serial part of the phase.
 	l0.Begin(w.spans.islandGen)
+	w.parallelChunks(len(w.Joints)+len(contacts), w.edgeFn, w.spans.edgeChunk)
 	edges := sc.edges
-	for ji, j := range w.Joints {
-		nr := j.NumRows()
-		if nr == 0 {
-			continue
-		}
-		a, b := j.Bodies()
-		edges = append(edges, island.Edge{A: a, B: b, Ref: int32(ji), DOF: nr})
-	}
-	for ci := range contacts {
-		c := &contacts[ci]
-		a := int32(w.Geoms[c.A].Body)
-		b := int32(w.Geoms[c.B].Body)
-		edges = append(edges, island.Edge{
-			A: a, B: b, Ref: int32(ci), IsContact: true,
-			DOF: joint.RowsPerContact,
-		})
+	for i := range sc.edgeChunks {
+		edges = append(edges, sc.edgeChunks[i]...)
 	}
 	sc.edges = edges
-	if w.activeFn == nil {
-		//paraxlint:allow(alloc) closure built once, reused every step
-		w.activeFn = func(i int32) bool {
-			b := w.Bodies[i]
-			return b.Enabled && b.InvMass > 0 && !b.Asleep
-		}
-	}
 	islands, findSteps := sc.builder.Build(len(w.Bodies), edges, w.activeFn)
 	sc.islands = islands
 	prof.FindSteps = findSteps
@@ -213,6 +214,15 @@ func (w *World) Step() {
 		}
 	}
 
+	// Velocity integration, hoisted out of the per-island solves into
+	// one chunk-parallel pass: every active body is in exactly one
+	// island, so the same integrations happen exactly once, and
+	// inactive bodies get their accumulator clear here instead of in a
+	// separate end-of-step loop. Row assembly below reads only the
+	// solving island's own (already integrated) bodies, so results are
+	// bit-identical to the per-island ordering.
+	w.parallelChunks(len(w.Bodies), w.velFn, w.spans.integChunk)
+
 	for i, is := range islands {
 		if is.DOF > SmallIslandDOF {
 			sc.queued = append(sc.queued, int32(i))
@@ -220,16 +230,12 @@ func (w *World) Step() {
 			sc.main = append(sc.main, int32(i))
 		}
 	}
-	if w.islandFn == nil {
-		w.islandFn = w.solveIsland //paraxlint:allow(alloc) bound once, reused every step
-	}
 	w.dispatch(w.islandFn, sc.queued, sc.main)
 
 	prof.Solver.Iterations = w.Solver.Iterations
 	for i := range islands {
 		prof.Solver.Rows += sc.solverStats[i].Rows
 		prof.Solver.RowUpdates += sc.solverStats[i].RowUpdates
-		prof.BodiesIntegrated += len(islands[i].Bodies)
 	}
 	if w.WarmStart {
 		// Rebuild the impulse cache from this step's results. Contacts
@@ -244,10 +250,6 @@ func (w *World) Step() {
 			copy(v[:], sc.warmLambda[ci*joint.RowsPerContact:])
 			w.warmCache[warmKey{sc.contactKey[ci], sc.contactOrd[ci]}] = v
 		}
-	}
-	// Clear accumulators of bodies outside any island (asleep/disabled).
-	for _, b := range w.Bodies {
-		b.ClearAccumulators()
 	}
 	l0.End(w.spans.islandProc)
 
@@ -264,19 +266,19 @@ func (w *World) Step() {
 		}
 	}
 
-	// Sync geoms to their bodies.
-	for _, g := range w.Geoms {
-		if g.Body < 0 || !g.Enabled() {
-			continue
-		}
-		b := w.Bodies[g.Body]
-		g.Pos = b.Rot.Rotate(g.OffsetPos).Add(b.Pos)
-		off := g.OffsetRot
-		if off == (m3.Quat{}) {
-			off = m3.QIdent
-		}
-		g.Rot = b.Rot.Mul(off).Mat()
+	// Integration: position integration + sleep-clock update over the
+	// bodies, then geom-pose sync over the geoms, both chunk-parallel.
+	// Hoisted out of the per-island solves; islands touch disjoint
+	// bodies, so integrating after all solves complete is bit-identical,
+	// and the per-chunk integration counts merged in chunk order equal
+	// the per-island body sum the serial version recorded.
+	l0.Begin(w.spans.integrate)
+	w.parallelChunks(len(w.Bodies), w.posFn, w.spans.integChunk)
+	for _, n := range sc.integ {
+		prof.BodiesIntegrated += n
 	}
+	w.parallelChunks(len(w.Geoms), w.syncFn, w.spans.syncChunk)
+	l0.End(w.spans.integrate)
 
 	// (g) Cloth: forward-step every cloth object. Parallel per cloth;
 	// vertices are the fine-grain tasks. The span is recorded even with
@@ -289,15 +291,6 @@ func (w *World) Step() {
 			sc.clothStats = append(sc.clothStats, cloth.Stats{})
 			sc.clothIdx = append(sc.clothIdx, int32(ci))
 			prof.ClothVerts = append(prof.ClothVerts, w.Cloths[ci].NumVertices())
-		}
-		if w.clothFn == nil {
-			w.clothFn = w.stepCloth //paraxlint:allow(alloc) bound once, reused every step
-		}
-		if w.poseFn == nil {
-			// Bound here, on the serial path, so the concurrent cloth
-			// workers never bind it themselves (a per-call method value
-			// would also allocate on every cloth step).
-			w.poseFn = w.bodyPose //paraxlint:allow(alloc) bound once, reused every step
 		}
 		w.dispatch(w.clothFn, sc.clothIdx, nil)
 		for i := range sc.clothStats {
@@ -335,8 +328,11 @@ func (w *World) Step() {
 		w.geomFreeStaged = w.geomFreeStaged[:0]
 	}
 
-	// (h) Advance time.
+	// (h) Advance time. The pair and edge counts seed next step's
+	// buffer pre-sizing.
 	w.Time += w.Dt
+	w.prevPairs = len(w.pairBuf)
+	w.prevEdges = len(sc.edges)
 	w.recordStepMetrics(prof)
 	l0.End(w.spans.step)
 }
@@ -398,9 +394,10 @@ func (w *World) narrowChunk(chunk, lo, hi int) {
 	}
 }
 
-// solveIsland forward-simulates one island: velocity integration, row
-// assembly into the worker's reusable row buffer, the LCP solve with the
-// worker's workspace, and position integration. Islands touch disjoint
+// solveIsland forward-simulates one island: row assembly into the
+// worker's reusable row buffer and the LCP solve with the worker's
+// workspace. Velocity and position integration are chunk-parallel
+// passes outside the island solves (see Step). Islands touch disjoint
 // bodies, joints and contacts, so concurrent island solves never share
 // mutable state.
 //
@@ -411,9 +408,6 @@ func (w *World) solveIsland(worker, idx int) {
 	sc := &w.scratch
 	is := &sc.islands[idx]
 	p := w.params()
-	for _, bi := range is.Bodies {
-		w.Bodies[bi].IntegrateVelocity(w.Dt)
-	}
 	rows := sc.rows[worker][:0]
 	for _, ji := range is.Joints {
 		base := len(rows)
@@ -469,13 +463,114 @@ func (w *World) solveIsland(worker, idx int) {
 				lam[base:int(base)+joint.RowsPerContact])
 		}
 	}
-	for _, bi := range is.Bodies {
-		w.Bodies[bi].IntegratePosition(w.Dt)
-		if w.EnableSleep {
-			w.Bodies[bi].UpdateSleep(w.Dt)
+	lane.End(w.spans.island)
+}
+
+// refreshChunk is the broad-phase AABB refresh worker: it recomputes
+// the bounding boxes of one chunk of the geom list, counting into that
+// chunk's merge slot so the profile totals match the serial refresh.
+//
+//paraxlint:noalloc
+func (w *World) refreshChunk(chunk, lo, hi int) {
+	n := 0
+	for _, g := range w.Geoms[lo:hi] {
+		if !g.Enabled() {
+			continue
+		}
+		g.UpdateAABB()
+		n++
+	}
+	w.scratch.refresh[chunk] = [2]int{n, n}
+}
+
+// edgeChunk collects island edges for one chunk of the combined
+// joint+contact domain (joints first, then contacts, matching the
+// serial order) into that chunk's buffer.
+//
+//paraxlint:noalloc
+func (w *World) edgeChunk(chunk, lo, hi int) {
+	sc := &w.scratch
+	buf := sc.edgeChunks[chunk][:0]
+	nj := len(w.Joints)
+	for i := lo; i < hi; i++ {
+		if i < nj {
+			j := w.Joints[i]
+			nr := j.NumRows()
+			if nr == 0 {
+				continue
+			}
+			a, b := j.Bodies()
+			buf = append(buf, island.Edge{A: a, B: b, Ref: int32(i), DOF: nr})
+		} else {
+			ci := i - nj
+			c := &sc.contacts[ci]
+			buf = append(buf, island.Edge{
+				A: int32(w.Geoms[c.A].Body), B: int32(w.Geoms[c.B].Body),
+				Ref: int32(ci), IsContact: true, DOF: joint.RowsPerContact,
+			})
 		}
 	}
-	lane.End(w.spans.island)
+	sc.edgeChunks[chunk] = buf
+}
+
+// velChunk integrates velocities for active bodies (consuming and
+// clearing their force accumulators) and clears the accumulators of
+// inactive ones — the work the per-island solves and the end-of-step
+// cleanup loop previously split between them. IntegrateVelocity must
+// not run on asleep bodies (it does not check Asleep itself), hence
+// the explicit active predicate.
+//
+//paraxlint:noalloc
+func (w *World) velChunk(chunk, lo, hi int) {
+	for _, b := range w.Bodies[lo:hi] {
+		if b.Enabled && b.InvMass > 0 && !b.Asleep {
+			b.IntegrateVelocity(w.Dt)
+		} else {
+			b.ClearAccumulators()
+		}
+	}
+}
+
+// posChunk integrates positions and advances sleep clocks for active
+// bodies, counting them into the chunk's merge slot. The active set
+// cannot change between island construction and this pass, so the
+// merged count equals the per-island body sum. A body is counted even
+// if UpdateSleep puts it to sleep within this very call — it was
+// integrated this step.
+//
+//paraxlint:noalloc
+func (w *World) posChunk(chunk, lo, hi int) {
+	n := 0
+	for _, b := range w.Bodies[lo:hi] {
+		if b.Enabled && b.InvMass > 0 && !b.Asleep {
+			n++
+			b.IntegratePosition(w.Dt)
+			if w.EnableSleep {
+				b.UpdateSleep(w.Dt)
+			}
+		}
+	}
+	w.scratch.integ[chunk] = n
+}
+
+// syncChunk writes body poses through to the geoms of one chunk of the
+// geom list. Geoms are written disjointly and bodies only read, so
+// chunks never conflict.
+//
+//paraxlint:noalloc
+func (w *World) syncChunk(chunk, lo, hi int) {
+	for _, g := range w.Geoms[lo:hi] {
+		if g.Body < 0 || !g.Enabled() {
+			continue
+		}
+		b := w.Bodies[g.Body]
+		g.Pos = b.Rot.Rotate(g.OffsetPos).Add(b.Pos)
+		off := g.OffsetRot
+		if off == (m3.Quat{}) {
+			off = m3.QIdent
+		}
+		g.Rot = b.Rot.Mul(off).Mat()
+	}
 }
 
 // stepCloth forward-steps one cloth object.

@@ -146,21 +146,32 @@ type World struct {
 
 	// scratch is the reusable per-step arena; see frameScratch.
 	scratch frameScratch
-	// Persistent task closures, created once so steady-state dispatch
-	// does not allocate.
+	// Persistent task closures, bound once at construction (bind) so
+	// steady-state dispatch never checks for or creates them (a method
+	// value allocates).
 	narrowFn   func(chunk, lo, hi int)
+	refreshFn  func(chunk, lo, hi int)
+	edgeFn     func(chunk, lo, hi int)
+	velFn      func(chunk, lo, hi int)
+	posFn      func(chunk, lo, hi int)
+	syncFn     func(chunk, lo, hi int)
 	islandFn   func(worker, arg int)
 	clothFn    func(worker, arg int)
 	runChunkFn func(worker, arg int)
 	activeFn   func(int32) bool
 	poseFn     func(int32) (m3.Vec, m3.Quat)
+
+	// prevPairs and prevEdges carry the previous step's broad-phase pair
+	// and island-edge counts, pre-sizing this step's buffers so the
+	// steps after a snapshot Restore don't regrow them incrementally.
+	prevPairs, prevEdges int
 }
 
 // New returns an empty world with the paper's default parameters:
 // 0.01 s steps, 20 solver iterations, sweep-and-prune broad phase,
 // single-threaded.
 func New() *World {
-	return &World{
+	w := &World{
 		Gravity:        m3.V(0, -9.81, 0),
 		Dt:             0.01,
 		ERP:            0.2,
@@ -171,6 +182,44 @@ func New() *World {
 		Explosives:     make(map[int32]ExplosiveSpec),
 		fractureOfGeom: make(map[int32]int32),
 		blastOfGeom:    make(map[int32]int32),
+	}
+	w.bind()
+	return w
+}
+
+// bind installs the persistent task closures. It runs once, at
+// construction — the per-step hot path dispatches through these fields
+// without nil checks, because creating a method value there would
+// allocate on every step.
+func (w *World) bind() {
+	w.narrowFn = w.narrowChunk
+	w.refreshFn = w.refreshChunk
+	w.edgeFn = w.edgeChunk
+	w.velFn = w.velChunk
+	w.posFn = w.posChunk
+	w.syncFn = w.syncChunk
+	w.islandFn = w.solveIsland
+	w.clothFn = w.stepCloth
+	w.runChunkFn = w.runChunk
+	w.poseFn = w.bodyPose
+	w.activeFn = func(i int32) bool {
+		b := w.Bodies[i]
+		return b.Enabled && b.InvMass > 0 && !b.Asleep
+	}
+}
+
+// SetThreads sets the worker count for the parallel phases, rebuilding
+// the worker pool immediately and growing the tracer lanes if tracing
+// is attached — work that would otherwise happen lazily inside the
+// next Step. Values below 1 are clamped to 1 (serial).
+func (w *World) SetThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.Threads = n
+	w.ensurePool()
+	if w.trace != nil && len(w.obsLanes) < n {
+		w.growObsLanes()
 	}
 }
 
