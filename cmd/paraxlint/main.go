@@ -1,12 +1,18 @@
 // Command paraxlint runs the repository's static-invariant analyzers
-// (noalloc, determinism, floatcmp — see internal/lint) over a set of
-// package patterns and exits non-zero if any finding survives its
-// //paraxlint:allow escape hatches.
+// (noalloc, determinism, floatcmp, chunkown per package, plus the
+// module-spanning parsafe call-graph analysis — see internal/lint)
+// over a set of package patterns and exits non-zero if any finding
+// survives its //paraxlint:allow escape hatches.
+//
+// Findings are printed sorted by (file, line, column, analyzer), so the
+// output is byte-stable across runs and diffable as a CI artifact; -o
+// writes the same lines to a file as well.
 //
 // Usage:
 //
 //	go run ./cmd/paraxlint ./...
 //	go run ./cmd/paraxlint -only noalloc ./internal/phys/...
+//	go run ./cmd/paraxlint -o findings.txt ./...
 package main
 
 import (
@@ -20,9 +26,13 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	outFile := flag.String("o", "", "also write the sorted findings to this file (written even when empty)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paraxlint [-only name,...] packages...\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: paraxlint [-only name,...] [-o file] packages...\n\nanalyzers:\n")
 		for _, a := range lint.All {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range lint.AllModule {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
@@ -33,6 +43,7 @@ func main() {
 	}
 
 	analyzers := lint.All
+	modAnalyzers := lint.AllModule
 	if *only != "" {
 		want := map[string]bool{}
 		for _, n := range strings.Split(*only, ",") {
@@ -44,31 +55,63 @@ func main() {
 				analyzers = append(analyzers, a)
 			}
 		}
-		if len(analyzers) == 0 {
+		modAnalyzers = nil
+		for _, a := range lint.AllModule {
+			if want[a.Name] {
+				modAnalyzers = append(modAnalyzers, a)
+			}
+		}
+		if len(analyzers)+len(modAnalyzers) == 0 {
 			fmt.Fprintf(os.Stderr, "paraxlint: no analyzers match -only=%s\n", *only)
 			os.Exit(2)
 		}
 	}
 
-	pkgs, err := lint.Load(patterns...)
+	// LoadModule (not Load) so parsafe sees the full in-module closure
+	// even for subset patterns; per-package analyzers skip the DepOnly
+	// extras.
+	pkgs, err := lint.LoadModule(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paraxlint: %v\n", err)
 		os.Exit(2)
 	}
 
-	exit := 0
+	var all []lint.Diagnostic
 	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
 		for _, a := range analyzers {
 			diags, err := lint.RunAnalyzer(a, pkg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "paraxlint: %v\n", err)
 				os.Exit(2)
 			}
-			for _, d := range diags {
-				fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-				exit = 1
-			}
+			all = append(all, diags...)
 		}
 	}
-	os.Exit(exit)
+	for _, a := range modAnalyzers {
+		diags, err := lint.RunModule(a, pkgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paraxlint: %v\n", err)
+			os.Exit(2)
+		}
+		all = append(all, diags...)
+	}
+
+	lint.SortDiagnostics(all)
+	var out strings.Builder
+	for _, d := range all {
+		fmt.Fprintf(&out, "%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+	}
+	fmt.Print(out.String())
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(out.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paraxlint: writing %s: %v\n", *outFile, err)
+			os.Exit(2)
+		}
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
 }

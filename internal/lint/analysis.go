@@ -68,6 +68,11 @@ type Diagnostic struct {
 	Category string // allow-comment category that can suppress it
 	Message  string
 	Analyzer string
+	// Position is Pos resolved against the owning package's FileSet.
+	// Module-spanning analyzers produce diagnostics from several
+	// FileSets, so raw Pos values are not comparable across packages;
+	// Position is, and is what the CLI sorts and prints.
+	Position token.Position
 }
 
 // Reportf records a finding unless an allow comment for its category
@@ -192,12 +197,91 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 	}
 	pass.finish()
-	sort.Slice(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	for i := range pass.diags {
+		pass.diags[i].Position = pkg.Fset.Position(pass.diags[i].Pos)
+	}
+	SortDiagnostics(pass.diags)
 	return pass.diags, nil
 }
 
+// A ModuleAnalyzer is a check that needs the whole module at once — a
+// cross-package call graph, facts flowing from one package's functions
+// to another's call sites — rather than one package at a time.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	// Categories lists the //paraxlint:allow(...) categories this
+	// analyzer owns, matched per package exactly as for Analyzer.
+	Categories []string
+	Run        func(*ModulePass) error
+}
+
+// A ModulePass holds one type-checked package set and a per-package
+// diagnostic sink. Each package keeps its own FileSet (the loader
+// type-checks them independently), so diagnostics must be reported
+// through the pass belonging to the package that owns the position.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Pkgs     []*Package
+
+	passes map[*Package]*Pass
+}
+
+// Pass returns the diagnostic sink for one of the module's packages.
+// Allow-comment matching and unused-waiver reporting work exactly as in
+// single-package passes.
+func (mp *ModulePass) Pass(pkg *Package) *Pass { return mp.passes[pkg] }
+
+// RunModule applies one module analyzer to a loaded package set and
+// returns the surviving diagnostics sorted by (file, line, column,
+// analyzer). Allow comments are collected for every package up front so
+// an unused waiver anywhere in the set is a finding.
+func RunModule(a *ModuleAnalyzer, pkgs []*Package) ([]Diagnostic, error) {
+	mp := newModulePass(a, pkgs)
+	if err := a.Run(mp); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pass := mp.passes[pkg]
+		pass.finish()
+		for i := range pass.diags {
+			pass.diags[i].Position = pkg.Fset.Position(pass.diags[i].Pos)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by (file, line, column, analyzer) —
+// the stable order the CLI prints, byte-identical across runs and
+// thread counts so the findings file can be diffed as a CI artifact.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := &ds[i], &ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
 // All is the paraxlint suite in the order the multichecker runs it.
-var All = []*Analyzer{NoAlloc, Determinism, FloatCmp}
+var All = []*Analyzer{NoAlloc, Determinism, FloatCmp, ChunkOwn}
+
+// AllModule is the module-spanning suite, run after the per-package
+// analyzers.
+var AllModule = []*ModuleAnalyzer{ParSafe}
 
 // exprText renders an expression back to source text, for structural
 // matching of destinations (append-in-place, sort-after-range).
@@ -208,14 +292,17 @@ func exprText(pass *Pass, e ast.Expr) string {
 }
 
 // hasDirective reports whether a function's doc comment carries the
-// given //paraxlint: directive (e.g. "noalloc", "tolerance").
+// given //paraxlint: directive (e.g. "noalloc", "parroot"). Text after
+// the directive name is a justification and is ignored:
+// //paraxlint:coldpath detonation path, fires on events only.
 func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	if doc == nil {
 		return false
 	}
 	want := "//paraxlint:" + directive
 	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == want {
+		t := strings.TrimSpace(c.Text)
+		if t == want || strings.HasPrefix(t, want+" ") {
 			return true
 		}
 	}

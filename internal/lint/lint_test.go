@@ -1,7 +1,9 @@
 package lint_test
 
 import (
+	"go/ast"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/parallax-arch/parallax/internal/lint"
@@ -20,6 +22,20 @@ func TestFloatCmp(t *testing.T) {
 	linttest.Run(t, lint.FloatCmp, filepath.Join("testdata", "floatcmp"))
 }
 
+func TestChunkOwn(t *testing.T) {
+	linttest.Run(t, lint.ChunkOwn, filepath.Join("testdata", "chunkown"))
+}
+
+// TestParSafe drives the module-spanning analyzer over a two-package
+// fixture. The dep subpackage chain (no directive on any frame) is the
+// load-bearing case: the alloc finding three frames below the root
+// exists because of transitive propagation alone, which is exactly the
+// property that used to depend on hand-placed //paraxlint:noalloc
+// directives — deleting a directive can no longer hide an allocation.
+func TestParSafe(t *testing.T) {
+	linttest.RunModule(t, lint.ParSafe, filepath.Join("testdata", "parsafe"))
+}
+
 // TestAllowSemantics pins the escape-hatch contract: an allow comment
 // suppresses findings on exactly one line, and an unused allow is itself
 // a finding (see testdata/allow).
@@ -27,29 +43,158 @@ func TestAllowSemantics(t *testing.T) {
 	linttest.Run(t, lint.NoAlloc, filepath.Join("testdata", "allow"))
 }
 
-// TestTreeClean runs the full suite over the whole module, making
-// `go test` subsume `go run ./cmd/paraxlint ./...`: a deliberate
-// allocation in an annotated hot-path function, or a fresh unsorted
-// map-range print, fails this test.
-func TestTreeClean(t *testing.T) {
-	if testing.Short() {
-		t.Skip("type-checks the whole module")
-	}
-	pkgs, err := lint.Load("github.com/parallax-arch/parallax/...")
+// loadRepo loads the whole module with in-module dependencies from
+// source, shared by the tree-wide tests below.
+func loadRepo(t *testing.T) []*lint.Package {
+	t.Helper()
+	pkgs, err := lint.LoadModule("github.com/parallax-arch/parallax/...")
 	if err != nil {
 		t.Fatalf("loading module packages: %v", err)
 	}
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded")
 	}
+	return pkgs
+}
+
+// TestTreeClean runs the full suite — per-package and module-spanning —
+// over the whole module, making `go test` subsume
+// `go run ./cmd/paraxlint ./...`: a deliberate allocation in a worker's
+// call graph, a package-variable write in a parallel phase, or a fresh
+// unsorted map-range print fails this test.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs := loadRepo(t)
 	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
 		for _, a := range lint.All {
 			diags, err := lint.RunAnalyzer(a, pkg)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
 			}
 			for _, d := range diags {
-				t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+				t.Errorf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+			}
+		}
+	}
+	for _, a := range lint.AllModule {
+		diags, err := lint.RunModule(a, pkgs)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+		}
+	}
+}
+
+// TestParsafeReachable pins the shape of the real call graph: the
+// parroot set must transitively reach the engine's deep hot-path
+// callees — the solver iteration, narrow-phase dispatch, body
+// integration and the tracer's span recording. A loader or
+// devirtualization regression that silently disconnects the graph
+// (leaving nothing checked) fails here rather than passing vacuously.
+func TestParsafeReachable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	names := lint.ParsafeReachable(loadRepo(t))
+	if len(names) < 50 {
+		t.Fatalf("parsafe reachable set has %d functions; expected a deep graph (>= 50)", len(names))
+	}
+	reach := make(map[string]bool, len(names))
+	for _, n := range names {
+		reach[n] = true
+	}
+	const mod = "github.com/parallax-arch/parallax/internal/"
+	for _, want := range []string{
+		"(*" + mod + "phys/solver.Solver).Solve",
+		"(*" + mod + "phys/solver.Workspace).grow",
+		"(*" + mod + "phys/narrowphase.Scratch).Collide",
+		"(*" + mod + "phys/body.Body).IntegrateVelocity",
+		"(*" + mod + "phys/body.Body).IntegratePosition",
+		"(*" + mod + "phys/cloth.Cloth).Relax",
+		"(*" + mod + "obs.Lane).Begin",
+		"(*" + mod + "obs.Lane).End",
+	} {
+		if !reach[want] {
+			t.Errorf("parsafe reachable set is missing %s", want)
+		}
+	}
+}
+
+// TestDirectiveDrift walks every //paraxlint: comment in the module and
+// verifies some analyzer actually consumes it: allow categories must be
+// owned by an analyzer in the suite, and directive names must be known
+// AND sit in a function's doc comment (a directive floating elsewhere
+// is silently ignored — which is drift, not enforcement).
+func TestDirectiveDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	ownedCats := map[string]bool{}
+	for _, a := range lint.All {
+		for _, c := range a.Categories {
+			ownedCats[c] = true
+		}
+	}
+	for _, a := range lint.AllModule {
+		for _, c := range a.Categories {
+			ownedCats[c] = true
+		}
+	}
+	// noalloc is read by NoAlloc and ParSafe, parroot/coldpath by
+	// ParSafe, tolerance by FloatCmp. A new directive must be added here
+	// in the same change that adds its consumer.
+	knownDirectives := map[string]bool{
+		"noalloc": true, "parroot": true, "coldpath": true, "tolerance": true,
+	}
+
+	for _, pkg := range loadRepo(t) {
+		for _, f := range pkg.Files {
+			// Comments that live in a FuncDecl's doc are consumed by the
+			// directive scanners.
+			inDoc := map[*ast.Comment]bool{}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					inDoc[c] = true
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "//paraxlint:")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if cat, ok := strings.CutPrefix(rest, "allow("); ok {
+						close := strings.IndexByte(cat, ')')
+						if close < 0 {
+							t.Errorf("%s: malformed allow comment %q", pos, c.Text)
+							continue
+						}
+						if !ownedCats[cat[:close]] {
+							t.Errorf("%s: allow category %q is owned by no analyzer", pos, cat[:close])
+						}
+						continue
+					}
+					name, _, _ := strings.Cut(rest, " ")
+					if !knownDirectives[name] {
+						t.Errorf("%s: unknown directive //paraxlint:%s", pos, name)
+						continue
+					}
+					if !inDoc[c] {
+						t.Errorf("%s: directive //paraxlint:%s is not in a function's doc comment and is silently ignored", pos, name)
+					}
+				}
 			}
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 )
 
@@ -29,6 +30,11 @@ type Package struct {
 	Src       map[string][]byte // filename -> source, for line-level allow comments
 	Types     *types.Package
 	TypesInfo *types.Info
+	// DepOnly marks a package LoadModule pulled in only because an
+	// explicitly matched package depends on it. Module analyzers see
+	// its sources (the call graph must not stop at package
+	// boundaries); per-package analyzers skip it.
+	DepOnly bool
 }
 
 // listedPackage is the slice of `go list -json` output the loader reads.
@@ -147,11 +153,107 @@ func Load(patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
+// LoadModule is Load extended for module-spanning analysis: packages
+// that are inside the module but were pulled in only as dependencies of
+// the matched patterns are parsed and type-checked from source too
+// (flagged DepOnly), instead of being consumed as opaque export data.
+// This way `paraxlint ./internal/phys/...` still hands parsafe the full
+// in-module call-graph closure — the worker hot path reaches into
+// internal/obs, and an allocation there is no less a finding for having
+// been matched indirectly. Out-of-module (standard library) deps remain
+// export data.
+func LoadModule(patterns ...string) ([]*Package, error) {
+	modPath, err := modulePath()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	sharedLookup.add(pkgs)
+	// All in-module packages share one FileSet and resolve their
+	// in-module imports to each other's source-checked *types.Package
+	// (go list -deps emits dependencies before dependents, so the deps
+	// map is always populated in time). Without this, a dependent would
+	// import its deps as gc export data, and the object identities the
+	// module call graph is built on would not match across packages.
+	fset := token.NewFileSet()
+	deps := map[string]*types.Package{}
+	// One export-data importer instance for the whole module: it caches
+	// out-of-module packages by path, so two in-module packages that both
+	// mention time.Duration agree on its identity.
+	imp := &chainImporter{deps: deps, next: importer.ForCompiler(fset, "gc", sharedLookup.lookup)}
+	var out []*Package
+	for _, p := range pkgs {
+		inModule := p.ImportPath == modPath || strings.HasPrefix(p.ImportPath, modPath+"/")
+		if p.DepOnly && !inModule {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		lp, err := typeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		lp.DepOnly = p.DepOnly
+		deps[lp.Path] = lp.Types
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// modulePath returns the import path of the module containing the
+// working directory, cached after the first `go list -m`.
+func modulePath() (string, error) {
+	modOnce.Do(func() {
+		cmd := exec.Command("go", "list", "-m")
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			modErr = fmt.Errorf("go list -m: %v\n%s", err, errb.String())
+			return
+		}
+		modCached = strings.TrimSpace(out.String())
+	})
+	return modCached, modErr
+}
+
+var (
+	modOnce   sync.Once
+	modCached string
+	modErr    error
+)
+
 // TypeCheck parses and type-checks one package from explicit file paths.
 // It is the shared core of Load and the analyzer test harness (which
 // points it at testdata fixtures).
 func TypeCheck(path string, filenames []string) (*Package, error) {
-	fset := token.NewFileSet()
+	return TypeCheckWith(token.NewFileSet(), path, filenames, nil)
+}
+
+// TypeCheckWith is TypeCheck with a caller-supplied FileSet and a set of
+// already-checked source dependencies. deps maps import paths to
+// type-checked packages that take precedence over gc export data, which
+// is how the test harness builds multi-package fixtures (a fixture root
+// importing a fixture dep, neither of which has export data on disk).
+func TypeCheckWith(fset *token.FileSet, path string, filenames []string, deps map[string]*types.Package) (*Package, error) {
+	var imp types.Importer = importer.ForCompiler(fset, "gc", sharedLookup.lookup)
+	if len(deps) > 0 {
+		imp = &chainImporter{deps: deps, next: imp}
+	}
+	return typeCheck(fset, path, filenames, imp)
+}
+
+// typeCheck is the shared parse-and-check core; the importer decides how
+// imports resolve (export data, in-memory packages, or a chain).
+func typeCheck(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
 	var files []*ast.File
 	src := make(map[string][]byte, len(filenames))
 	for _, fn := range filenames {
@@ -175,7 +277,7 @@ func TypeCheck(path string, filenames []string) (*Package, error) {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", sharedLookup.lookup),
+		Importer: imp,
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}
 	tpkg, err := conf.Check(path, fset, files, info)
@@ -191,4 +293,18 @@ func TypeCheck(path string, filenames []string) (*Package, error) {
 		Types:     tpkg,
 		TypesInfo: info,
 	}, nil
+}
+
+// chainImporter resolves imports from an in-memory package map first,
+// falling back to the export-data importer for everything else.
+type chainImporter struct {
+	deps map[string]*types.Package
+	next types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.deps[path]; ok {
+		return p, nil
+	}
+	return c.next.Import(path)
 }

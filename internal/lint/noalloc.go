@@ -57,6 +57,11 @@ func runNoAlloc(pass *Pass) error {
 type noallocWalker struct {
 	pass *Pass
 	sig  *types.Signature // enclosing function, for return-boxing checks
+	// sink, when set, receives findings instead of pass.Reportf with
+	// category "alloc". parsafe installs one so the same allocation
+	// detection reports under its own category for parroot-reachable
+	// functions that carry no //paraxlint:noalloc directive.
+	sink func(pos token.Pos, format string, args ...interface{})
 
 	calledSels map[*ast.SelectorExpr]bool // selector is the Fun of a call
 	okAppends  map[*ast.CallExpr]bool     // append assigned back to arg 0
@@ -115,6 +120,10 @@ func (w *noallocWalker) walk(body *ast.BlockStmt) {
 }
 
 func (w *noallocWalker) report(pos token.Pos, format string, args ...interface{}) {
+	if w.sink != nil {
+		w.sink(pos, format, args...)
+		return
+	}
 	w.pass.Reportf(pos, "alloc", format, args...)
 }
 

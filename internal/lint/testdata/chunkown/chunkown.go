@@ -1,0 +1,71 @@
+// Package chunkown exercises the chunk-owner write discipline: any
+// function with a consecutive `chunk, lo, hi int` parameter trio is a
+// chunk worker, and its index-writes to slices must be provably
+// disjoint from every other chunk's.
+package chunkown
+
+type scratch struct {
+	perChunk [][]float64
+	counts   []int
+	out      []float64
+}
+
+// okBounded writes through the canonical bounded loop: proven.
+func okBounded(chunk, lo, hi int, out []float64) {
+	for i := lo; i < hi; i++ {
+		out[i] = float64(i)
+	}
+}
+
+// okChunkSlot writes the worker's own merge slot: proven.
+func okChunkSlot(chunk, lo, hi int, s *scratch) {
+	s.counts[chunk] = hi - lo
+}
+
+// okDerived writes through a local derived from a [chunk]-indexed
+// chain: the buffer belongs to this chunk, any index into it is fine.
+func okDerived(chunk, lo, hi int, s *scratch) {
+	mine := s.perChunk[chunk]
+	for i := lo; i < hi; i++ {
+		mine[i-lo] = float64(i)
+	}
+}
+
+// okLocalArray writes a function-local array: value semantics, no
+// sharing with other workers.
+func okLocalArray(chunk, lo, hi int) float64 {
+	var acc [8]float64
+	for i := lo; i < hi; i++ {
+		acc[i&7] += float64(i)
+	}
+	return acc[0]
+}
+
+// badRaw indexes with an expression the checker cannot bound.
+func badRaw(chunk, lo, hi int, out []float64) {
+	out[lo-1] = 0 // want "index write out.lo-1. is not provably chunk-owned"
+}
+
+// badNeighbor strays one past the bounded induction variable.
+func badNeighbor(chunk, lo, hi int, out []float64) {
+	for i := lo; i < hi; i++ {
+		out[i+1] = float64(i) // want "index write out.i.1. is not provably chunk-owned"
+	}
+}
+
+// badCopy launders lo through a plain local: only the exact canonical
+// loop shape is recognized, so the write is a finding.
+func badCopy(chunk, lo, hi int, s *scratch) {
+	j := lo
+	s.out[j] = 1 // want "index write s.out.j. is not provably chunk-owned"
+}
+
+// waived is a deliberate merge-time exception.
+func waived(chunk, lo, hi int, out []float64) {
+	out[0] = 0 //paraxlint:allow(chunkown) fixture: serialized merge slot, workers never race on it
+}
+
+// notWorker has no chunk trio and is not checked.
+func notWorker(n int, out []float64) {
+	out[n] = 1
+}

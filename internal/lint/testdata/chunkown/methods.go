@@ -1,0 +1,18 @@
+// methods.go is the second file of the chunkown fixture package: the
+// harness must merge wants across all files of a multi-file testdata
+// package, and the trio detection must work on method declarations.
+package chunkown
+
+type worker struct {
+	s *scratch
+}
+
+// Run is a method chunk worker: findings and wants anchor to lines of a
+// method body exactly as for plain functions.
+func (w *worker) Run(chunk, lo, hi int) {
+	w.s.out[hi] = 0 // want "index write w.s.out.hi. is not provably chunk-owned"
+	for i := lo; i < hi; i++ {
+		w.s.out[i] = float64(i)
+	}
+	w.s.counts[chunk]++
+}

@@ -1,0 +1,20 @@
+// Package dep is the cross-package half of the parsafe fixture. No
+// function here carries any directive: the finding three frames below
+// the parroot in the parent package is pure transitive propagation
+// across the package boundary.
+package dep
+
+// Frame1 -> frame2 -> frame3: the allocation sits three frames below
+// the root worker, with no annotation on any frame of the chain.
+func Frame1(xs []int) []int { return frame2(xs) }
+
+func frame2(xs []int) []int { return frame3(xs) }
+
+func frame3(xs []int) []int {
+	out := make([]int, len(xs)+1) // want "call to make allocates"
+	copy(out, xs)
+	return out
+}
+
+// Pure is reachable and clean: no finding.
+func Pure(a, b float64) float64 { return a*b + b }

@@ -143,12 +143,11 @@ func (t *Tracer) Lane(name string, events int) *Lane {
 
 // Now returns nanoseconds since the tracer started (0 for a nil
 // tracer). Pair with Lane.Complete for spans measured by the caller.
-//
-//paraxlint:noalloc
 func (t *Tracer) Now() int64 {
 	if t == nil {
 		return 0
 	}
+	//paraxlint:allow(parsafe) monotonic clock read for span timestamps: wait-free, no shared state
 	return time.Since(t.start).Nanoseconds()
 }
 
@@ -177,13 +176,12 @@ func (l *Lane) Name() string {
 }
 
 // Begin records the start of a span on this lane.
-//
-//paraxlint:noalloc
 func (l *Lane) Begin(id SpanID) {
 	if l == nil {
 		return
 	}
 	ts := l.tr.Now()
+	//paraxlint:allow(parsafe) per-lane mutex: one worker writes, contended only by Flush between steps
 	l.mu.Lock()
 	if l.depth < maxOpenSpans {
 		l.stack[l.depth] = openSpan{id: id, ts: ts}
@@ -193,20 +191,20 @@ func (l *Lane) Begin(id SpanID) {
 	}
 	l.buf[l.head&l.mask] = event{id: id, kind: evBegin, ts: ts}
 	l.head++
+	//paraxlint:allow(parsafe) per-lane mutex: one worker writes, contended only by Flush between steps
 	l.mu.Unlock()
 }
 
 // End records the end of the innermost open span with this ID and
 // returns its duration in nanoseconds (0 if the matching Begin was
 // lost to stack overflow or ring reuse).
-//
-//paraxlint:noalloc
 func (l *Lane) End(id SpanID) int64 {
 	if l == nil {
 		return 0
 	}
 	ts := l.tr.Now()
 	var dur int64
+	//paraxlint:allow(parsafe) per-lane mutex: one worker writes, contended only by Flush between steps
 	l.mu.Lock()
 	if l.depth > 0 && l.stack[l.depth-1].id == id {
 		l.depth--
@@ -215,6 +213,7 @@ func (l *Lane) End(id SpanID) int64 {
 	}
 	l.buf[l.head&l.mask] = event{id: id, kind: evEnd, ts: ts}
 	l.head++
+	//paraxlint:allow(parsafe) per-lane mutex: one worker writes, contended only by Flush between steps
 	l.mu.Unlock()
 	return dur
 }
@@ -241,8 +240,6 @@ func (l *Lane) Complete(id SpanID, startNanos int64) int64 {
 }
 
 // addTotal folds one finished span into the cumulative totals table.
-//
-//paraxlint:noalloc
 func (t *Tracer) addTotal(id SpanID, dur int64) {
 	if id < 0 || int(id) >= maxSpanTotals {
 		return

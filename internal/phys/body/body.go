@@ -71,8 +71,6 @@ func (b *Body) SetMass(mass float64, inertia m3.Mat) {
 
 // InvInertiaWorld returns the inverse inertia tensor rotated into the
 // world frame: R * Iinv * R^T.
-//
-//paraxlint:noalloc
 func (b *Body) InvInertiaWorld() m3.Mat {
 	r := b.Rot.Mat()
 	return r.Mul(b.InvInertia).Mul(r.Transpose())
@@ -107,16 +105,12 @@ func (b *Body) ApplyImpulse(j, p m3.Vec) {
 
 // VelocityAt returns the world velocity of the material point of b at
 // world position p.
-//
-//paraxlint:noalloc
 func (b *Body) VelocityAt(p m3.Vec) m3.Vec {
 	return b.LinVel.Add(b.AngVel.Cross(p.Sub(b.Pos)))
 }
 
 // IntegrateVelocity applies the accumulated forces over dt using
 // semi-implicit Euler, then clears the accumulators.
-//
-//paraxlint:noalloc
 func (b *Body) IntegrateVelocity(dt float64) {
 	if b.InvMass == 0 || !b.Enabled {
 		b.ClearAccumulators()
@@ -129,8 +123,6 @@ func (b *Body) IntegrateVelocity(dt float64) {
 
 // IntegratePosition advances position and orientation over dt from the
 // current velocities.
-//
-//paraxlint:noalloc
 func (b *Body) IntegratePosition(dt float64) {
 	if b.InvMass == 0 || !b.Enabled {
 		return
@@ -140,8 +132,6 @@ func (b *Body) IntegratePosition(dt float64) {
 }
 
 // ClearAccumulators zeroes the force and torque accumulators.
-//
-//paraxlint:noalloc
 func (b *Body) ClearAccumulators() {
 	b.Force = m3.Zero
 	b.Torque = m3.Zero
@@ -158,8 +148,6 @@ const (
 // UpdateSleep advances the body's sleep state by dt and returns whether
 // the body is now asleep. Immovable bodies never sleep (they are never
 // integrated anyway).
-//
-//paraxlint:noalloc
 func (b *Body) UpdateSleep(dt float64) bool {
 	if b.InvMass == 0 || !b.Enabled {
 		return false

@@ -57,6 +57,12 @@ type Cloth struct {
 	Box m3.AABB
 	// stats for the architecture model.
 	LastStats Stats
+
+	// scr and triBuf are per-cloth collision scratch buffers (a cloth is
+	// stepped by one worker at a time, so they are not contended). They
+	// are runtime-only state: excluded from snapshots.
+	scr    narrowphase.Scratch
+	triBuf []int32
 }
 
 // Stats counts per-step cloth work.
@@ -120,8 +126,6 @@ func (c *Cloth) PinToBody(p, bodyIdx int32, local m3.Vec) {
 }
 
 // UpdateBox refreshes the cloth bounding volume, expanded by thickness.
-//
-//paraxlint:noalloc
 func (c *Cloth) UpdateBox() {
 	box := m3.EmptyAABB()
 	for i := range c.Particles {
@@ -134,8 +138,6 @@ func (c *Cloth) UpdateBox() {
 // Integrate performs the Verlet step for all particles under the given
 // acceleration (typically gravity). Each vertex is independent — this is
 // the cloth phase's fine-grain parallelism.
-//
-//paraxlint:noalloc
 func (c *Cloth) Integrate(dt float64, accel m3.Vec) {
 	st := &c.LastStats
 	*st = Stats{}
@@ -186,8 +188,6 @@ func (c *Cloth) ApplyBlast(center m3.Vec, radius, impulse, dt float64) int {
 }
 
 // Relax runs the constraint relaxation sweeps.
-//
-//paraxlint:noalloc
 func (c *Cloth) Relax() {
 	st := &c.LastStats
 	for it := 0; it < c.Iterations; it++ {
@@ -214,8 +214,6 @@ func (c *Cloth) Relax() {
 // CollideGeom projects penetrating particles out of a rigid geom. Fast
 // vertices (moving more than the geom's extent) are ray cast from their
 // previous position to catch tunneling.
-//
-//paraxlint:noalloc
 func (c *Cloth) CollideGeom(g *geom.Geom) {
 	st := &c.LastStats
 	if !c.Box.Overlaps(g.Box) {
@@ -232,7 +230,7 @@ func (c *Cloth) CollideGeom(g *geom.Geom) {
 		if dist > 4*c.Thickness {
 			// Ray cast for tunneling.
 			st.RayCasts++
-			if hit, ok := narrowphase.RayCast(g, p.Prev, move.Scale(1/dist), dist); ok {
+			if hit, ok := c.scr.RayCast(g, p.Prev, move.Scale(1/dist), dist); ok {
 				p.Pos = hit.Pos.Add(hit.Normal.Scale(c.Thickness))
 				c.applyFriction(p, hit.Normal)
 				continue
@@ -250,8 +248,6 @@ func (c *Cloth) CollideGeom(g *geom.Geom) {
 // that its implied velocity loses the normal component entirely and a
 // Friction fraction of the tangential component (the vertex projection
 // scheme's contact response).
-//
-//paraxlint:noalloc
 func (c *Cloth) applyFriction(p *Particle, n m3.Vec) {
 	vel := p.Pos.Sub(p.Prev)
 	vt := vel.Sub(n.Scale(vel.Dot(n)))
@@ -259,8 +255,6 @@ func (c *Cloth) applyFriction(p *Particle, n m3.Vec) {
 }
 
 // projectOut pushes a single particle out of the geom if penetrating.
-//
-//paraxlint:noalloc
 func (c *Cloth) projectOut(p *Particle, g *geom.Geom) {
 	switch s := g.Shape.(type) {
 	case geom.Sphere:
@@ -314,7 +308,8 @@ func (c *Cloth) projectOut(p *Particle, g *geom.Geom) {
 	case *geom.TriMesh:
 		// Project onto nearby triangles.
 		q := m3.AABBAt(p.Pos.Sub(g.Pos), m3.V(c.Thickness*4, c.Thickness*4, c.Thickness*4))
-		for _, ti := range s.TrianglesIn(q, nil) {
+		c.triBuf = s.TrianglesIn(q, c.triBuf[:0])
+		for _, ti := range c.triBuf {
 			v0, v1, v2 := s.TriVerts(ti)
 			v0, v1, v2 = v0.Add(g.Pos), v1.Add(g.Pos), v2.Add(g.Pos)
 			cl := closestPointTri(p.Pos, v0, v1, v2)
@@ -328,8 +323,6 @@ func (c *Cloth) projectOut(p *Particle, g *geom.Geom) {
 
 // closestOnBox is like the narrow-phase helper but keeps interior
 // resolution on the surface.
-//
-//paraxlint:noalloc
 func closestOnBox(p m3.Vec, g *geom.Geom, b geom.Box) (m3.Vec, bool) {
 	l := g.Rot.TMulVec(p.Sub(g.Pos))
 	inside := true
@@ -362,7 +355,6 @@ func closestOnBox(p m3.Vec, g *geom.Geom, b geom.Box) (m3.Vec, bool) {
 	return g.Rot.MulVec(cl).Add(g.Pos), inside
 }
 
-//paraxlint:noalloc
 func closestPointTri(p, a, b, cc m3.Vec) m3.Vec {
 	// Delegate to the same math as the narrow phase (re-derived here to
 	// avoid exporting internals): project onto the plane, clamp to edges.
@@ -406,10 +398,9 @@ func closestPointTri(p, a, b, cc m3.Vec) m3.Vec {
 
 // SatisfyPins re-seats pinned particles; bodyPose returns the world pose
 // of a body index.
-//
-//paraxlint:noalloc
 func (c *Cloth) SatisfyPins(bodyPose func(int32) (m3.Vec, m3.Quat)) {
 	for _, pin := range c.Pins {
+		//paraxlint:allow(parsafe) bodyPose is World.bodyPose, a pure pose read passed as a func only to avoid an import cycle
 		pos, rot := bodyPose(pin.Body)
 		w := rot.Rotate(pin.Local).Add(pos)
 		p := &c.Particles[pin.P]

@@ -26,8 +26,6 @@ func NewBreakable(j Joint, threshold, fatigueLimit float64) *Breakable {
 }
 
 // Rows implements Joint; broken joints produce nothing.
-//
-//paraxlint:noalloc
 func (b *Breakable) Rows(bs []*body.Body, p Params, idx int32, dst []Row) []Row {
 	if b.Broken {
 		return dst
@@ -36,8 +34,6 @@ func (b *Breakable) Rows(bs []*body.Body, p Params, idx int32, dst []Row) []Row 
 }
 
 // NumRows implements Joint.
-//
-//paraxlint:noalloc
 func (b *Breakable) NumRows() int {
 	if b.Broken {
 		return 0

@@ -31,8 +31,6 @@ var DefaultMaterial = ContactMaterial{
 // depth the penetration. rowBase is the absolute index in the island's
 // row list where these rows will land, so friction rows can reference
 // their normal row.
-//
-//paraxlint:noalloc
 func ContactRows(bs []*body.Body, a, b int32, pos, n m3.Vec, depth float64,
 	mat ContactMaterial, p Params, rowBase int32, dst []Row) []Row {
 

@@ -18,60 +18,21 @@ func boxBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	ra, rb := a.Rot, b.Rot
 	d := b.Pos.Sub(a.Pos)
 
-	type axisInfo struct {
-		n     m3.Vec // world axis, unit, oriented from A toward B
-		depth float64
-		kind  int // 0..5 face of A/B, 6.. edge pair
-		ea    int // edge axis index on A (for edge case)
-		eb    int // edge axis index on B
-	}
-	best := axisInfo{depth: math.Inf(1), kind: -1}
-
-	// overlap computes penetration along axis n (unit).
-	overlap := func(n m3.Vec) (float64, bool) {
-		proj := func(rot m3.Mat, half m3.Vec) float64 {
-			return math.Abs(n.Dot(rot.Col(0)))*half.X +
-				math.Abs(n.Dot(rot.Col(1)))*half.Y +
-				math.Abs(n.Dot(rot.Col(2)))*half.Z
-		}
-		dist := math.Abs(n.Dot(d))
-		pen := proj(ra, ba.Half) + proj(rb, bb.Half) - dist
-		return pen, pen > 0
-	}
-
-	consider := func(n m3.Vec, kind, ea, eb int, bias float64) bool {
-		if n.Len2() < 1e-12 {
-			return true // degenerate (parallel edges); skip
-		}
-		n = n.Norm()
-		pen, ok := overlap(n)
-		if !ok {
-			return false
-		}
-		// Small bias prefers face axes over edge axes at equal depth,
-		// which yields more stable manifolds.
-		if pen*bias < best.depth {
-			if n.Dot(d) < 0 {
-				n = n.Neg()
-			}
-			best = axisInfo{n: n, depth: pen, kind: kind, ea: ea, eb: eb}
-		}
-		return true
-	}
+	best := sepAxis{depth: math.Inf(1), kind: -1}
 
 	for i := 0; i < 3; i++ {
-		if !consider(ra.Col(i), i, 0, 0, 1.0) {
+		if !considerAxis(&best, ra.Col(i), d, ra, rb, ba.Half, bb.Half, i, 0, 0, 1.0) {
 			return dst
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if !consider(rb.Col(i), 3+i, 0, 0, 1.0) {
+		if !considerAxis(&best, rb.Col(i), d, ra, rb, ba.Half, bb.Half, 3+i, 0, 0, 1.0) {
 			return dst
 		}
 	}
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 3; j++ {
-			if !consider(ra.Col(i).Cross(rb.Col(j)), 6, i, j, 1.05) {
+			if !considerAxis(&best, ra.Col(i).Cross(rb.Col(j)), d, ra, rb, ba.Half, bb.Half, 6, i, j, 1.05) {
 				return dst
 			}
 		}
@@ -135,6 +96,47 @@ func boxBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 		})
 	}
 	return capManifold(dst, start)
+}
+
+// sepAxis is the best separating-axis candidate seen so far.
+type sepAxis struct {
+	n     m3.Vec // world axis, unit, oriented from A toward B
+	depth float64
+	kind  int // 0..5 face of A/B, 6.. edge pair
+	ea    int // edge axis index on A (for edge case)
+	eb    int // edge axis index on B
+}
+
+// boxProj is the projection radius of an oriented box onto unit axis n.
+func boxProj(n m3.Vec, rot m3.Mat, half m3.Vec) float64 {
+	return math.Abs(n.Dot(rot.Col(0)))*half.X +
+		math.Abs(n.Dot(rot.Col(1)))*half.Y +
+		math.Abs(n.Dot(rot.Col(2)))*half.Z
+}
+
+// considerAxis tests one candidate separating axis between boxes
+// (ra,ha) and (rb,hb) whose centers are separated by d, updating best
+// if the axis penetrates less. It returns false when the boxes are
+// separated along the axis (no contact at all).
+func considerAxis(best *sepAxis, n, d m3.Vec, ra, rb m3.Mat, ha, hb m3.Vec, kind, ea, eb int, bias float64) bool {
+	if n.Len2() < 1e-12 {
+		return true // degenerate (parallel edges); skip
+	}
+	n = n.Norm()
+	dist := math.Abs(n.Dot(d))
+	pen := boxProj(n, ra, ha) + boxProj(n, rb, hb) - dist
+	if !(pen > 0) {
+		return false
+	}
+	// Small bias prefers face axes over edge axes at equal depth,
+	// which yields more stable manifolds.
+	if pen*bias < best.depth {
+		if n.Dot(d) < 0 {
+			n = n.Neg()
+		}
+		*best = sepAxis{n: n, depth: pen, kind: kind, ea: ea, eb: eb}
+	}
+	return true
 }
 
 // supportEdge returns the edge of the box (pos,rot,half) along local

@@ -111,19 +111,19 @@ func closestPtPointTriangle(p, a, b, c m3.Vec) m3.Vec {
 func closestPtSegTriangle(p, q, a, b, c m3.Vec) (onSeg, onTri m3.Vec) {
 	// Candidate 1..3: segment vs each triangle edge.
 	best := math.Inf(1)
-	check := func(s, t m3.Vec) {
-		if d := s.Sub(t).Len2(); d < best {
-			best = d
-			onSeg, onTri = s, t
-		}
-	}
 	for _, e := range [3][2]m3.Vec{{a, b}, {b, c}, {c, a}} {
 		s1, s2, _, _ := closestPtSegSeg(p, q, e[0], e[1])
-		check(s1, s2)
+		if d := s1.Sub(s2).Len2(); d < best {
+			best, onSeg, onTri = d, s1, s2
+		}
 	}
 	// Candidate 4..5: endpoints vs triangle interior.
-	check(p, closestPtPointTriangle(p, a, b, c))
-	check(q, closestPtPointTriangle(q, a, b, c))
+	if t := closestPtPointTriangle(p, a, b, c); p.Sub(t).Len2() < best {
+		best, onSeg, onTri = p.Sub(t).Len2(), p, t
+	}
+	if t := closestPtPointTriangle(q, a, b, c); q.Sub(t).Len2() < best {
+		best, onSeg, onTri = q.Sub(t).Len2(), q, t
+	}
 	// Candidate 6: segment crossing the triangle plane inside the face.
 	n := b.Sub(a).Cross(c.Sub(a))
 	if n.Len2() > m3.Eps {

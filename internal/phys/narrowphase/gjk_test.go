@@ -12,11 +12,13 @@ import (
 func TestGJKSeparatedSpheres(t *testing.T) {
 	a := mk(0, geom.Sphere{R: 1}, m3.Zero)
 	b := mk(1, geom.Sphere{R: 1}, m3.V(3, 0, 0))
-	if _, _, hit := gjk(supportOf(a), supportOf(b)); hit {
+	sa, sb := makeSupport(a), makeSupport(b)
+	if _, _, hit := gjk(&sa, &sb); hit {
 		t.Error("separated spheres reported overlapping")
 	}
 	b.Pos = m3.V(1.5, 0, 0)
-	if _, _, hit := gjk(supportOf(a), supportOf(b)); !hit {
+	sb = makeSupport(b)
+	if _, _, hit := gjk(&sa, &sb); !hit {
 		t.Error("overlapping spheres reported separate")
 	}
 }
@@ -27,7 +29,8 @@ func TestEPASphereSphereMatchesAnalytic(t *testing.T) {
 	a := mk(0, geom.Sphere{R: 1}, m3.Zero)
 	b := mk(1, geom.Sphere{R: 1}, m3.V(1.4, 0.3, -0.2))
 	want := Collide(a, b, nil, nil)
-	got := convexConvex(a, b, nil, nil)
+	var scr Scratch
+	got := convexConvex(&scr, a, b, nil, nil)
 	if len(want) != 1 || len(got) != 1 {
 		t.Fatalf("contacts: analytic %d, gjk %d", len(want), len(got))
 	}
@@ -154,6 +157,7 @@ func TestGJKRandomAgainstSphereAnalytic(t *testing.T) {
 	// Property: for random sphere pairs, GJK/EPA and the analytic path
 	// agree on hit/miss and (when hitting) on depth within tolerance.
 	r := rand.New(rand.NewSource(17))
+	var scr Scratch
 	for trial := 0; trial < 300; trial++ {
 		ra := 0.3 + r.Float64()
 		rb := 0.3 + r.Float64()
@@ -165,7 +169,7 @@ func TestGJKRandomAgainstSphereAnalytic(t *testing.T) {
 			continue // skip grazing cases
 		}
 		wantHit := dist < ra+rb
-		got := convexConvex(a, b, nil, nil)
+		got := convexConvex(&scr, a, b, nil, nil)
 		if (len(got) > 0) != wantHit {
 			t.Fatalf("trial %d: gjk hit=%v, want %v (dist %v vs %v)",
 				trial, len(got) > 0, wantHit, dist, ra+rb)

@@ -18,8 +18,16 @@ type RayHit struct {
 // RayCast intersects the ray from origin o along unit direction dir,
 // limited to maxT, with a single geom. It reports the nearest hit.
 // Ray casting is used by cloth collision (per the paper's cloth phase)
-// and by gameplay queries.
+// and by gameplay queries. This convenience entry point uses a
+// throwaway Scratch; hot paths hold one and call its RayCast method so
+// mesh queries reuse buffers.
 func RayCast(g *geom.Geom, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+	var scr Scratch
+	return scr.RayCast(g, o, dir, maxT)
+}
+
+// RayCast is the allocation-free form of the package-level RayCast.
+func (scr *Scratch) RayCast(g *geom.Geom, o, dir m3.Vec, maxT float64) (RayHit, bool) {
 	switch s := g.Shape.(type) {
 	case geom.Sphere:
 		return raySphere(g, s, o, dir, maxT)
@@ -36,7 +44,7 @@ func RayCast(g *geom.Geom, o, dir m3.Vec, maxT float64) (RayHit, bool) {
 	case *geom.HeightField:
 		return rayHeightField(g, s, o, dir, maxT)
 	case *geom.TriMesh:
-		return rayTriMesh(g, s, o, dir, maxT)
+		return rayTriMesh(scr, g, s, o, dir, maxT)
 	}
 	return RayHit{}, false
 }
@@ -163,20 +171,15 @@ func rayHeightField(g *geom.Geom, hf *geom.HeightField, o, dir m3.Vec, maxT floa
 	return RayHit{}, false
 }
 
-func rayTriMesh(g *geom.Geom, tm *geom.TriMesh, o, dir m3.Vec, maxT float64) (RayHit, bool) {
+func rayTriMesh(scr *Scratch, g *geom.Geom, tm *geom.TriMesh, o, dir m3.Vec, maxT float64) (RayHit, bool) {
 	end := o.Add(dir.Scale(maxT))
 	q := m3.AABB{Min: o.Min(end), Max: o.Max(end)}
 	q.Min = q.Min.Sub(g.Pos)
 	q.Max = q.Max.Sub(g.Pos)
-	tris := tm.TrianglesIn(q, nil)
+	tris := scr.triQuery(tm, q)
 	best := RayHit{T: math.Inf(1)}
 	found := false
-	seen := map[int32]bool{}
 	for _, ti := range tris {
-		if seen[ti] {
-			continue
-		}
-		seen[ti] = true
 		v0, v1, v2 := tm.TriVerts(ti)
 		v0, v1, v2 = v0.Add(g.Pos), v1.Add(g.Pos), v2.Add(g.Pos)
 		if t, ok := rayTriangle(o, dir, v0, v1, v2, maxT); ok && t < best.T {

@@ -82,20 +82,15 @@ func capsuleHeightField(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 
 // ---- trimesh pairs (primitive is always geom a; mesh is geom b) ----
 
-func sphereTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+func sphereTriMesh(scr *Scratch, a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	sa := a.Shape.(geom.Sphere)
 	tm := b.Shape.(*geom.TriMesh)
 	local := a.Box
 	local.Min = local.Min.Sub(b.Pos)
 	local.Max = local.Max.Sub(b.Pos)
-	tris := tm.TrianglesIn(local, nil)
+	tris := scr.triQuery(tm, local)
 	start := len(dst)
-	seen := map[int32]bool{}
 	for _, ti := range tris {
-		if seen[ti] {
-			continue
-		}
-		seen[ti] = true
 		triTest(st)
 		v0, v1, v2 := tm.TriVerts(ti)
 		v0, v1, v2 = v0.Add(b.Pos), v1.Add(b.Pos), v2.Add(b.Pos)
@@ -119,20 +114,15 @@ func sphereTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	return capManifold(dst, start)
 }
 
-func boxTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+func boxTriMesh(scr *Scratch, a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	ba := a.Shape.(geom.Box)
 	tm := b.Shape.(*geom.TriMesh)
 	local := a.Box
 	local.Min = local.Min.Sub(b.Pos)
 	local.Max = local.Max.Sub(b.Pos)
-	tris := tm.TrianglesIn(local, nil)
+	tris := scr.triQuery(tm, local)
 	start := len(dst)
-	seen := map[int32]bool{}
 	for _, ti := range tris {
-		if seen[ti] {
-			continue
-		}
-		seen[ti] = true
 		triTest(st)
 		v0, v1, v2 := tm.TriVerts(ti)
 		v0, v1, v2 = v0.Add(b.Pos), v1.Add(b.Pos), v2.Add(b.Pos)
@@ -173,21 +163,16 @@ func boxTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	return capManifold(dst, start)
 }
 
-func capsuleTriMesh(a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
+func capsuleTriMesh(scr *Scratch, a, b *geom.Geom, dst []Contact, st *Stats) []Contact {
 	ca := a.Shape.(geom.Capsule)
 	tm := b.Shape.(*geom.TriMesh)
 	p0, p1 := ca.Ends(a.Pos, a.Rot)
 	local := a.Box
 	local.Min = local.Min.Sub(b.Pos)
 	local.Max = local.Max.Sub(b.Pos)
-	tris := tm.TrianglesIn(local, nil)
+	tris := scr.triQuery(tm, local)
 	start := len(dst)
-	seen := map[int32]bool{}
 	for _, ti := range tris {
-		if seen[ti] {
-			continue
-		}
-		seen[ti] = true
 		triTest(st)
 		v0, v1, v2 := tm.TriVerts(ti)
 		v0, v1, v2 = v0.Add(b.Pos), v1.Add(b.Pos), v2.Add(b.Pos)

@@ -47,17 +47,15 @@ type Workspace struct {
 }
 
 // grow resizes the workspace for n rows, reusing prior capacity.
-//
-//paraxlint:noalloc
 func (ws *Workspace) grow(n int) {
 	if cap(ws.lambda) < n {
 		// Capacity growth to the largest island seen, then reused forever.
-		ws.pLinA = make([]m3.Vec, n)   //paraxlint:allow(alloc)
-		ws.pAngA = make([]m3.Vec, n)   //paraxlint:allow(alloc)
-		ws.pLinB = make([]m3.Vec, n)   //paraxlint:allow(alloc)
-		ws.pAngB = make([]m3.Vec, n)   //paraxlint:allow(alloc)
-		ws.invDen = make([]float64, n) //paraxlint:allow(alloc)
-		ws.lambda = make([]float64, n) //paraxlint:allow(alloc)
+		ws.pLinA = make([]m3.Vec, n)   //paraxlint:allow(parsafe)
+		ws.pAngA = make([]m3.Vec, n)   //paraxlint:allow(parsafe)
+		ws.pLinB = make([]m3.Vec, n)   //paraxlint:allow(parsafe)
+		ws.pAngB = make([]m3.Vec, n)   //paraxlint:allow(parsafe)
+		ws.invDen = make([]float64, n) //paraxlint:allow(parsafe)
+		ws.lambda = make([]float64, n) //paraxlint:allow(parsafe)
 		return
 	}
 	ws.pLinA = ws.pLinA[:n]
@@ -82,8 +80,6 @@ func (ws *Workspace) grow(n int) {
 // joints). ws, if non-nil, provides reusable per-row storage; the
 // returned impulse slice aliases it and is valid until the workspace's
 // next Solve. A nil ws allocates a temporary workspace.
-//
-//paraxlint:noalloc
 func (s *Solver) Solve(bs []*body.Body, rows []joint.Row, dt float64,
 	jointLoad []float64, st *Stats, ws *Workspace) []float64 {
 
@@ -97,7 +93,7 @@ func (s *Solver) Solve(bs []*body.Body, rows []joint.Row, dt float64,
 		return nil
 	}
 	if ws == nil {
-		ws = &Workspace{} //paraxlint:allow(alloc) convenience fallback; the engine always passes a workspace
+		ws = &Workspace{} //paraxlint:allow(parsafe) convenience fallback; the engine always passes a workspace
 	}
 	ws.grow(n)
 	pLinA, pAngA := ws.pLinA, ws.pAngA

@@ -136,8 +136,6 @@ func (w *World) growObsLanes() {
 
 // laneFor returns worker i's span lane, or nil when tracing is off (the
 // nil-check fast path: every Lane method is a no-op on nil).
-//
-//paraxlint:noalloc
 func (w *World) laneFor(worker int) *obs.Lane {
 	if worker >= len(w.obsLanes) {
 		return nil

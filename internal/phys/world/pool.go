@@ -28,15 +28,24 @@ type pool struct {
 func newPool(n int) *pool {
 	p := &pool{n: n, tasks: make(chan task, 4*n)}
 	for i := 0; i < n; i++ {
-		worker := i + 1
-		go func() {
-			for t := range p.tasks {
-				t.fn(worker, int(t.arg))
-				p.wg.Done()
-			}
-		}()
+		go p.loop(i + 1)
 	}
 	return p
+}
+
+// loop is one persistent worker: it drains the task channel until the
+// pool is closed. Everything a task function can reach from here runs
+// concurrently with the other workers — loop is a parsafe root.
+//
+//paraxlint:parroot persistent pool worker; all task functions run under it
+func (p *pool) loop(worker int) {
+	//paraxlint:allow(parsafe) the pool's own task-channel receive: the one sanctioned handoff
+	for t := range p.tasks {
+		//paraxlint:allow(parsafe) task dispatch: the callee set is exactly the parroot worker functions
+		t.fn(worker, int(t.arg))
+		//paraxlint:allow(parsafe) the pool's own WaitGroup handoff, paired with post's Add
+		p.wg.Done()
+	}
 }
 
 // post enqueues fn(worker, arg) for every arg. It is the single place
@@ -137,9 +146,11 @@ func (w *World) parallelChunks(n int, fn func(chunk, lo, hi int), span obs.SpanI
 }
 
 // runChunk adapts one chunk index to the chunk function set by
-// parallelChunks.
+// parallelChunks. It runs on pool workers via dispatch, so it is a
+// parsafe root in its own right (the static graph cannot follow the
+// method value stored in runChunkFn).
 //
-//paraxlint:noalloc
+//paraxlint:parroot chunk adapter, dispatched by parallelChunks
 func (w *World) runChunk(worker, chunk int) {
 	lane := w.laneFor(worker)
 	sc := &w.scratch
@@ -153,6 +164,7 @@ func (w *World) runChunk(worker, chunk int) {
 	if hi > sc.chunkN {
 		hi = sc.chunkN
 	}
+	//paraxlint:allow(parsafe) chunkFn is set by parallelChunks to one of the parroot chunk workers
 	sc.chunkFn(chunk, lo, hi)
 	lane.End(span)
 }

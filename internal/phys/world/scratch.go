@@ -21,6 +21,10 @@ type narrowEvents struct {
 	blastHits  [][2]int32 // blast geom, other geom
 	blastCloth [][2]int32 // blast geom, cloth index
 	clothHits  [][2]int32 // cloth index, other geom
+	// scr holds the chunk's collision scratch (mesh-query and EPA
+	// buffers). It persists across steps — beginStep resets the event
+	// slices but leaves it alone — so mesh/hull pairs stay allocation-free.
+	scr narrowphase.Scratch
 }
 
 // warmKey identifies a contact across steps for warm starting: the geom

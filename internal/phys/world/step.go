@@ -8,7 +8,6 @@ import (
 	"github.com/parallax-arch/parallax/internal/phys/island"
 	"github.com/parallax-arch/parallax/internal/phys/joint"
 	"github.com/parallax-arch/parallax/internal/phys/m3"
-	"github.com/parallax-arch/parallax/internal/phys/narrowphase"
 )
 
 // StepsPerFrame is how many simulation steps make one rendered frame:
@@ -340,7 +339,7 @@ func (w *World) Step() {
 // narrowChunk is the narrow-phase worker: it tests one chunk of the
 // candidate pair list, writing into that chunk's event buffers.
 //
-//paraxlint:noalloc
+//paraxlint:parroot narrow-phase worker, dispatched by parallelChunks
 func (w *World) narrowChunk(chunk, lo, hi int) {
 	e := &w.scratch.narrow[chunk]
 	for _, pr := range w.pairBuf[lo:hi] {
@@ -373,7 +372,7 @@ func (w *World) narrowChunk(chunk, lo, hi int) {
 			}
 		default:
 			start := len(e.contacts)
-			e.contacts = narrowphase.Collide(a, b, e.contacts, &e.stats)
+			e.contacts = e.scr.Collide(a, b, e.contacts, &e.stats)
 			if len(e.contacts) > start {
 				// (c.ii) explosive objects detonate on contact instead
 				// of generating constraints.
@@ -401,7 +400,7 @@ func (w *World) narrowChunk(chunk, lo, hi int) {
 // bodies, joints and contacts, so concurrent island solves never share
 // mutable state.
 //
-//paraxlint:noalloc
+//paraxlint:parroot island worker, dispatched by World.dispatch
 func (w *World) solveIsland(worker, idx int) {
 	lane := w.laneFor(worker)
 	lane.Begin(w.spans.island)
@@ -470,7 +469,7 @@ func (w *World) solveIsland(worker, idx int) {
 // the bounding boxes of one chunk of the geom list, counting into that
 // chunk's merge slot so the profile totals match the serial refresh.
 //
-//paraxlint:noalloc
+//paraxlint:parroot broad-phase AABB refresh worker, dispatched by parallelChunks
 func (w *World) refreshChunk(chunk, lo, hi int) {
 	n := 0
 	for _, g := range w.Geoms[lo:hi] {
@@ -487,7 +486,7 @@ func (w *World) refreshChunk(chunk, lo, hi int) {
 // joint+contact domain (joints first, then contacts, matching the
 // serial order) into that chunk's buffer.
 //
-//paraxlint:noalloc
+//paraxlint:parroot island edge-collection worker, dispatched by parallelChunks
 func (w *World) edgeChunk(chunk, lo, hi int) {
 	sc := &w.scratch
 	buf := sc.edgeChunks[chunk][:0]
@@ -520,7 +519,7 @@ func (w *World) edgeChunk(chunk, lo, hi int) {
 // not run on asleep bodies (it does not check Asleep itself), hence
 // the explicit active predicate.
 //
-//paraxlint:noalloc
+//paraxlint:parroot velocity-integration worker, dispatched by parallelChunks
 func (w *World) velChunk(chunk, lo, hi int) {
 	for _, b := range w.Bodies[lo:hi] {
 		if b.Enabled && b.InvMass > 0 && !b.Asleep {
@@ -538,7 +537,7 @@ func (w *World) velChunk(chunk, lo, hi int) {
 // if UpdateSleep puts it to sleep within this very call — it was
 // integrated this step.
 //
-//paraxlint:noalloc
+//paraxlint:parroot position-integration worker, dispatched by parallelChunks
 func (w *World) posChunk(chunk, lo, hi int) {
 	n := 0
 	for _, b := range w.Bodies[lo:hi] {
@@ -557,7 +556,7 @@ func (w *World) posChunk(chunk, lo, hi int) {
 // geom list. Geoms are written disjointly and bodies only read, so
 // chunks never conflict.
 //
-//paraxlint:noalloc
+//paraxlint:parroot geom pose-sync worker, dispatched by parallelChunks
 func (w *World) syncChunk(chunk, lo, hi int) {
 	for _, g := range w.Geoms[lo:hi] {
 		if g.Body < 0 || !g.Enabled() {
@@ -575,7 +574,7 @@ func (w *World) syncChunk(chunk, lo, hi int) {
 
 // stepCloth forward-steps one cloth object.
 //
-//paraxlint:noalloc
+//paraxlint:parroot cloth worker, dispatched by World.dispatch
 func (w *World) stepCloth(worker, ci int) {
 	lane := w.laneFor(worker)
 	lane.Begin(w.spans.clothObj)
@@ -598,8 +597,6 @@ func (w *World) stepCloth(worker, ci int) {
 // velocities: enabled, finite mass, awake. Inactive bodies belong to no
 // island, so two islands solved on different workers could otherwise
 // race on them through shared joint or contact rows.
-//
-//paraxlint:noalloc
 func (w *World) bodySolvable(bi int32) bool {
 	b := w.Bodies[bi]
 	return b.Enabled && b.InvMass > 0 && !b.Asleep
