@@ -136,21 +136,31 @@ func wallRubbleWorld(threads int, warmStart bool) *World {
 // writes and atomic adds only, so allocs/op must stay 0 there too.
 func BenchmarkStep(b *testing.B) {
 	for _, cfg := range []struct {
-		name    string
-		threads int
-		warm    bool
-		traced  bool
+		name     string
+		threads  int
+		warm     bool
+		traced   bool
+		recorded bool
 	}{
-		{"threads=1", 1, false, false},
-		{"threads=4", 4, false, false},
-		{"threads=1/warmstart", 1, true, false},
-		{"threads=1/traced", 1, false, true},
-		{"threads=4/traced", 4, false, true},
+		{"threads=1", 1, false, false, false},
+		{"threads=4", 4, false, false, false},
+		{"threads=1/warmstart", 1, true, false, false},
+		{"threads=1/traced", 1, false, true, false},
+		{"threads=4/traced", 4, false, true, false},
+		{"threads=1/recorded", 1, false, true, true},
+		{"threads=4/recorded", 4, false, true, true},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			w := wallRubbleWorld(cfg.threads, cfg.warm)
 			if cfg.traced {
 				w.SetObs(NewTracer(), NewMetrics(), "bench")
+			}
+			if cfg.recorded {
+				// The full flight-recorder stack: series rings staged and
+				// committed every step, plus the anomaly detector's
+				// windowed checks. Same contract as tracing: 0 allocs/op.
+				w.SetSeries(NewSeries(512))
+				w.SetHealth(NewHealth())
 			}
 			for i := 0; i < 120; i++ { // settle into steady state
 				w.Step()

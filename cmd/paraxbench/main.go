@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"github.com/parallax-arch/parallax/internal/exp"
+	"github.com/parallax-arch/parallax/internal/obs"
 	"github.com/parallax-arch/parallax/internal/phys/broadphase"
 )
 
@@ -52,6 +53,7 @@ func main() {
 		broad = flag.String("broad", "",
 			"broad-phase algorithm for every captured world: sap|incsap|grid (default: each benchmark's own)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		serveAddr  = flag.String("serve", "", "serve live telemetry on `addr`: /metrics /health /trace /series.json")
 		traceFile  = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `file`")
 		metricsOut = flag.String("metrics", "", "write the metrics snapshot to `file`")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
@@ -125,6 +127,20 @@ func main() {
 		}
 	}
 
+	if *serveAddr != "" {
+		// The harness has no single stepping world, so no series rings or
+		// anomaly detector — /metrics and /trace expose the suite's
+		// registry and tracer live, and /health always answers 200.
+		h := obs.Handler(s.Tracer(), s.Metrics(), nil, nil)
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, h); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry server: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "# telemetry: http://%s/metrics /health /trace\n", *serveAddr)
+	}
+
 	ids := exp.IDs()
 	if *id != "all" {
 		ids = nil
@@ -147,11 +163,20 @@ func main() {
 		writeTo(*traceFile, s.Tracer().WriteTrace)
 	}
 	if *metricsOut != "" {
+		// No Tracer.Publish here: the -metrics file is the deterministic
+		// snapshot, byte-identical across -threads values. Span totals
+		// and drop counters are wall-clock/schedule-dependent; they are
+		// published into flight-bundle metrics.txt instead.
 		writeTo(*metricsOut, s.Metrics().WriteSnapshot)
 	}
 	if *memProfile != "" {
 		runtime.GC()
 		writeTo(*memProfile, pprof.WriteHeapProfile)
+	}
+
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "run complete; serving telemetry until killed")
+		select {}
 	}
 }
 

@@ -8,6 +8,20 @@
 // snapshot of the run's counters. -cpuprofile, -memprofile and -pprof
 // expose the standard Go profilers.
 //
+// Live telemetry: every run records a per-step series (kinetic energy,
+// solver residual/impulse norms, max penetration, island stats,
+// broad-phase churn, per-phase durations) into preallocated rings and
+// feeds the anomaly detector (NaN state, energy spike, residual
+// blowup, rebuild storm). -serve addr exposes /metrics (Prometheus
+// text exposition, byte-identical across thread counts), /health
+// (200/503), /trace and /series.json while the run executes — and
+// keeps serving after it completes until the process is killed. When
+// the detector trips, the run stops, a black-box flight bundle
+// (snapshot + trace + metrics + series + a replayable recording) is
+// written under -flightdir, and the process exits with status 3.
+// -nan N corrupts one body velocity before frame N to exercise that
+// path end to end.
+//
 // Determinism: -save records the run's end state plus the profile
 // digests of the following -frames worth of steps to a replay file;
 // -load starts the run from a saved world state instead of building the
@@ -39,9 +53,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -76,6 +92,10 @@ func main() {
 		loadFile   = flag.String("load", "", "start from the world snapshot in replay `file` instead of building")
 		replayFile = flag.String("replay", "", "verify replay `file` step by step and exit (non-zero on divergence)")
 		injectStep = flag.Int("inject", -1, "with -replay: corrupt the recorded digest of step `N` first")
+
+		serveAddr = flag.String("serve", "", "serve live telemetry on `addr`: /metrics /health /trace /series.json")
+		flightDir = flag.String("flightdir", "", "write black-box flight bundles under `dir` when the anomaly detector trips (or a replay diverges)")
+		nanStep   = flag.Int("nan", -1, "corrupt one body velocity to NaN before frame `N` (tests the flight recorder)")
 
 		traceFile  = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `file`")
 		metricsOut = flag.String("metrics", "", "write the metrics snapshot to `file`")
@@ -114,8 +134,30 @@ func main() {
 		}
 		fmt.Printf("replaying %q: %d steps at %d threads...\n",
 			rec.Label, len(rec.Digests), *threads)
-		if _, err := replay.Verify(rec, *threads); err != nil {
+		if div, err := replay.Verify(rec, *threads); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			if *flightDir != "" && div >= 0 {
+				// Black-box the divergence: the bundle's snapshot plus the
+				// digests up to (and including) the divergent step form a
+				// recording that re-diverges at exactly the same step, so
+				// the failure is portable and replayable on any machine.
+				info := obs.FlightInfo{Cause: "replay_divergence", Step: int64(div), Label: rec.Label}
+				bundle, berr := obs.WriteFlightBundle(*flightDir, info, rec.Snapshot, nil, nil, nil)
+				if berr != nil {
+					fmt.Fprintln(os.Stderr, berr)
+					os.Exit(1)
+				}
+				trimmed := &replay.Recording{
+					Label:    rec.Label,
+					Snapshot: rec.Snapshot,
+					Digests:  rec.Digests[:div+1],
+				}
+				if berr := trimmed.Save(filepath.Join(bundle, "replay.paxr")); berr != nil {
+					fmt.Fprintln(os.Stderr, berr)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "flight bundle written to %s\n", bundle)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("replay ok: %d steps bit-identical\n", len(rec.Digests))
@@ -184,12 +226,35 @@ func main() {
 	}
 	w.SetThreads(*threads)
 	w.SetObs(tr, reg, "engine/"+b.Name)
+
+	// The flight recorder is always on: the series rings and the
+	// detector are allocation-free per step (BenchmarkStep pins that),
+	// so there is no "fast mode" without them to fall out of sync with.
+	series := obs.NewSeries(flightSeriesSteps)
+	health := obs.NewHealth()
+	w.SetSeries(series)
+	w.SetHealth(health)
+
+	if *serveAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, obs.Handler(tr, reg, series, health)); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry server: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "# telemetry: http://%s/metrics /health /trace /series.json\n", *serveAddr)
+	}
+
 	fmt.Printf("bodies=%d geoms=%d joints=%d cloths=%d\n",
 		len(w.Bodies), len(w.Geoms), len(w.Joints), len(w.Cloths))
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "frame\tpairs\tcontacts\tislands\tmaxDOF\texplosions\tfractures\tbreaks\tinstr(M)\twall")
 	for f := 0; f < *frames; f++ {
+		if f == *nanStep && len(w.Bodies) > 0 {
+			fmt.Fprintf(os.Stderr, "corrupting body 0 velocity to NaN before frame %d\n", f+1)
+			w.Bodies[0].LinVel.X = math.NaN()
+		}
 		t0 := time.Now()
 		fp := w.StepFrame()
 		wall := time.Since(t0)
@@ -216,8 +281,38 @@ func main() {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%v\n",
 			f+1, pairs, contacts, islands, maxDOF, expl, frac, brk, instr/1e6,
 			wall.Round(time.Millisecond))
+		if health.Tripped() {
+			break
+		}
 	}
 	tw.Flush()
+
+	if health.Tripped() {
+		st := health.Status()
+		fmt.Fprintf(os.Stderr, "anomaly detector tripped: %s at step %d (observed %g, baseline %g)\n",
+			st.Cause, st.Step, st.Observed, st.Baseline)
+		if *flightDir != "" {
+			info := obs.FlightInfo{Cause: st.Cause.String(), Step: st.Step, Label: b.Name}
+			bundle, err := obs.WriteFlightBundle(*flightDir, info, w.Snapshot(), tr, reg, series)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// A recording of the tripped world: -load restores it (the
+			// detector re-trips on the first step), -replay re-verifies
+			// the post-divergence digests.
+			rec := replay.Record(w, info.Label+" (flight)", world.StepsPerFrame)
+			if err := rec.Save(filepath.Join(bundle, "replay.paxr")); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "flight bundle written to %s\n", bundle)
+		}
+		// Exit 3 distinguishes "the physics diverged" from usage (2) and
+		// I/O (1) failures, so scripts and CI never read a poisoned run
+		// as a result.
+		os.Exit(3)
+	}
 
 	// Final phase summary of the last step.
 	p := w.Profile
@@ -254,13 +349,26 @@ func main() {
 		writeTo(*traceFile, tr.WriteTrace)
 	}
 	if *metricsOut != "" {
+		// No Tracer.Publish here: the -metrics file is the deterministic
+		// snapshot, byte-identical across -threads values. Span totals
+		// and drop counters are wall-clock/schedule-dependent; they are
+		// published into flight-bundle metrics.txt instead.
 		writeTo(*metricsOut, reg.WriteSnapshot)
 	}
 	if *memProfile != "" {
 		runtime.GC()
 		writeTo(*memProfile, pprof.WriteHeapProfile)
 	}
+
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "run complete; serving telemetry until killed")
+		select {}
+	}
 }
+
+// flightSeriesSteps is the resident series window: how many trailing
+// steps of telemetry a flight bundle (and /series.json) carries.
+const flightSeriesSteps = 512
 
 // benchPhase is one engine phase's share of a measured stepbench run.
 type benchPhase struct {

@@ -107,3 +107,27 @@ func spawn() {
 func returnAppend(dst []int, v int) []int {
 	return append(dst, v)
 }
+
+// seriesRing mirrors the telemetry series' staging/commit shape: a fixed-size
+// staging array copied into a preallocated ring row each step.
+type seriesRing struct {
+	cur  [4]float64
+	rows [][]float64
+	head int
+}
+
+// commit pins that slicing an addressable array field (r.cur[:]) and
+// copying it into an existing row are allocation-free, while a fresh
+// conversion of the same array is not.
+//
+//paraxlint:noalloc
+func (r *seriesRing) commit() {
+	row := r.rows[r.head%len(r.rows)]
+	copy(row, r.cur[:]) // array-field slice: no heap movement
+	for i := range r.cur {
+		r.cur[i] = 0
+	}
+	r.head++
+	escaped := append([]float64(nil), r.cur[:]...) // want "append may allocate"
+	_ = escaped
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Cause identifies which health check tripped the anomaly detector.
+type Cause int32
+
+const (
+	CauseNone Cause = iota
+	// CauseNaN: a body's position, rotation or velocity went NaN/Inf.
+	CauseNaN
+	// CauseEnergy: kinetic energy spiked versus the trailing window.
+	CauseEnergy
+	// CauseResidual: the solver residual blew up versus the trailing
+	// window.
+	CauseResidual
+	// CauseRebuildStorm: the incremental broadphase fell back to full
+	// rebuilds for too many consecutive steps.
+	CauseRebuildStorm
+)
+
+// String names the cause for logs and bundle filenames.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseNaN:
+		return "nan_state"
+	case CauseEnergy:
+		return "energy_spike"
+	case CauseResidual:
+		return "residual_blowup"
+	case CauseRebuildStorm:
+		return "rebuild_storm"
+	}
+	return "unknown"
+}
+
+// healthWindow is the trailing-window length (steps) for the ratio
+// checks. Ratio checks stay disarmed until the window has filled once,
+// so settling transients cannot trip them.
+const healthWindow = 64
+
+// Sample is one step's worth of health inputs, passed by value so the
+// hot-path Update stays allocation-free.
+type Sample struct {
+	// KineticEnergy is the world's total kinetic energy this step.
+	KineticEnergy float64
+	// Finite is false if any body state component was NaN/Inf.
+	Finite bool
+	// Residual is the solver's summed post-iteration row residual.
+	Residual float64
+	// MaxPenetration is the deepest contact penetration this step
+	// (recorded into the bundle's series; no check keys off it yet).
+	MaxPenetration float64
+	// Rebuilds is how many full broadphase rebuilds this step performed.
+	Rebuilds int64
+}
+
+// Health is the deterministic per-step anomaly detector. Update runs
+// every World.Step from the serial post-step path; all checks are pure
+// functions of simulation state, so whether (and when) the detector
+// trips is identical across thread counts. Once tripped it latches:
+// the caller dumps one flight bundle and decides what to do next.
+//
+// A nil *Health is the disabled detector: Update is a no-op that
+// reports no trip.
+type Health struct {
+	mu sync.Mutex
+
+	// Tunables, set before stepping (zero value = defaults via New).
+	// A spike check trips when value > ratio * trailing mean AND the
+	// trailing mean exceeds the floor — the floor keeps near-zero
+	// resting scenes from tripping on harmless noise.
+	EnergySpikeRatio   float64
+	EnergyFloor        float64
+	ResidualSpikeRatio float64
+	ResidualFloor      float64
+	// RebuildStormMax trips when more than this many consecutive steps
+	// each performed a full broadphase rebuild.
+	RebuildStormMax int64
+
+	keWin  [healthWindow]float64
+	keSum  float64
+	resWin [healthWindow]float64
+	resSum float64
+	n      int64 // samples folded into the windows
+
+	stormRun int64
+
+	tripped  bool
+	cause    Cause
+	tripStep int64
+	observed float64 // offending value at trip time
+	baseline float64 // trailing mean (or limit) at trip time
+}
+
+// NewHealth returns a detector with default thresholds. The spike
+// ratios are deliberately loose (10^4×): breakable-joint scenes
+// legitimately convert large amounts of potential energy in one step,
+// and the detector exists to catch divergence, not drama.
+func NewHealth() *Health {
+	return &Health{
+		EnergySpikeRatio:   1e4,
+		EnergyFloor:        1,
+		ResidualSpikeRatio: 1e4,
+		ResidualFloor:      1,
+		RebuildStormMax:    48,
+	}
+}
+
+// Update folds one step's sample into the detector and reports whether
+// it is (now or already) tripped. step is the world's step ordinal.
+//
+//paraxlint:noalloc
+func (h *Health) Update(step int64, s Sample) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.tripped {
+		return true
+	}
+
+	// NaN/Inf body state: unconditional, no window needed.
+	if !s.Finite || math.IsNaN(s.KineticEnergy) || math.IsInf(s.KineticEnergy, 0) {
+		h.trip(CauseNaN, step, s.KineticEnergy, 0)
+		return true
+	}
+
+	// Spike checks compare against the trailing mean BEFORE this
+	// sample is folded in, and only once the window has filled.
+	if h.n >= healthWindow {
+		keMean := h.keSum / healthWindow
+		if keMean > h.EnergyFloor && s.KineticEnergy > h.EnergySpikeRatio*keMean {
+			h.trip(CauseEnergy, step, s.KineticEnergy, keMean)
+			return true
+		}
+		resMean := h.resSum / healthWindow
+		if resMean > h.ResidualFloor && s.Residual > h.ResidualSpikeRatio*resMean {
+			h.trip(CauseResidual, step, s.Residual, resMean)
+			return true
+		}
+	}
+
+	// Rebuild storm: consecutive steps that each did >=1 full rebuild.
+	if s.Rebuilds > 0 {
+		h.stormRun++
+	} else {
+		h.stormRun = 0
+	}
+	if h.stormRun > h.RebuildStormMax {
+		h.trip(CauseRebuildStorm, step, float64(h.stormRun), float64(h.RebuildStormMax))
+		return true
+	}
+
+	// Fold the (finite) sample into the trailing windows.
+	slot := h.n % healthWindow
+	h.keSum += s.KineticEnergy - h.keWin[slot]
+	h.keWin[slot] = s.KineticEnergy
+	h.resSum += s.Residual - h.resWin[slot]
+	h.resWin[slot] = s.Residual
+	h.n++
+	return false
+}
+
+// trip latches the detector. Callers hold h.mu.
+//
+//paraxlint:noalloc
+func (h *Health) trip(c Cause, step int64, observed, baseline float64) {
+	h.tripped = true
+	h.cause = c
+	h.tripStep = step
+	h.observed = observed
+	h.baseline = baseline
+}
+
+// Tripped reports whether the detector has latched.
+func (h *Health) Tripped() bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tripped
+}
+
+// HealthStatus is a point-in-time read of the detector.
+type HealthStatus struct {
+	OK       bool
+	Cause    Cause
+	Step     int64
+	Observed float64
+	Baseline float64
+}
+
+// Status returns the detector's current state. A nil detector is
+// always OK (nothing is watching, nothing has tripped).
+func (h *Health) Status() HealthStatus {
+	if h == nil {
+		return HealthStatus{OK: true}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HealthStatus{
+		OK:       !h.tripped,
+		Cause:    h.cause,
+		Step:     h.tripStep,
+		Observed: h.observed,
+		Baseline: h.baseline,
+	}
+}
+
+// FlightInfo labels a flight bundle.
+type FlightInfo struct {
+	// Cause is the trip cause (Cause.String() or a caller-chosen tag
+	// such as "replay_divergence").
+	Cause string
+	// Step is the step ordinal the anomaly was detected at.
+	Step int64
+	// Label names the workload/scene for humans reading the bundle.
+	Label string
+}
+
+// WriteFlightBundle dumps the black-box bundle for a tripped detector
+// into a fresh directory under dir, named flight-step<N>-<cause>, and
+// returns that directory's path. The bundle holds:
+//
+//	cause.txt     trip cause, step, label — one "key value" line each
+//	world.paxw    the PAXW world snapshot (replayable via -load/-replay)
+//	trace.json    Chrome trace-event JSON of the resident tracer rings
+//	metrics.txt   Registry.WriteSnapshot with tracer totals published
+//	series.json   the last-K-steps per-step series window
+//
+// Cold path by definition — it runs once, after the sim has already
+// diverged. Nil tracer/registry/series are tolerated; their files are
+// still written (empty trace, empty snapshot) so bundle consumers can
+// rely on the file set. snapshot may be nil if the caller could not
+// capture one (the world.paxw file is then omitted).
+func WriteFlightBundle(dir string, info FlightInfo, snapshot []byte, tr *Tracer, reg *Registry, s *Series) (string, error) {
+	bundle := filepath.Join(dir, "flight-step"+strconv.FormatInt(info.Step, 10)+"-"+info.Cause)
+	if err := os.MkdirAll(bundle, 0o755); err != nil {
+		return "", err
+	}
+	cause := fmt.Sprintf("cause %s\nstep %d\nlabel %s\n", info.Cause, info.Step, info.Label)
+	if err := os.WriteFile(filepath.Join(bundle, "cause.txt"), []byte(cause), 0o644); err != nil {
+		return "", err
+	}
+	if snapshot != nil {
+		if err := os.WriteFile(filepath.Join(bundle, "world.paxw"), snapshot, 0o644); err != nil {
+			return "", err
+		}
+	}
+	tf, err := os.Create(filepath.Join(bundle, "trace.json"))
+	if err != nil {
+		return "", err
+	}
+	if err := tr.WriteTrace(tf); err != nil {
+		tf.Close()
+		return "", err
+	}
+	if err := tf.Close(); err != nil {
+		return "", err
+	}
+	tr.Publish(reg)
+	mf, err := os.Create(filepath.Join(bundle, "metrics.txt"))
+	if err != nil {
+		return "", err
+	}
+	if err := reg.WriteSnapshot(mf); err != nil {
+		mf.Close()
+		return "", err
+	}
+	if err := mf.Close(); err != nil {
+		return "", err
+	}
+	sf, err := os.Create(filepath.Join(bundle, "series.json"))
+	if err != nil {
+		return "", err
+	}
+	if err := s.WriteJSON(sf); err != nil {
+		sf.Close()
+		return "", err
+	}
+	return bundle, sf.Close()
+}

@@ -27,8 +27,11 @@ type (
 // exceeding a capacity panics at registration, the cold path.
 const (
 	maxCounters = 256
-	maxGauges   = 64
-	maxHists    = 64
+	// Gauges get the same headroom as counters: Tracer.Publish mirrors
+	// every registered span as a count + nanos gauge pair, and a
+	// harness run registers a span per captured benchmark.
+	maxGauges = 256
+	maxHists  = 64
 )
 
 // Registry is the typed metrics store. Registration (Counter, Gauge,
@@ -54,6 +57,11 @@ type Registry struct {
 
 	histNames []string
 	hists     [maxHists]hist
+	// histSums accumulates the raw sum of observed values per histogram,
+	// alongside the bucket counts, so the Prometheus exposition can emit
+	// the required _sum family. Same commutative-integer argument as the
+	// counters: thread-count deterministic.
+	histSums [maxHists]int64
 }
 
 type hist struct {
@@ -163,6 +171,7 @@ func (r *Registry) ObserveInt(id HistID, v int64) {
 		i++
 	}
 	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&r.histSums[id], v)
 }
 
 // CounterValue reads a counter's current total.

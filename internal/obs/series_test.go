@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesRecordAndLast(t *testing.T) {
+	s := NewSeries(64)
+	ke := s.Channel("kinetic_energy")
+	res := s.Channel("residual")
+	for i := 0; i < 10; i++ {
+		s.Set(ke, float64(i))
+		s.Set(res, float64(i)*2)
+		s.Advance()
+	}
+	if got := s.Steps(); got != 10 {
+		t.Fatalf("Steps = %d, want 10", got)
+	}
+	if v, ok := s.Last(ke); !ok || v != 9 {
+		t.Fatalf("Last(ke) = %v,%v, want 9,true", v, ok)
+	}
+	if v, ok := s.Last(res); !ok || v != 18 {
+		t.Fatalf("Last(res) = %v,%v, want 18,true", v, ok)
+	}
+	w := s.Window(ke, nil)
+	if len(w) != 10 || w[0] != 0 || w[9] != 9 {
+		t.Fatalf("Window = %v", w)
+	}
+}
+
+func TestSeriesStagedValuesClearOnAdvance(t *testing.T) {
+	s := NewSeries(64)
+	a := s.Channel("a")
+	b := s.Channel("b")
+	s.Set(a, 5)
+	s.Set(b, 7)
+	s.Advance()
+	// Channel b not staged this step: commits zero, not a stale 7.
+	s.Set(a, 6)
+	s.Advance()
+	if v, _ := s.Last(a); v != 6 {
+		t.Fatalf("Last(a) = %v, want 6", v)
+	}
+	if v, _ := s.Last(b); v != 0 {
+		t.Fatalf("Last(b) = %v, want 0 (staging must clear)", v)
+	}
+}
+
+func TestSeriesRingWraparound(t *testing.T) {
+	s := NewSeries(64)
+	if s.Capacity() != 64 {
+		t.Fatalf("Capacity = %d, want 64", s.Capacity())
+	}
+	id := s.Channel("v")
+	const total = 150
+	for i := 0; i < total; i++ {
+		s.Set(id, float64(i))
+		s.Advance()
+	}
+	if got := s.Steps(); got != total {
+		t.Fatalf("Steps = %d, want %d", got, total)
+	}
+	w := s.Window(id, nil)
+	if len(w) != 64 {
+		t.Fatalf("resident window = %d values, want 64", len(w))
+	}
+	// Oldest resident is step total-64, newest is total-1.
+	if w[0] != total-64 || w[63] != total-1 {
+		t.Fatalf("window spans [%v,%v], want [%v,%v]", w[0], w[63], total-64, total-1)
+	}
+}
+
+func TestSeriesCapacityRounding(t *testing.T) {
+	if got := NewSeries(0).Capacity(); got != 64 {
+		t.Fatalf("Capacity(0) = %d, want 64", got)
+	}
+	if got := NewSeries(65).Capacity(); got != 128 {
+		t.Fatalf("Capacity(65) = %d, want 128", got)
+	}
+	if got := NewSeries(512).Capacity(); got != 512 {
+		t.Fatalf("Capacity(512) = %d, want 512", got)
+	}
+}
+
+func TestSeriesChannelIdempotent(t *testing.T) {
+	s := NewSeries(64)
+	a := s.Channel("x")
+	b := s.Channel("x")
+	if a != b {
+		t.Fatalf("re-registering returned %d then %d", a, b)
+	}
+	if n := len(s.Names()); n != 1 {
+		t.Fatalf("Names = %d entries, want 1", n)
+	}
+}
+
+// seriesDoc mirrors WriteJSON's document shape; values are numbers or
+// the strings "NaN"/"+Inf"/"-Inf".
+type seriesDoc struct {
+	Steps     int64 `json:"steps"`
+	FirstStep int64 `json:"first_step"`
+	Capacity  int64 `json:"capacity"`
+	Channels  []struct {
+		Name   string        `json:"name"`
+		Timing bool          `json:"timing"`
+		Values []interface{} `json:"values"`
+	} `json:"channels"`
+}
+
+func TestSeriesWriteJSON(t *testing.T) {
+	s := NewSeries(64)
+	ke := s.Channel("kinetic_energy")
+	ph := s.TimingChannel("phase_ns")
+	s.Set(ke, 1.5)
+	s.Set(ph, 1000)
+	s.Advance()
+	s.Set(ke, math.NaN())
+	s.Set(ph, math.Inf(1))
+	s.Advance()
+
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc seriesDoc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v\n%s", err, sb.String())
+	}
+	if doc.Steps != 2 || doc.Capacity != 64 || len(doc.Channels) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Channels[0].Name != "kinetic_energy" || doc.Channels[0].Timing {
+		t.Fatalf("channel 0 = %+v", doc.Channels[0])
+	}
+	if !doc.Channels[1].Timing {
+		t.Fatalf("phase_ns should be a timing channel")
+	}
+	// The NaN sample must arrive as the string "NaN", keeping the
+	// document valid JSON.
+	if got := doc.Channels[0].Values[1]; got != "NaN" {
+		t.Fatalf("NaN value encoded as %v (%T), want \"NaN\"", got, got)
+	}
+	if got := doc.Channels[1].Values[1]; got != "+Inf" {
+		t.Fatalf("+Inf value encoded as %v, want \"+Inf\"", got)
+	}
+}
+
+func TestSeriesNilSafety(t *testing.T) {
+	var s *Series
+	id := s.Channel("x")
+	s.Set(id, 1)
+	s.Advance()
+	if s.Steps() != 0 || s.Capacity() != 0 || s.Names() != nil {
+		t.Fatal("nil series must be inert")
+	}
+	if _, ok := s.Last(id); ok {
+		t.Fatal("nil series Last must report no data")
+	}
+	if w := s.Window(id, nil); w != nil {
+		t.Fatalf("nil series Window = %v", w)
+	}
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("nil series WriteJSON invalid: %s", sb.String())
+	}
+}
+
+func TestSeriesRecordingAllocFree(t *testing.T) {
+	s := NewSeries(64)
+	a := s.Channel("a")
+	b := s.Channel("b")
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Set(a, 1.5)
+		s.Set(b, 2.5)
+		s.Advance()
+	})
+	if allocs != 0 {
+		t.Fatalf("series recording allocates %v per step, want 0", allocs)
+	}
+}

@@ -1,0 +1,64 @@
+package replay
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/parallax-arch/parallax/internal/obs"
+)
+
+// TestFlightBundleReplaysToDivergentStep pins the flight-recorder
+// round trip paraxsim performs on a replay divergence: detect the
+// divergent step, bundle the snapshot plus the digests up to (and
+// including) it, and prove that replaying the bundle's recording from
+// disk re-diverges at exactly the same step on any thread count.
+func TestFlightBundleReplaysToDivergentStep(t *testing.T) {
+	rec := record(t, 20)
+
+	// Inject a divergence the way paraxsim -inject does.
+	const bad = 7
+	rec.Digests[bad] ^= 0x1
+	div, err := Verify(rec, 2)
+	if err == nil {
+		t.Fatal("corrupted recording verified clean")
+	}
+	if div != bad {
+		t.Fatalf("diverged at step %d, want %d", div, bad)
+	}
+
+	// Bundle it: world.paxw is the recording's snapshot, replay.paxr is
+	// the trimmed recording ending at the divergent step.
+	dir := t.TempDir()
+	info := obs.FlightInfo{Cause: "replay_divergence", Step: int64(div), Label: rec.Label}
+	bundle, err := obs.WriteFlightBundle(dir, info, rec.Snapshot, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := &Recording{
+		Label:    rec.Label,
+		Snapshot: rec.Snapshot,
+		Digests:  rec.Digests[:div+1],
+	}
+	if err := trimmed.Save(filepath.Join(bundle, "replay.paxr")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip through the bundle file: the reloaded recording must
+	// re-diverge at the same step, at any thread count.
+	loaded, err := Load(filepath.Join(bundle, "replay.paxr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Digests) != bad+1 {
+		t.Fatalf("bundle recording holds %d digests, want %d", len(loaded.Digests), bad+1)
+	}
+	for _, threads := range []int{1, 8} {
+		div2, err := Verify(loaded, threads)
+		if err == nil {
+			t.Fatalf("threads=%d: bundle recording verified clean", threads)
+		}
+		if div2 != bad {
+			t.Fatalf("threads=%d: bundle replay diverged at %d, want %d", threads, div2, bad)
+		}
+	}
+}

@@ -33,6 +33,16 @@ type Stats struct {
 	Iterations int
 	// RowUpdates = Rows * Iterations, the fine-grain task-instance count.
 	RowUpdates int
+
+	// Residual is the summed absolute post-iteration row error (the
+	// complementarity-aware |RHS - J·v - CFM·λ|, zeroed where the row is
+	// clamped at a bound pushing outward). A converged solve is near
+	// zero; a blowup is the solver-health signal the anomaly detector
+	// watches. Deterministic: accumulated in row order per island.
+	Residual float64
+	// ImpulseNorm is the summed |λ| over all rows — the total applied
+	// impulse magnitude this solve.
+	ImpulseNorm float64
 }
 
 // Workspace holds the per-row temporaries one Solve call needs. A
@@ -195,6 +205,39 @@ func (s *Solver) Solve(bs []*body.Body, rows []joint.Row, dt float64,
 			if r.Joint >= 0 && int(r.Joint) < len(jointLoad) {
 				jointLoad[r.Joint] += math.Abs(lambda[i]) / dt
 			}
+		}
+	}
+
+	// Convergence diagnostics: one more pass over the rows measuring the
+	// residual the iteration left behind. A row clamped at a bound with
+	// the error pushing further out of bounds is satisfied by
+	// complementarity, not a solver failure, so its error is zeroed.
+	if st != nil {
+		for i := range rows {
+			r := &rows[i]
+			vel := 0.0
+			if r.BodyA >= 0 {
+				a := bs[r.BodyA]
+				vel += r.JLinA.Dot(a.LinVel) + r.JAngA.Dot(a.AngVel)
+			}
+			if r.BodyB >= 0 {
+				b := bs[r.BodyB]
+				vel += r.JLinB.Dot(b.LinVel) + r.JAngB.Dot(b.AngVel)
+			}
+			err := r.RHS - vel - r.CFM*lambda[i]
+			lo, hi := r.Lo, r.Hi
+			if r.FrictionOf >= 0 {
+				limit := r.Mu * math.Abs(lambda[r.FrictionOf])
+				lo, hi = -limit, limit
+			}
+			if lambda[i] <= lo && err < 0 {
+				err = 0
+			}
+			if lambda[i] >= hi && err > 0 {
+				err = 0
+			}
+			st.Residual += math.Abs(err)
+			st.ImpulseNorm += math.Abs(lambda[i])
 		}
 	}
 	return lambda

@@ -171,3 +171,133 @@ func (w *World) recordStepMetrics(prof *StepProfile) {
 		m.ObserveInt(w.met.islandDOF, int64(prof.Islands[i].DOF))
 	}
 }
+
+// numPhaseSpans is how many phase spans recordTelemetry differences
+// into per-step durations: the five paper phases plus integrate.
+const numPhaseSpans = 6
+
+// stepSeries holds the pre-registered series channel IDs recorded once
+// per step by recordTelemetry. The first group are deterministic
+// simulation quantities (byte-identical across thread counts, exposed
+// at /metrics); phaseNs are wall-clock timing channels (diagnostics
+// only).
+type stepSeries struct {
+	kineticEnergy  obs.ChannelID
+	maxPenetration obs.ChannelID
+	solverResidual obs.ChannelID
+	impulseNorm    obs.ChannelID
+	islands        obs.ChannelID
+	islandDOFMax   obs.ChannelID
+	broadSortOps   obs.ChannelID
+	broadRebuilds  obs.ChannelID
+
+	phaseNs [numPhaseSpans]obs.ChannelID
+}
+
+// phaseSpanIDs returns the span IDs recordTelemetry differences, in
+// the fixed order stepSeries.phaseNs uses.
+func (w *World) phaseSpanIDs() [numPhaseSpans]obs.SpanID {
+	return [numPhaseSpans]obs.SpanID{
+		w.spans.broad, w.spans.narrow, w.spans.islandGen,
+		w.spans.islandProc, w.spans.integrate, w.spans.cloth,
+	}
+}
+
+// SetSeries attaches (or, with nil, detaches) the per-step telemetry
+// series. Channels are registered here, on the cold path; every Step
+// then stages one row and commits it allocation-free from the serial
+// post-step path. If a tracer is attached (SetObs), per-phase wall
+// durations are recorded into timing channels by differencing
+// Tracer.SpanTotal between steps; call SetObs first so the span IDs
+// exist.
+func (w *World) SetSeries(s *obs.Series) {
+	w.series = s
+	if s == nil {
+		w.ser = stepSeries{}
+		return
+	}
+	w.ser = stepSeries{
+		kineticEnergy:  s.Channel("kinetic_energy"),
+		maxPenetration: s.Channel("max_penetration"),
+		solverResidual: s.Channel("solver_residual"),
+		impulseNorm:    s.Channel("solver_impulse_norm"),
+		islands:        s.Channel("islands"),
+		islandDOFMax:   s.Channel("island_dof_max"),
+		broadSortOps:   s.Channel("broad_sort_ops"),
+		broadRebuilds:  s.Channel("broad_rebuilds"),
+	}
+	phaseNames := [numPhaseSpans]string{
+		"phase/broad_ns", "phase/narrow_ns", "phase/island_creation_ns",
+		"phase/island_processing_ns", "phase/integrate_ns", "phase/cloth_ns",
+	}
+	for i, n := range phaseNames {
+		w.ser.phaseNs[i] = s.TimingChannel(n)
+	}
+	spans := w.phaseSpanIDs()
+	for i := range spans {
+		_, w.prevPhaseNs[i] = w.trace.SpanTotal(spans[i])
+	}
+}
+
+// SetHealth attaches (or, with nil, detaches) the anomaly detector.
+// The detector sees every step's Sample from the serial post-step
+// path; poll Health.Tripped/Status between frames to react.
+func (w *World) SetHealth(h *obs.Health) { w.health = h }
+
+// recordTelemetry feeds the finished step into the series rings and
+// the anomaly detector. It runs on the serial post-step path: the body
+// scan (kinetic energy + finiteness) iterates in body index order and
+// the solver stats were merged in island index order, so every
+// deterministic channel is byte-identical across thread counts.
+//
+//paraxlint:noalloc
+func (w *World) recordTelemetry(prof *StepProfile) {
+	if w.series == nil && w.health == nil {
+		return
+	}
+	w.telStep++
+
+	ke := 0.0
+	finite := true
+	for _, b := range w.Bodies {
+		if !b.Enabled {
+			continue
+		}
+		ke += b.KineticEnergy()
+		if !b.Valid() {
+			finite = false
+		}
+	}
+	maxDOF := 0
+	for i := range prof.Islands {
+		if prof.Islands[i].DOF > maxDOF {
+			maxDOF = prof.Islands[i].DOF
+		}
+	}
+
+	if s := w.series; s != nil {
+		s.Set(w.ser.kineticEnergy, ke)
+		s.Set(w.ser.maxPenetration, prof.Narrow.DeepestDepth)
+		s.Set(w.ser.solverResidual, prof.Solver.Residual)
+		s.Set(w.ser.impulseNorm, prof.Solver.ImpulseNorm)
+		s.Set(w.ser.islands, float64(len(prof.Islands)))
+		s.Set(w.ser.islandDOFMax, float64(maxDOF))
+		s.Set(w.ser.broadSortOps, float64(prof.Broad.SortOps))
+		s.Set(w.ser.broadRebuilds, float64(prof.Broad.Rebuilds))
+		spans := w.phaseSpanIDs()
+		for i := range spans {
+			_, ns := w.trace.SpanTotal(spans[i])
+			s.Set(w.ser.phaseNs[i], float64(ns-w.prevPhaseNs[i]))
+			w.prevPhaseNs[i] = ns
+		}
+		s.Advance()
+	}
+
+	w.health.Update(w.telStep, obs.Sample{
+		KineticEnergy:  ke,
+		Finite:         finite,
+		Residual:       prof.Solver.Residual,
+		MaxPenetration: prof.Narrow.DeepestDepth,
+		Rebuilds:       int64(prof.Broad.Rebuilds),
+	})
+}

@@ -235,6 +235,10 @@ func (w *World) Step() {
 	for i := range islands {
 		prof.Solver.Rows += sc.solverStats[i].Rows
 		prof.Solver.RowUpdates += sc.solverStats[i].RowUpdates
+		// Float sums merge in island index order — not worker completion
+		// order — so the totals are thread-count deterministic.
+		prof.Solver.Residual += sc.solverStats[i].Residual
+		prof.Solver.ImpulseNorm += sc.solverStats[i].ImpulseNorm
 	}
 	if w.WarmStart {
 		// Rebuild the impulse cache from this step's results. Contacts
@@ -333,6 +337,7 @@ func (w *World) Step() {
 	w.prevPairs = len(w.pairBuf)
 	w.prevEdges = len(sc.edges)
 	w.recordStepMetrics(prof)
+	w.recordTelemetry(prof)
 	l0.End(w.spans.step)
 }
 

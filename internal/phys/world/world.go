@@ -144,6 +144,17 @@ type World struct {
 	spans    stepSpans
 	met      stepMetrics
 
+	// Live telemetry (SetSeries/SetHealth): the per-step series rings,
+	// the anomaly detector, the pre-registered channel IDs, the
+	// telemetry step ordinal, and the previous cumulative per-phase
+	// span totals (recordTelemetry differences them into per-step
+	// durations). All nil/zero when telemetry is off.
+	series      *obs.Series
+	health      *obs.Health
+	ser         stepSeries
+	telStep     int64
+	prevPhaseNs [numPhaseSpans]int64
+
 	// scratch is the reusable per-step arena; see frameScratch.
 	scratch frameScratch
 	// Persistent task closures, bound once at construction (bind) so

@@ -25,6 +25,7 @@ package parallax
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"github.com/parallax-arch/parallax/internal/arch/cpu"
 	"github.com/parallax-arch/parallax/internal/arch/link"
@@ -224,6 +225,31 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Series is the per-step telemetry ring (kinetic energy, solver
+// residual, per-phase durations, ...): attach one to a World with
+// World.SetSeries. Recording is allocation-free; export the resident
+// window with Series.WriteJSON or serve it live via ObsHandler.
+type Series = obs.Series
+
+// Health is the deterministic per-step anomaly detector (NaN state,
+// energy spike, residual blowup, rebuild storm): attach with
+// World.SetHealth, poll with Health.Tripped/Status.
+type Health = obs.Health
+
+// NewSeries returns a series ring holding at least capacity steps
+// (rounded up to a power of two, minimum 64).
+func NewSeries(capacity int) *Series { return obs.NewSeries(capacity) }
+
+// NewHealth returns an anomaly detector with default thresholds.
+func NewHealth() *Health { return obs.NewHealth() }
+
+// ObsHandler returns the live-telemetry HTTP handler: /metrics
+// (Prometheus text exposition), /health, /trace, /series.json. Any
+// argument may be nil.
+func ObsHandler(tr *Tracer, reg *Metrics, s *Series, h *Health) http.Handler {
+	return obs.Handler(tr, reg, s, h)
+}
 
 // ---- experiments ----
 
