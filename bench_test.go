@@ -5,9 +5,11 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/parallax-arch/parallax/internal/exp"
 	"github.com/parallax-arch/parallax/internal/phys/workload"
+	"github.com/parallax-arch/parallax/internal/serve"
 )
 
 // benchScale sets the workload scale for the testing.B harness. The
@@ -169,6 +171,45 @@ func BenchmarkStep(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkStepServe measures one shard tick of the serving layer: the
+// scheduler walking its resident sessions and stepping each world, plus
+// the metric publication the shard goroutine performs per tick. The
+// name shares BenchmarkStep's prefix deliberately — the CI allocs gate
+// matches ^BenchmarkStep, so the serving hot path inherits the same
+// 0 allocs/op contract as the engine step. The budget=1ns variant
+// forces a deadline miss on every session each tick (evictions held
+// off) so the miss accounting and degrade state machine are measured
+// too, not just the happy path.
+func BenchmarkStepServe(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		budget time.Duration
+	}{
+		{"sessions=8", 0},
+		{"sessions=8/deadline-miss", time.Nanosecond},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			worlds := make([]*World, 8)
+			for i := range worlds {
+				worlds[i] = wallRubbleWorld(1, false)
+				for s := 0; s < 120; s++ { // settle into steady state
+					worlds[i].Step()
+				}
+			}
+			sb := serve.NewShardBench(NewMetrics(), cfg.budget, false, worlds...)
+			sb.Tick() // warm the scheduler
+			if got := sb.Sessions(); got != len(worlds) {
+				b.Fatalf("%d resident sessions, want %d", got, len(worlds))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sb.Tick()
 			}
 		})
 	}

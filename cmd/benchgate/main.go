@@ -1,0 +1,177 @@
+// Command benchgate is the CI perf-regression gate: it compares a
+// freshly generated step-benchmark report (paraxsim -stepjson) against
+// the committed baseline and fails on regression, not just on allocs.
+//
+//	benchgate -baseline BENCH_step_baseline.json -current BENCH_step.json \
+//	    -tolerance 0.25 -summary "$GITHUB_STEP_SUMMARY"
+//
+// Gated metrics, matched per thread count:
+//
+//   - ns_per_step: relative regression beyond -tolerance fails.
+//   - serial_fraction: relative regression beyond -tolerance fails,
+//     but only when the absolute increase also exceeds -serial-floor —
+//     a 0.04 → 0.05 wobble is runner noise, not a lost Amdahl budget.
+//
+// Improvements never fail. A thread count present in the baseline but
+// missing from the current report fails (the gate must not pass by
+// measuring less). The before/after table is printed to stdout and,
+// with -summary, appended as GitHub-flavored markdown to that file.
+//
+// Exit codes: 0 within tolerance, 1 regression or I/O error, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the fields of paraxsim's -stepjson output that the
+// gate reads; unknown fields are ignored.
+type report struct {
+	Scene string `json:"scene"`
+	Runs  []run  `json:"runs"`
+}
+
+type run struct {
+	Threads        int     `json:"threads"`
+	NsPerStep      float64 `json:"ns_per_step"`
+	AllocsPerStep  float64 `json:"allocs_per_step"`
+	SerialFraction float64 `json:"serial_fraction"`
+}
+
+// row is one gated comparison.
+type row struct {
+	Threads  int
+	Metric   string
+	Baseline float64
+	Current  float64
+	// Delta is the relative change, current/baseline - 1 (0 when the
+	// baseline is 0).
+	Delta  float64
+	Status string // "ok", "improved", "REGRESSION", "MISSING"
+}
+
+// compare matches baseline runs to current runs by thread count and
+// gates ns_per_step and serial_fraction. It returns the table rows and
+// whether any row regressed.
+func compare(baseline, current report, tolerance, serialFloor float64) ([]row, bool) {
+	cur := make(map[int]run, len(current.Runs))
+	for _, r := range current.Runs {
+		cur[r.Threads] = r
+	}
+	var rows []row
+	regressed := false
+	for _, b := range baseline.Runs {
+		c, ok := cur[b.Threads]
+		if !ok {
+			rows = append(rows, row{Threads: b.Threads, Metric: "ns_per_step", Baseline: b.NsPerStep, Status: "MISSING"})
+			regressed = true
+			continue
+		}
+		r := gateRow(b.Threads, "ns_per_step", b.NsPerStep, c.NsPerStep, tolerance, 0)
+		regressed = regressed || r.Status == "REGRESSION"
+		rows = append(rows, r)
+		r = gateRow(b.Threads, "serial_fraction", b.SerialFraction, c.SerialFraction, tolerance, serialFloor)
+		regressed = regressed || r.Status == "REGRESSION"
+		rows = append(rows, r)
+	}
+	return rows, regressed
+}
+
+// gateRow gates one metric: a regression needs the relative increase to
+// exceed tolerance AND the absolute increase to exceed absFloor.
+func gateRow(threads int, metric string, base, curv, tolerance, absFloor float64) row {
+	r := row{Threads: threads, Metric: metric, Baseline: base, Current: curv, Status: "ok"}
+	if base > 0 {
+		r.Delta = curv/base - 1
+	}
+	switch {
+	case curv > base && r.Delta > tolerance && curv-base > absFloor:
+		r.Status = "REGRESSION"
+	case base > 0 && r.Delta < -tolerance:
+		r.Status = "improved"
+	}
+	return r
+}
+
+// table renders the rows as GitHub-flavored markdown.
+func table(scene string, rows []row, tolerance float64) string {
+	out := fmt.Sprintf("### Step benchmark gate (%s, ±%.0f%% tolerance)\n\n", scene, tolerance*100)
+	out += "| threads | metric | baseline | current | Δ | status |\n"
+	out += "|---:|---|---:|---:|---:|---|\n"
+	for _, r := range rows {
+		if r.Status == "MISSING" {
+			out += fmt.Sprintf("| %d | %s | %.4g | — | — | %s |\n", r.Threads, r.Metric, r.Baseline, r.Status)
+			continue
+		}
+		out += fmt.Sprintf("| %d | %s | %.4g | %.4g | %+.1f%% | %s |\n",
+			r.Threads, r.Metric, r.Baseline, r.Current, r.Delta*100, r.Status)
+	}
+	return out
+}
+
+func readReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return rep, fmt.Errorf("%s: no runs", path)
+	}
+	return rep, nil
+}
+
+func main() { os.Exit(gate()) }
+
+func gate() int {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline report (paraxsim -stepjson)")
+		currentPath  = flag.String("current", "", "freshly generated report to gate")
+		tolerance    = flag.Float64("tolerance", 0.25, "relative regression tolerance")
+		serialFloor  = flag.Float64("serial-floor", 0.01, "absolute serial_fraction increase below which the relative gate stays quiet")
+		summaryPath  = flag.String("summary", "", "append the markdown table to this file (GITHUB_STEP_SUMMARY)")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		flag.Usage()
+		return 2
+	}
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	current, err := readReport(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	rows, regressed := compare(baseline, current, *tolerance, *serialFloor)
+	md := table(current.Scene, rows, *tolerance)
+	fmt.Print(md)
+	if *summaryPath != "" {
+		f, err := os.OpenFile(*summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			return 1
+		}
+		if _, err := f.WriteString(md + "\n"); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			return 1
+		}
+		f.Close()
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchgate: regression beyond tolerance")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(runs ...run) report { return report{Scene: "WallRubble", Runs: runs} }
+
+func findRow(t *testing.T, rows []row, threads int, metric string) row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Threads == threads && r.Metric == metric {
+			return r
+		}
+	}
+	t.Fatalf("no row for threads=%d metric=%s", threads, metric)
+	return row{}
+}
+
+func TestWithinToleranceOK(t *testing.T) {
+	base := rep(run{Threads: 1, NsPerStep: 1000, SerialFraction: 0.04})
+	cur := rep(run{Threads: 1, NsPerStep: 1200, SerialFraction: 0.045})
+	rows, regressed := compare(base, cur, 0.25, 0.01)
+	if regressed {
+		t.Fatalf("within-tolerance drift flagged as regression: %+v", rows)
+	}
+	if r := findRow(t, rows, 1, "ns_per_step"); r.Status != "ok" {
+		t.Fatalf("ns_per_step status = %s, want ok", r.Status)
+	}
+}
+
+func TestNsPerStepRegressionFails(t *testing.T) {
+	base := rep(run{Threads: 1, NsPerStep: 1000, SerialFraction: 0.04},
+		run{Threads: 4, NsPerStep: 400, SerialFraction: 0.04})
+	cur := rep(run{Threads: 1, NsPerStep: 1300, SerialFraction: 0.04},
+		run{Threads: 4, NsPerStep: 401, SerialFraction: 0.04})
+	rows, regressed := compare(base, cur, 0.25, 0.01)
+	if !regressed {
+		t.Fatal("30% ns_per_step regression not flagged")
+	}
+	if r := findRow(t, rows, 1, "ns_per_step"); r.Status != "REGRESSION" {
+		t.Fatalf("threads=1 ns_per_step status = %s, want REGRESSION", r.Status)
+	}
+	if r := findRow(t, rows, 4, "ns_per_step"); r.Status != "ok" {
+		t.Fatalf("threads=4 ns_per_step status = %s, want ok", r.Status)
+	}
+}
+
+func TestSerialFractionRegressionFails(t *testing.T) {
+	base := rep(run{Threads: 4, NsPerStep: 400, SerialFraction: 0.04})
+	cur := rep(run{Threads: 4, NsPerStep: 400, SerialFraction: 0.08})
+	_, regressed := compare(base, cur, 0.25, 0.01)
+	if !regressed {
+		t.Fatal("doubled serial_fraction not flagged")
+	}
+}
+
+func TestSerialFractionFloorAbsorbsNoise(t *testing.T) {
+	// Relative change is huge (+100%) but the absolute increase (0.004)
+	// sits under the floor: runner noise on a near-zero fraction.
+	base := rep(run{Threads: 4, NsPerStep: 400, SerialFraction: 0.004})
+	cur := rep(run{Threads: 4, NsPerStep: 400, SerialFraction: 0.008})
+	rows, regressed := compare(base, cur, 0.25, 0.01)
+	if regressed {
+		t.Fatalf("sub-floor serial_fraction wobble flagged: %+v", rows)
+	}
+}
+
+func TestImprovementNeverFails(t *testing.T) {
+	base := rep(run{Threads: 1, NsPerStep: 1000, SerialFraction: 0.04})
+	cur := rep(run{Threads: 1, NsPerStep: 500, SerialFraction: 0.01})
+	rows, regressed := compare(base, cur, 0.25, 0.01)
+	if regressed {
+		t.Fatalf("improvement flagged as regression: %+v", rows)
+	}
+	if r := findRow(t, rows, 1, "ns_per_step"); r.Status != "improved" {
+		t.Fatalf("halved ns_per_step status = %s, want improved", r.Status)
+	}
+}
+
+func TestMissingThreadCountFails(t *testing.T) {
+	base := rep(run{Threads: 1, NsPerStep: 1000}, run{Threads: 8, NsPerStep: 200})
+	cur := rep(run{Threads: 1, NsPerStep: 1000})
+	rows, regressed := compare(base, cur, 0.25, 0.01)
+	if !regressed {
+		t.Fatal("missing threads=8 run not flagged")
+	}
+	if r := findRow(t, rows, 8, "ns_per_step"); r.Status != "MISSING" {
+		t.Fatalf("threads=8 status = %s, want MISSING", r.Status)
+	}
+}
+
+func TestTableRendersMarkdown(t *testing.T) {
+	base := rep(run{Threads: 1, NsPerStep: 1000, SerialFraction: 0.04})
+	cur := rep(run{Threads: 1, NsPerStep: 1100, SerialFraction: 0.04})
+	rows, _ := compare(base, cur, 0.25, 0.01)
+	md := table("WallRubble", rows, 0.25)
+	for _, want := range []string{"| threads | metric |", "ns_per_step", "serial_fraction", "+10.0%", "WallRubble"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("table missing %q:\n%s", want, md)
+		}
+	}
+}

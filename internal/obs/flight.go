@@ -183,14 +183,20 @@ func (h *Health) trip(c Cause, step int64, observed, baseline float64) {
 	h.baseline = baseline
 }
 
-// Tripped reports whether the detector has latched.
+// Tripped reports whether the detector has latched. Safe to poll from
+// parallel hot paths (the serve shard tick loop polls every resident
+// session's detector each tick): the latch read is a short uncontended
+// critical section and allocates nothing.
 func (h *Health) Tripped() bool {
 	if h == nil {
 		return false
 	}
+	//paraxlint:allow(parsafe) latch poll: short uncontended mutex read from the shard tick loop
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.tripped
+	t := h.tripped
+	//paraxlint:allow(parsafe) latch poll: short uncontended mutex read from the shard tick loop
+	h.mu.Unlock()
+	return t
 }
 
 // HealthStatus is a point-in-time read of the detector.

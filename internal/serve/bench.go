@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/parallax-arch/parallax/internal/obs"
+	"github.com/parallax-arch/parallax/internal/phys/world"
+)
+
+// ShardBench exposes a standalone shard — no HTTP, no goroutine — so
+// the root package's BenchmarkStepServe can drive the per-tick loop
+// directly and the CI allocs gate can prove it allocation-free in
+// steady state. Also used by white-box tests to pin the deadline state
+// machine without a live ticker.
+type ShardBench struct {
+	sh *shard
+}
+
+// NewShardBench builds a shard holding the given worlds as sessions.
+// budget is the per-session tick budget (0 disables deadlines); evict
+// reports whether over-budget sessions may be evicted (benchmarks turn
+// this off so the session population stays fixed while measuring).
+func NewShardBench(reg *obs.Registry, budget time.Duration, evict bool, worlds ...*world.World) *ShardBench {
+	tr := obs.NewTracer()
+	sh := newShard(nil, 0, 1, 1, 0, budget, tr, reg, serveCounters{
+		ticks:     reg.Counter("serve/ticks"),
+		misses:    reg.Counter("serve/deadline_misses"),
+		degraded:  reg.Counter("serve/degraded"),
+		evictions: reg.Counter("serve/evictions"),
+	})
+	if !evict {
+		sh.evictAfter = 1 << 60
+	}
+	for i, w := range worlds {
+		sh.attach(newSession(benchID(i), "bench", 0, w, reg))
+	}
+	return &ShardBench{sh: sh}
+}
+
+// benchID formats deterministic ids without fmt (cold path, but keep it
+// simple and allocation-obvious).
+func benchID(i int) string {
+	return "b-" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// Tick runs one shard tick followed by the metric publication run()
+// would perform.
+func (b *ShardBench) Tick() {
+	b.sh.tick()
+	b.sh.publish()
+}
+
+// States returns the per-session scheduler states in attach order.
+func (b *ShardBench) States() []string {
+	out := make([]string, 0, len(b.sh.sessions))
+	for _, s := range b.sh.sessions {
+		out = append(out, s.state.String())
+	}
+	return out
+}
+
+// Sessions returns the resident session count (evictions shrink it).
+func (b *ShardBench) Sessions() int { return len(b.sh.sessions) }

@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/parallax-arch/parallax/internal/obs"
+	"github.com/parallax-arch/parallax/internal/phys/m3"
+)
+
+// Deadline scheduler thresholds: consecutive budget misses before an
+// active session is degraded to half rate, and further consecutive
+// misses before a degraded session is evicted. Shard fields (not
+// consts) so white-box tests and benchmarks can pin the state machine.
+const (
+	defaultDegradeAfter = 3
+	defaultEvictAfter   = 8
+)
+
+// opKind enumerates the shard control operations. Everything that
+// touches a resident session — stepping, snapshots, queries, removal —
+// runs on the shard goroutine, serialized through one bounded channel:
+// sessions need no locks, and a saturated channel is the admission
+// backpressure signal.
+type opKind int
+
+const (
+	opAttach opKind = iota
+	opDetach
+	opStep
+	opSnapshot
+	opQuery
+	opInfo
+	opList
+	opDetachAll
+)
+
+type op struct {
+	kind  opKind
+	sess  *Session // opAttach
+	id    string   // session selector for opDetach/opStep/opSnapshot/opQuery/opInfo
+	ticks int      // opStep
+	box   m3.AABB  // opQuery
+	reply chan opReply
+}
+
+// opReply is the single response every op gets. The reply channel is
+// buffered (capacity 1) so the shard never blocks on an abandoned
+// caller.
+type opReply struct {
+	ok    bool
+	err   string
+	sess  *Session
+	all   []*Session
+	data  []byte
+	ids   []int32
+	info  SessionInfo
+	infos []SessionInfo
+}
+
+// serveCounters are the fleet-wide counter families, registered once by
+// the server and shared by all shards (counters are atomic adds, so
+// cross-shard sharing is free).
+type serveCounters struct {
+	ticks     obs.CounterID
+	misses    obs.CounterID
+	degraded  obs.CounterID
+	evictions obs.CounterID
+}
+
+// shard owns a dense run queue of sessions and steps them at the tick
+// rate. One goroutine (run) is the sole writer of all session state.
+type shard struct {
+	srv     *Server // nil in standalone benchmarks
+	index   int
+	threads int   // worker threads per resident world
+	budget  int64 // per-session tick budget in nanoseconds; 0 disables deadlines
+
+	degradeAfter int64
+	evictAfter   int64
+
+	sessions []*Session
+	control  chan op
+	stop     chan struct{}
+	done     chan struct{}
+	ticker   *time.Ticker
+	tickCh   <-chan time.Time // nil when hz == 0 (manual stepping only)
+
+	tr       *obs.Tracer
+	lane     *obs.Lane
+	tickSpan obs.SpanID
+	reg      *obs.Registry
+	ctr      serveCounters
+	gSess    obs.GaugeID
+
+	nsess atomic.Int64 // resident sessions, readable by the placement path
+
+	tickNum int64
+	// Per-tick deltas accumulated by the allocation-free tick loop and
+	// folded into the registry by run() between ticks.
+	dMisses   int64
+	dDegraded int64
+	// evictPending counts sessions marked evicted since the last reap.
+	evictPending int64
+}
+
+// newShard builds one shard. hz <= 0 disables the ticker: sessions then
+// advance only through explicit step ops (the mode CI smoke tests and
+// the determinism tests use, since a free-running clock would make
+// drain/restart snapshots diverge by however many ticks elapsed).
+func newShard(srv *Server, index, threads, queue int, hz float64, budget time.Duration,
+	tr *obs.Tracer, reg *obs.Registry, ctr serveCounters) *shard {
+	if queue < 1 {
+		queue = 1
+	}
+	sh := &shard{
+		srv:          srv,
+		index:        index,
+		threads:      threads,
+		budget:       budget.Nanoseconds(),
+		degradeAfter: defaultDegradeAfter,
+		evictAfter:   defaultEvictAfter,
+		control:      make(chan op, queue),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		tr:           tr,
+		lane:         tr.Lane(fmt.Sprintf("serve/shard%d", index), obs.DefaultLaneEvents),
+		tickSpan:     tr.Span("shard-tick"),
+		reg:          reg,
+		ctr:          ctr,
+		gSess:        reg.Gauge(fmt.Sprintf("serve/shard%d/sessions", index)),
+	}
+	if hz > 0 {
+		sh.ticker = time.NewTicker(time.Duration(float64(time.Second) / hz))
+		sh.tickCh = sh.ticker.C
+	}
+	return sh
+}
+
+// run is the shard goroutine: control ops and ticks interleave here, so
+// every access to resident sessions is single-threaded. Metric and span
+// publication happens here, between ticks, keeping the tick loop itself
+// free of registry and lane calls.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		select {
+		case <-sh.stop:
+			if sh.ticker != nil {
+				sh.ticker.Stop()
+			}
+			return
+		case o := <-sh.control:
+			sh.handle(o)
+		case <-sh.tickCh:
+			t0 := sh.tr.Now()
+			sh.tick()
+			sh.lane.Complete(sh.tickSpan, t0)
+			sh.publish()
+		}
+	}
+}
+
+// tick steps every resident session once (degraded sessions every other
+// tick) and drives the deadline state machine. This is the server's
+// per-tick hot loop: parsafe proves it — and everything reachable from
+// it — allocation-free and shared-state-free, so steady-state serving
+// never churns the GC no matter how many sessions are resident. World
+// stepping goes through the per-session stepFn trampoline (bound to
+// World.Step at attach, a cold path), the same graph cut the engine's
+// own pool dispatch uses.
+//
+//paraxlint:parroot shard tick loop: the steady-state serving hot path
+func (sh *shard) tick() {
+	skipDegraded := sh.tickNum&1 == 1
+	sh.tickNum++
+	for _, s := range sh.sessions {
+		if s.state == stateEvicted || (s.state == stateDegraded && skipDegraded) {
+			continue
+		}
+		t0 := sh.tr.Now()
+		//paraxlint:allow(parsafe) session step trampoline: stepFn is bound to World.Step, whose hot path is proven by its own noalloc contract and the step benchmarks
+		s.stepFn()
+		dur := sh.tr.Now() - t0
+		s.steps++
+		if s.health.Tripped() {
+			s.state = stateEvicted
+			s.cause = "health"
+			sh.evictPending++
+			continue
+		}
+		if sh.budget <= 0 {
+			continue
+		}
+		if dur > sh.budget {
+			s.misses++
+			sh.dMisses++
+			if s.state == stateActive && s.misses >= sh.degradeAfter {
+				s.state = stateDegraded
+				s.misses = 0
+				sh.dDegraded++
+			} else if s.state == stateDegraded && s.misses >= sh.evictAfter {
+				s.state = stateEvicted
+				s.cause = "deadline"
+				sh.evictPending++
+			}
+		} else {
+			s.misses = 0
+			if s.state == stateDegraded {
+				s.state = stateActive
+			}
+		}
+	}
+	if sh.evictPending > 0 {
+		sh.reap()
+	}
+}
+
+// reap compacts evicted sessions out of the run queue, returning their
+// slots and worker pools. Runs only on ticks that actually evicted —
+// the steady state never enters it.
+//
+//paraxlint:coldpath eviction sweep: allocates during compaction and touches the registry and server map
+func (sh *shard) reap() {
+	kept := sh.sessions[:0]
+	for _, s := range sh.sessions {
+		if s.state != stateEvicted {
+			kept = append(kept, s)
+			continue
+		}
+		sh.reg.Add(sh.ctr.evictions, 1)
+		s.release()
+		if sh.srv != nil {
+			sh.srv.forget(s.id)
+		}
+	}
+	// Clear the tail so evicted worlds are collectable.
+	for i := len(kept); i < len(sh.sessions); i++ {
+		sh.sessions[i] = nil
+	}
+	sh.sessions = kept
+	sh.evictPending = 0
+	sh.syncLoad()
+}
+
+// publish folds the tick's accumulated deltas into the shared registry.
+func (sh *shard) publish() {
+	sh.reg.Add(sh.ctr.ticks, 1)
+	if sh.dMisses > 0 {
+		sh.reg.Add(sh.ctr.misses, sh.dMisses)
+		sh.dMisses = 0
+	}
+	if sh.dDegraded > 0 {
+		sh.reg.Add(sh.ctr.degraded, sh.dDegraded)
+		sh.dDegraded = 0
+	}
+}
+
+// syncLoad republishes the shard's resident-session count (placement
+// atomic + gauge). Cold path: attach, detach, reap.
+func (sh *shard) syncLoad() {
+	n := int64(len(sh.sessions))
+	sh.nsess.Store(n)
+	sh.reg.SetGauge(sh.gSess, float64(n))
+}
+
+// find returns the resident session with the given id, or nil.
+func (sh *shard) find(id string) *Session {
+	for _, s := range sh.sessions {
+		if s.id == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// handle executes one control op on the shard goroutine.
+func (sh *shard) handle(o op) {
+	switch o.kind {
+	case opAttach:
+		sh.attach(o.sess)
+		o.reply <- opReply{ok: true}
+
+	case opDetach:
+		s := sh.find(o.id)
+		if s == nil {
+			o.reply <- opReply{err: "not found"}
+			return
+		}
+		kept := sh.sessions[:0]
+		for _, r := range sh.sessions {
+			if r != s {
+				kept = append(kept, r)
+			}
+		}
+		sh.sessions[len(kept)] = nil
+		sh.sessions = kept
+		sh.syncLoad()
+		o.reply <- opReply{ok: true, sess: s}
+
+	case opStep:
+		s := sh.find(o.id)
+		if s == nil {
+			o.reply <- opReply{err: "not found"}
+			return
+		}
+		if s.state == stateEvicted {
+			o.reply <- opReply{err: "evicted"}
+			return
+		}
+		t0 := sh.tr.Now()
+		for i := 0; i < o.ticks; i++ {
+			s.stepFn()
+			s.steps++
+			if s.health.Tripped() {
+				s.state = stateEvicted
+				s.cause = "health"
+				sh.evictPending++
+				sh.reap()
+				break
+			}
+		}
+		sh.lane.Complete(sh.tickSpan, t0)
+		o.reply <- opReply{ok: true, info: s.info(sh.index)}
+
+	case opSnapshot:
+		s := sh.find(o.id)
+		if s == nil {
+			o.reply <- opReply{err: "not found"}
+			return
+		}
+		o.reply <- opReply{ok: true, data: s.w.Snapshot()}
+
+	case opQuery:
+		s := sh.find(o.id)
+		if s == nil {
+			o.reply <- opReply{err: "not found"}
+			return
+		}
+		o.reply <- opReply{ok: true, ids: s.w.BodiesIn(o.box, nil)}
+
+	case opInfo:
+		s := sh.find(o.id)
+		if s == nil {
+			o.reply <- opReply{err: "not found"}
+			return
+		}
+		o.reply <- opReply{ok: true, info: s.info(sh.index)}
+
+	case opList:
+		infos := make([]SessionInfo, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			infos = append(infos, s.info(sh.index))
+		}
+		o.reply <- opReply{ok: true, infos: infos}
+
+	case opDetachAll:
+		all := append([]*Session(nil), sh.sessions...)
+		for i := range sh.sessions {
+			sh.sessions[i] = nil
+		}
+		sh.sessions = sh.sessions[:0]
+		sh.syncLoad()
+		o.reply <- opReply{ok: true, all: all}
+	}
+}
+
+// attach adds a session to the run queue. Also used directly (before
+// the shard goroutine starts) when restoring a spill directory.
+func (sh *shard) attach(s *Session) {
+	s.w.SetThreads(sh.threads)
+	sh.sessions = append(sh.sessions, s)
+	sh.syncLoad()
+}
+
+// submit enqueues an op and waits for its reply. Blocking: callers that
+// need backpressure semantics (session creation) use trySubmit instead.
+// A shard that stops before replying yields ok=false.
+func (sh *shard) submit(o op) (opReply, bool) {
+	o.reply = make(chan opReply, 1)
+	select {
+	case sh.control <- o:
+	case <-sh.done:
+		return opReply{}, false
+	}
+	select {
+	case r := <-o.reply:
+		return r, true
+	case <-sh.done:
+		return opReply{}, false
+	}
+}
+
+// trySubmit is submit with a non-blocking enqueue: a full control queue
+// returns immediately with queued=false — the admission-control signal.
+func (sh *shard) trySubmit(o op) (r opReply, queued, ok bool) {
+	o.reply = make(chan opReply, 1)
+	select {
+	case sh.control <- o:
+	default:
+		return opReply{}, false, false
+	}
+	select {
+	case r := <-o.reply:
+		return r, true, true
+	case <-sh.done:
+		return opReply{}, true, false
+	}
+}
